@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Every benchmark prints the rows/series of the paper artifact it
+regenerates (run with ``-s`` to see them) and asserts the *shape* the
+paper reports — orderings, ratios, crossovers — never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_runtime():
+    """Benchmarks must not leak a global SCOOPP runtime."""
+    yield
+    import repro.core as parc
+
+    try:
+        parc.current_runtime()
+    except Exception:
+        return
+    parc.shutdown()
+    pytest.fail("benchmark leaked a live ParC runtime")

@@ -1,0 +1,74 @@
+"""ABL-POOL — thread-pool throttling ablation (paper §4).
+
+"The Mono implementation uses a thread pool to reduce the thread creation
+cost; however limiting the number of running threads in parallel
+applications reduces the overlap among computation and communication and
+also produces starvation in some application threads."
+
+The farm simulator sweeps the pool cap for the Fig. 9 ray-tracer farm at
+6 processors: an uncapped pool reaches all 6 workers immediately; small
+caps serialize dispatch until thread injection catches up.
+"""
+
+from __future__ import annotations
+
+from repro.benchlib import simulate_farm
+from repro.benchlib.tables import format_table
+from repro.perfmodel import MONO_117_TCP
+
+WORKERS = 6
+CHUNKS = [1.7] * 50  # 500 lines / 10 per chunk, 0.17 s/line * 1.0 scale
+OUT_BYTES = 144.0
+BACK_BYTES = 20_000.0
+POOL_CAPS = [1, 2, 4, 6, None]
+
+
+def pool_rows():
+    model = MONO_117_TCP.with_overrides(thread_pool_limit=None)
+    rows = []
+    for cap in POOL_CAPS:
+        result = simulate_farm(
+            WORKERS, CHUNKS, model, OUT_BYTES, BACK_BYTES, pool_limit=cap
+        )
+        rows.append(
+            (
+                "uncapped" if cap is None else cap,
+                round(result.makespan_s, 2),
+                round(result.efficiency, 3),
+            )
+        )
+    return rows
+
+
+def test_abl_pool_smaller_cap_never_faster(benchmark):
+    rows = benchmark(pool_rows)
+    times = [time_s for _cap, time_s, _eff in rows]
+    assert times == sorted(times, reverse=True)
+
+
+def test_abl_pool_cap_one_starves(benchmark):
+    rows = benchmark(pool_rows)
+    by_cap = {cap: time_s for cap, time_s, _eff in rows}
+    assert by_cap[1] > by_cap["uncapped"] * 1.1
+
+
+def test_abl_pool_efficiency_degrades(benchmark):
+    rows = benchmark(pool_rows)
+    efficiencies = [eff for _cap, _t, eff in rows]
+    assert efficiencies == sorted(efficiencies)
+    assert efficiencies[-1] > 0.9  # uncapped farm is near-perfect
+
+
+def test_abl_pool_print_table(benchmark):
+    rows = benchmark(pool_rows)
+    print()
+    print(
+        format_table(
+            ["pool cap", "makespan (s)", "efficiency"],
+            [list(row) for row in rows],
+            title=(
+                f"ABL-POOL — Fig. 9 farm at {WORKERS} workers, thread-pool "
+                "cap sweep (Mono model)"
+            ),
+        )
+    )

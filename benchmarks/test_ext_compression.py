@@ -1,0 +1,116 @@
+"""EXT-COMP — compression sink crossover on the paper's network.
+
+An extension: the classic .Net remoting custom sink traded CPU for wire
+bytes.  On the paper's 100 Mbit Ethernet, when does zlib-compressing
+int-array payloads pay off?
+
+Method: real compression of real formatter output (measured sizes and
+measured CPU time on this machine), wire time priced with the Mono model.
+Expected shape: compression wins for large compressible payloads (the
+wire at ~5 MB/s costs ~190 ns/byte while zlib spends far less per byte
+saved) and is correctly skipped for incompressible data.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from array import array
+
+from repro.benchlib.tables import format_table, human_bytes
+from repro.perfmodel import MONO_117_TCP
+from repro.remoting.messages import CallMessage
+from repro.serialization import BinaryFormatter
+
+SIZES = [256, 4096, 65536, 1 << 20]
+
+
+def _payload(n_ints: int, compressible: bool) -> array:
+    if compressible:
+        return array("i", [index % 1024 for index in range(n_ints)])
+    rng = random.Random(42)
+    return array("i", [rng.randrange(1 << 31) for _ in range(n_ints)])
+
+
+def crossover_rows() -> list[tuple]:
+    formatter = BinaryFormatter()
+    model = MONO_117_TCP
+    per_byte = 1.0 / model.wire_bandwidth_Bps
+    rows = []
+    for compressible in (True, False):
+        for size_bytes in SIZES:
+            body = formatter.dumps(
+                CallMessage(
+                    uri="x", method="save",
+                    args=(_payload(size_bytes // 4, compressible),),
+                )
+            )
+            started = time.perf_counter()
+            compressed = zlib.compress(body, 6)
+            compress_s = time.perf_counter() - started
+            plain_time = model.one_way_latency_s + len(body) * per_byte
+            compressed_time = (
+                model.one_way_latency_s
+                + len(compressed) * per_byte
+                + compress_s
+            )
+            rows.append(
+                (
+                    "compressible" if compressible else "random",
+                    size_bytes,
+                    len(body),
+                    len(compressed),
+                    plain_time * 1e3,
+                    compressed_time * 1e3,
+                    compressed_time < plain_time,
+                )
+            )
+    return rows
+
+
+def test_ext_comp_wins_on_large_compressible(benchmark):
+    rows = benchmark(crossover_rows)
+    large = [
+        wins
+        for kind, size, _raw, _cmp, _p, _c, wins in rows
+        if kind == "compressible" and size >= 65536
+    ]
+    assert all(large)
+
+
+def test_ext_comp_compression_ratio_real(benchmark):
+    rows = benchmark(crossover_rows)
+    for kind, size, raw, compressed, _p, _c, _w in rows:
+        if kind == "compressible" and size >= 4096:
+            assert compressed < raw / 2
+        if kind == "random":
+            assert compressed > raw * 0.9  # essentially incompressible
+
+
+def test_ext_comp_never_wins_on_random_small(benchmark):
+    rows = benchmark(crossover_rows)
+    small_random = [
+        wins
+        for kind, size, _raw, _cmp, _p, _c, wins in rows
+        if kind == "random" and size <= 4096
+    ]
+    assert not any(small_random)
+
+
+def test_ext_comp_print_table(benchmark):
+    rows = benchmark(crossover_rows)
+    print()
+    print(
+        format_table(
+            ["payload", "size", "wire bytes", "compressed",
+             "plain (ms)", "zlib (ms)", "compression wins"],
+            [
+                [kind, human_bytes(size), raw, compressed,
+                 round(plain, 2), round(comp, 2), str(wins)]
+                for kind, size, raw, compressed, plain, comp, wins in rows
+            ],
+            title="EXT-COMP — compression sink crossover "
+            "(Mono 1.1.7 Tcp model, real zlib)",
+        )
+    )

@@ -1,0 +1,100 @@
+"""FIG8a — inter-node bandwidth: MPI vs Java RMI vs Mono (paper Fig. 8a).
+
+"Inter-node bandwidth shows that the MPI bandwidth performance is superior
+to Java and Mono ... for large messages, the Mono performance lags behind
+the Java implementation."
+
+Method: each stack's ping-pong messages are encoded with its *real*
+protocol code (measured wire bytes) and priced with the platform model
+calibrated to the paper's constants.  Shape assertions: the three curves
+never cross, MPI dominates, Mono is lowest, and the large-message ratios
+are in the paper's ballpark.
+"""
+
+from __future__ import annotations
+
+from repro.benchlib import (
+    log_sizes,
+    message_bytes_mpi,
+    message_bytes_remoting,
+    message_bytes_rmi,
+    modeled_bandwidth_from_bytes,
+)
+from repro.benchlib.tables import format_table, human_bytes
+from repro.perfmodel import JAVA_RMI, MONO_117_TCP, MPI_MPICH
+
+SIZES = log_sizes(1, 1024 * 1024, per_decade=2)
+MB = 1024.0 * 1024.0
+
+
+def fig8a_series() -> dict[str, list[tuple[int, float]]]:
+    """(message size, bandwidth MB/s) per platform, as Fig. 8a plots."""
+    series: dict[str, list[tuple[int, float]]] = {}
+    for name, model, measure in (
+        ("MPI", MPI_MPICH, message_bytes_mpi),
+        ("Java RMI", JAVA_RMI, message_bytes_rmi),
+        ("Mono", MONO_117_TCP, message_bytes_remoting),
+    ):
+        points = []
+        for size in SIZES:
+            n_ints = max(1, size // 4)
+            payload = 4 * n_ints
+            request, response = measure(n_ints)
+            bandwidth = modeled_bandwidth_from_bytes(
+                model, payload, request, response
+            )
+            points.append((payload, bandwidth / MB))
+        series[name] = points
+    return series
+
+
+def test_fig8a_bandwidth_ordering(benchmark):
+    series = benchmark(fig8a_series)
+    mpi = dict(series["MPI"])
+    rmi = dict(series["Java RMI"])
+    mono = dict(series["Mono"])
+    # The curves never cross: MPI > RMI > Mono at every size (Fig. 8a).
+    for size in mpi:
+        assert mpi[size] > rmi[size] > mono[size], size
+
+
+def test_fig8a_large_message_ratios(benchmark):
+    series = benchmark(fig8a_series)
+    top = {name: points[-1][1] for name, points in series.items()}
+    # Paper-ballpark asymptotes: MPI near the 100 Mbit wire (~11 MB/s),
+    # RMI in the middle, Mono behind Java ("lags behind").
+    assert 9.0 < top["MPI"] < 12.5
+    assert 5.5 < top["Java RMI"] < 9.0
+    assert 3.0 < top["Mono"] < 6.0
+    assert 1.8 < top["MPI"] / top["Mono"] < 3.5
+
+
+def test_fig8a_small_messages_latency_bound(benchmark):
+    series = benchmark(fig8a_series)
+    smallest = {name: points[0][1] for name, points in series.items()}
+    # At 4 bytes the latency ratio (100/273/520 us) dominates: MPI leads
+    # Mono by roughly the latency ratio (~5x).
+    assert 3.0 < smallest["MPI"] / smallest["Mono"] < 8.0
+
+
+def test_fig8a_print_table(benchmark):
+    series = benchmark(fig8a_series)
+    rows = []
+    for index, size in enumerate(SIZES):
+        rows.append(
+            [
+                human_bytes(4 * max(1, size // 4)),
+                round(series["MPI"][index][1], 3),
+                round(series["Java RMI"][index][1], 3),
+                round(series["Mono"][index][1], 3),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["message", "MPI MB/s", "Java RMI MB/s", "Mono MB/s"],
+            rows,
+            title="Fig. 8a — inter-node bandwidth (modeled network, "
+            "real protocol bytes)",
+        )
+    )

@@ -1,0 +1,90 @@
+"""FIG8b — bandwidth across Mono implementations (paper Fig. 8b).
+
+"Mono performance has radically increased from release 1.0.5 and the low
+performance of an Http channel."
+
+The three configurations differ exactly as the paper's did: 1.1.7-Tcp and
+1.0.5-Tcp run the same binary-formatter protocol under different platform
+constants; the Http configuration also switches to the real SOAP encoding,
+whose measured byte expansion is part of the gap.
+"""
+
+from __future__ import annotations
+
+from repro.benchlib import log_sizes, message_bytes_remoting, modeled_bandwidth_from_bytes
+from repro.benchlib.tables import format_table, human_bytes
+from repro.perfmodel import MONO_105_TCP, MONO_117_HTTP, MONO_117_TCP
+from repro.serialization import BinaryFormatter, SoapFormatter
+
+SIZES = log_sizes(1, 1024 * 1024, per_decade=2)
+MB = 1024.0 * 1024.0
+
+CONFIGS = (
+    ("Mono 1.1.7 (Tcp)", MONO_117_TCP, BinaryFormatter()),
+    ("Mono 1.0.5 (Tcp)", MONO_105_TCP, BinaryFormatter()),
+    ("Mono 1.1.7 (Http)", MONO_117_HTTP, SoapFormatter()),
+)
+
+
+def fig8b_series() -> dict[str, list[tuple[int, float]]]:
+    series: dict[str, list[tuple[int, float]]] = {}
+    for name, model, formatter in CONFIGS:
+        points = []
+        for size in SIZES:
+            n_ints = max(1, size // 4)
+            payload = 4 * n_ints
+            request, response = message_bytes_remoting(n_ints, formatter)
+            bandwidth = modeled_bandwidth_from_bytes(
+                model, payload, request, response
+            )
+            points.append((payload, bandwidth / MB))
+        series[name] = points
+    return series
+
+
+def test_fig8b_release_gap(benchmark):
+    series = benchmark(fig8b_series)
+    new = dict(series["Mono 1.1.7 (Tcp)"])
+    old = dict(series["Mono 1.0.5 (Tcp)"])
+    for size, bandwidth in new.items():
+        assert bandwidth > old[size]
+    # "radically increased": near an order of magnitude at large sizes.
+    assert new[max(new)] / old[max(old)] > 5.0
+
+
+def test_fig8b_http_channel_lowest(benchmark):
+    series = benchmark(fig8b_series)
+    http = dict(series["Mono 1.1.7 (Http)"])
+    old_tcp = dict(series["Mono 1.0.5 (Tcp)"])
+    for size in http:
+        assert http[size] < old_tcp[size], size
+
+
+def test_fig8b_soap_bytes_contribute_to_gap(benchmark):
+    """The Http curve's handicap is partly real encoding bytes."""
+
+    def soap_expansion():
+        binary_request, _ = message_bytes_remoting(4096, BinaryFormatter())
+        soap_request, _ = message_bytes_remoting(4096, SoapFormatter())
+        return soap_request / binary_request
+
+    expansion = benchmark(soap_expansion)
+    assert expansion > 1.3
+
+
+def test_fig8b_print_table(benchmark):
+    series = benchmark(fig8b_series)
+    rows = []
+    for index, size in enumerate(SIZES):
+        rows.append(
+            [human_bytes(4 * max(1, size // 4))]
+            + [round(series[name][index][1], 4) for name, _m, _f in CONFIGS]
+        )
+    print()
+    print(
+        format_table(
+            ["message"] + [name for name, _m, _f in CONFIGS],
+            rows,
+            title="Fig. 8b — bandwidth across Mono implementations (MB/s)",
+        )
+    )

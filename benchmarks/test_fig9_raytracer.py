@@ -1,0 +1,112 @@
+"""FIG9 — parallel ray tracer execution time, 1-6 processors (paper Fig. 9).
+
+"Fig. 9 compares the execution times of Java and ParC# to render a scene
+with 500x500 pixels. ... The parallel Ray Tracer execution time ... is
+higher in ParC# mainly due to the higher sequential time and due to
+thread management."
+
+Reproduction: the farm simulator replays the paper's line-farm (500x500,
+chunked lines, self-scheduling) under the two platform presets.  The
+ParC# preset carries Mono's 1.4x float compute scale, 520 µs calls, and
+the capped thread pool; the Java preset carries RMI's constants.  A live
+mini-farm (the real SCOOPP runtime rendering a real frame) validates the
+functional path on this machine.
+"""
+
+from __future__ import annotations
+
+import repro.core as parc
+from repro.apps.raytracer import checksum, create_scene, farm_render, render
+from repro.benchlib import fig9_curve
+from repro.benchlib.tables import format_table
+from repro.core import GrainPolicy
+from repro.perfmodel import JAVA_RMI, MONO_117_TCP
+
+PROCESSORS = [1, 2, 3, 4, 5, 6]
+
+
+def fig9_data() -> dict[str, list[tuple[int, float]]]:
+    return {
+        "ParC#": fig9_curve(MONO_117_TCP, PROCESSORS),
+        "Java RMI": fig9_curve(JAVA_RMI, PROCESSORS),
+    }
+
+
+def test_fig9_both_curves_fall(benchmark):
+    curves = benchmark(fig9_data)
+    for name, curve in curves.items():
+        times = [time_s for _p, time_s in curve]
+        assert times == sorted(times, reverse=True), name
+
+
+def test_fig9_parc_above_java_everywhere(benchmark):
+    curves = benchmark(fig9_data)
+    parc_curve = dict(curves["ParC#"])
+    java_curve = dict(curves["Java RMI"])
+    for processors in PROCESSORS:
+        assert parc_curve[processors] > java_curve[processors]
+
+
+def test_fig9_gap_tracks_sequential_ratio(benchmark):
+    curves = benchmark(fig9_data)
+    parc_curve = dict(curves["ParC#"])
+    java_curve = dict(curves["Java RMI"])
+    # At 1 processor the gap IS the sequential gap ("the C# sequential
+    # execution time ... is 40% superior").
+    assert 1.3 < parc_curve[1] / java_curve[1] < 1.5
+    # The gap persists (and may widen slightly: thread management).
+    for processors in PROCESSORS[1:]:
+        ratio = parc_curve[processors] / java_curve[processors]
+        assert 1.2 < ratio < 1.8, (processors, ratio)
+
+
+def test_fig9_magnitudes_match_paper_axis(benchmark):
+    """The paper's y-axis runs 0-140 s; the curves start near 120/85 s."""
+    curves = benchmark(fig9_data)
+    assert 100 < dict(curves["ParC#"])[1] < 140
+    assert 70 < dict(curves["Java RMI"])[1] < 100
+    assert dict(curves["ParC#"])[6] < 40
+
+
+def test_fig9_print_table(benchmark):
+    curves = benchmark(fig9_data)
+    rows = []
+    for index, processors in enumerate(PROCESSORS):
+        rows.append(
+            [
+                processors,
+                round(curves["ParC#"][index][1], 1),
+                round(curves["Java RMI"][index][1], 1),
+                round(
+                    curves["ParC#"][index][1] / curves["Java RMI"][index][1],
+                    2,
+                ),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["processors", "ParC# (s)", "Java RMI (s)", "ratio"],
+            rows,
+            title="Fig. 9 — parallel ray tracer execution time (simulated "
+            "500x500 farm)",
+        )
+    )
+
+
+def test_fig9_live_mini_farm_validates(benchmark):
+    """The real SCOOPP farm renders a real frame, checksum-identical."""
+    width = height = 16
+    reference = checksum(render(create_scene(2), width, height))
+
+    def run_farm():
+        parc.init(nodes=3, grain=GrainPolicy(max_calls=2))
+        try:
+            return checksum(
+                farm_render(3, width, height, grid=2, lines_per_chunk=2)
+            )
+        finally:
+            parc.shutdown()
+
+    result = benchmark.pedantic(run_farm, rounds=1, iterations=1)
+    assert result == reference

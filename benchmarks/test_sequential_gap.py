@@ -1,0 +1,71 @@
+"""TAB-SEQ — sequential ray tracer across VMs (paper §4, text).
+
+"The C# sequential execution time in this particular application is 40%
+superior to the Java version (using the Microsoft virtual machine, on a
+Windows machine, it is only 10% superior)."
+
+The VM gap is a compute-scale constant in the platform models (the VMs
+themselves cannot be resurrected); the real pure-Python renderer provides
+the baseline absolute time that the scales multiply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.raytracer import create_scene, render
+from repro.benchlib.tables import format_table
+from repro.perfmodel import MONO_117_TCP, MS_NET
+from repro.perfmodel.platforms import SUN_JVM
+
+WIDTH = HEIGHT = 24
+
+
+def sequential_gap_rows():
+    import time
+
+    scene = create_scene(2)
+    started = time.perf_counter()
+    render(scene, WIDTH, HEIGHT)
+    base_s = time.perf_counter() - started
+    platforms = [SUN_JVM, MS_NET, MONO_117_TCP]
+    return base_s, [
+        (
+            model.name,
+            model.compute_scale_float,
+            base_s * model.compute_scale_float,
+        )
+        for model in platforms
+    ]
+
+
+def test_tab_seq_ratios(benchmark):
+    _base, rows = benchmark(sequential_gap_rows)
+    scales = {name: scale for name, scale, _time in rows}
+    assert scales["Sun JVM (SDK 1.4.2)"] == 1.0
+    assert scales["MS .Net 1.1 (Windows)"] == pytest.approx(1.1)  # +10%
+    assert scales["Mono 1.1.7 (Tcp)"] == pytest.approx(1.4)  # +40%
+
+
+def test_tab_seq_ordering(benchmark):
+    _base, rows = benchmark(sequential_gap_rows)
+    times = [time_s for _name, _scale, time_s in rows]
+    assert times == sorted(times)  # JVM fastest, Mono slowest
+
+
+def test_tab_seq_print_table(benchmark):
+    base, rows = benchmark(sequential_gap_rows)
+    print()
+    print(
+        format_table(
+            ["virtual machine", "scale vs JVM", f"{WIDTH}x{HEIGHT} render (s)"],
+            [
+                [name, scale, round(time_s, 4)]
+                for name, scale, time_s in rows
+            ],
+            title=(
+                "TAB-SEQ — sequential ray tracer across VMs "
+                f"(python baseline {base:.4f}s; paper: Mono +40%, MS +10%)"
+            ),
+        )
+    )

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Observability: trace a farm's execution timeline.
+
+Installs a global :class:`~repro.telemetry.Tracer`, runs the prime farm,
+and writes a Chrome-trace JSON you can open in ``chrome://tracing`` or
+https://ui.perfetto.dev — one lane per implementation-object worker
+thread, one span per executed method, with aggregation visible as batches
+of back-to-back spans.
+
+Run:  python examples/traced_farm.py [output.json]
+"""
+
+import sys
+
+import repro.core as parc
+from repro.apps.primes import farm_count_primes, sieve
+from repro.core import GrainPolicy
+from repro.telemetry import MetricsRegistry, Tracer, set_global_tracer
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "parc-trace.json"
+    limit = 3000
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    calls = metrics.counter("farm_calls", "method executions observed")
+    latency = metrics.histogram("method_seconds")
+
+    set_global_tracer(tracer)
+    parc.init(nodes=4, grain=GrainPolicy(max_calls=4))
+    try:
+        with tracer.span("app", "farm_count_primes", limit=limit):
+            count = farm_count_primes(limit, workers=4, batch=64)
+        assert count == len(sieve(limit - 1))
+        print(f"{count} primes < {limit}")
+    finally:
+        parc.shutdown()
+        set_global_tracer(None)
+
+    for duration in tracer.span_durations("io"):
+        calls.inc()
+        latency.observe(duration)
+
+    path = tracer.dump(output)
+    events = tracer.events()
+    print(f"wrote {len(events)} trace events to {path}")
+    print(f"open chrome://tracing or https://ui.perfetto.dev and load it\n")
+    print("metrics snapshot:")
+    print(metrics.render())
+    io_durations = tracer.span_durations("io")
+    if io_durations:
+        mean_us = sum(io_durations) / len(io_durations) * 1e6
+        print(
+            f"\n{len(io_durations)} method executions, "
+            f"mean {mean_us:.1f}us"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Applications used in the paper's evaluation (§4).
+
+* :mod:`repro.apps.raytracer` — the Java Grande Forum parallel ray tracer,
+  "parallelised using a farming approach, where each worker renders
+  several lines from the generated image" (Fig. 9's workload);
+* :mod:`repro.apps.primes` — the prime workloads: the running
+  ``PrimeServer``/``PrimeFilter`` example of Figs. 4–7 and the "prime
+  number sieve" used for the sequential VM comparison.
+"""

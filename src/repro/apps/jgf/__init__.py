@@ -1,0 +1,77 @@
+"""Java Grande Forum kernel suite (Section 2), sequential and parallel.
+
+The paper's high-level benchmark "a parallel Ray Tracer from the Java
+Grande Forum" is one member of the JGF benchmark suite; porting the rest
+of the suite is the natural next step for a platform like ParC# (and how
+contemporaries of the paper evaluated theirs).  This package implements
+the four classic Section-2 kernels with the same structure as the ray
+tracer: a validated sequential version plus a ParC# farm/SPMD version
+that must reproduce it exactly.
+
+* :mod:`~repro.apps.jgf.series` — Fourier coefficient computation
+  (embarrassingly parallel, FP-heavy, trivial communication);
+* :mod:`~repro.apps.jgf.sor` — red-black successive over-relaxation
+  (stencil with halo exchange: the communication-bound kernel);
+* :mod:`~repro.apps.jgf.crypt` — IDEA encryption (integer-heavy,
+  block-parallel);
+* :mod:`~repro.apps.jgf.sparsematmult` — sparse matrix-vector
+  multiplication (irregular access, row-parallel).
+"""
+
+from repro.apps.jgf.series import (
+    SeriesWorker,
+    fourier_coefficients,
+    parallel_fourier_coefficients,
+)
+from repro.apps.jgf.sor import (
+    SorWorker,
+    parallel_sor,
+    sor,
+    sor_checksum,
+)
+from repro.apps.jgf.crypt import (
+    CryptWorker,
+    idea_decrypt,
+    idea_encrypt,
+    make_key,
+    parallel_crypt_roundtrip,
+)
+from repro.apps.jgf.sparsematmult import (
+    SparseMatmultWorker,
+    parallel_sparse_matmult,
+    random_sparse_matrix,
+    sparse_matmult,
+)
+from repro.apps.jgf.montecarlo import (
+    MonteCarloWorker,
+    calibrate,
+    historical_series,
+    monte_carlo,
+    parallel_monte_carlo,
+    simulate_path,
+)
+
+__all__ = [
+    "CryptWorker",
+    "MonteCarloWorker",
+    "SeriesWorker",
+    "SorWorker",
+    "SparseMatmultWorker",
+    "calibrate",
+    "fourier_coefficients",
+    "historical_series",
+    "idea_decrypt",
+    "idea_encrypt",
+    "make_key",
+    "monte_carlo",
+    "parallel_crypt_roundtrip",
+    "parallel_fourier_coefficients",
+    "parallel_monte_carlo",
+    "parallel_sor",
+    "parallel_sparse_matmult",
+    "random_sparse_matrix",
+    "simulate_path",
+    "sor",
+    "sor_checksum",
+    "sparse_matmult",
+]

@@ -1,0 +1,151 @@
+"""JGF MonteCarlo: financial Monte Carlo simulation (Section 3).
+
+The JGF application benchmark the paper's ray tracer sits beside: generate
+a synthetic "historical" asset price series, calibrate a geometric
+Brownian motion to its log-returns, then simulate thousands of sample
+paths and report the expected return.  Embarrassingly parallel across
+paths — and *reproducibly* so: each path derives its RNG seed from its
+index, so any work partition produces bit-identical results (the property
+the tests pin down).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.model import parallel
+from repro.core.runtime import new
+from repro.errors import ScooppError
+
+
+def historical_series(
+    days: int = 250, s0: float = 100.0, seed: int = 1812
+) -> list[float]:
+    """Synthetic daily price history (the dataset JGF ships as a file)."""
+    rng = random.Random(seed)
+    prices = [s0]
+    for _day in range(days - 1):
+        shock = rng.gauss(0.0005, 0.012)
+        prices.append(prices[-1] * math.exp(shock))
+    return prices
+
+
+def calibrate(prices: list[float]) -> tuple[float, float]:
+    """(drift, volatility) of daily log-returns."""
+    if len(prices) < 2:
+        raise ValueError("need at least two prices to calibrate")
+    returns = [
+        math.log(later / earlier)
+        for earlier, later in zip(prices, prices[1:])
+    ]
+    mean = sum(returns) / len(returns)
+    variance = sum((r - mean) ** 2 for r in returns) / max(len(returns) - 1, 1)
+    return mean, math.sqrt(variance)
+
+
+def simulate_path(
+    path_index: int,
+    steps: int,
+    s0: float,
+    drift: float,
+    volatility: float,
+    base_seed: int = 0,
+) -> float:
+    """Terminal return of one GBM sample path.
+
+    The RNG seed is a pure function of (base_seed, path_index): path i is
+    the same path no matter which worker computes it.
+    """
+    rng = random.Random((base_seed << 20) ^ (path_index * 2654435761 % (1 << 31)))
+    log_price = math.log(s0)
+    for _step in range(steps):
+        log_price += drift + volatility * rng.gauss(0.0, 1.0)
+    return math.exp(log_price) / s0 - 1.0
+
+
+def monte_carlo(
+    n_paths: int,
+    steps: int = 250,
+    seed: int = 1812,
+) -> tuple[float, list[float]]:
+    """Sequential run: (expected return, per-path returns)."""
+    if n_paths < 1:
+        raise ValueError("need at least one path")
+    prices = historical_series(seed=seed)
+    drift, volatility = calibrate(prices)
+    returns = [
+        simulate_path(index, steps, prices[-1], drift, volatility, seed)
+        for index in range(n_paths)
+    ]
+    return sum(returns) / n_paths, returns
+
+
+@parallel(
+    name="jgf.MonteCarloWorker",
+    async_methods=["simulate_range"],
+    sync_methods=["results"],
+)
+class MonteCarloWorker:
+    """Simulates a range of path indices with the shared calibration."""
+
+    def __init__(self, steps: int, s0: float, drift: float,
+                 volatility: float, base_seed: int) -> None:
+        self.steps = steps
+        self.s0 = s0
+        self.drift = drift
+        self.volatility = volatility
+        self.base_seed = base_seed
+        self.returns: dict[int, float] = {}
+
+    def simulate_range(self, start: int, stop: int) -> None:
+        for index in range(start, stop):
+            self.returns[index] = simulate_path(
+                index, self.steps, self.s0, self.drift,
+                self.volatility, self.base_seed,
+            )
+
+    def results(self) -> dict:
+        return self.returns
+
+
+def parallel_monte_carlo(
+    n_paths: int,
+    steps: int = 250,
+    seed: int = 1812,
+    workers: int = 4,
+) -> tuple[float, list[float]]:
+    """Farmed run; bit-identical to :func:`monte_carlo`.
+
+    Requires a live runtime.  Paths are dealt in interleaved strides so
+    load balances even if some paths were costlier.
+    """
+    if workers < 1:
+        raise ScooppError(f"workers must be >= 1, got {workers}")
+    prices = historical_series(seed=seed)
+    drift, volatility = calibrate(prices)
+    pool = [
+        new(MonteCarloWorker, steps, prices[-1], drift, volatility, seed)
+        for _ in range(workers)
+    ]
+    try:
+        block = (n_paths + workers - 1) // workers
+        for index, worker in enumerate(pool):
+            start = index * block
+            stop = min(start + block, n_paths)
+            if start < stop:
+                worker.simulate_range(start, stop)
+        merged: dict[int, float] = {}
+        for worker in pool:
+            merged.update(worker.results())
+    finally:
+        for worker in pool:
+            try:
+                worker.parc_release()
+            except ScooppError:
+                pass
+    missing = [index for index in range(n_paths) if index not in merged]
+    if missing:
+        raise ScooppError(f"monte carlo farm lost paths {missing[:5]}")
+    returns = [merged[index] for index in range(n_paths)]
+    return sum(returns) / n_paths, returns

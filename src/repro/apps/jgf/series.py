@@ -1,0 +1,109 @@
+"""JGF Series: Fourier coefficients of (x+1)^x over [0, 2].
+
+The most embarrassingly parallel JGF kernel: each coefficient pair
+(aᵢ, bᵢ) is an independent numerical integration.  The parallel version
+farms coefficient ranges to :class:`SeriesWorker` parallel objects —
+results must match the sequential computation bit-for-bit (same summation
+order per coefficient, so floating point agrees exactly).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.model import parallel
+from repro.core.runtime import new
+from repro.errors import ScooppError
+
+#: Integration resolution (JGF uses 1000 intervals).
+INTERVALS = 1000
+
+
+def _function(x: float) -> float:
+    return (x + 1.0) ** x
+
+
+def _trapezoid(coefficient: int, kind: str) -> float:
+    """One Fourier coefficient by the trapezoid rule (JGF's method)."""
+    omega_n = math.pi * coefficient
+    dx = 2.0 / INTERVALS
+    total = 0.5 * (_weighted(0.0, coefficient, kind) + _weighted(2.0, coefficient, kind))
+    x = dx
+    for _ in range(INTERVALS - 1):
+        total += _weighted(x, coefficient, kind)
+        x += dx
+    return total * dx
+
+
+def _weighted(x: float, coefficient: int, kind: str) -> float:
+    if coefficient == 0:
+        return _function(x)
+    if kind == "a":
+        return _function(x) * math.cos(math.pi * coefficient * x)
+    return _function(x) * math.sin(math.pi * coefficient * x)
+
+
+def fourier_coefficient_pair(index: int) -> tuple[float, float]:
+    """(aᵢ, bᵢ); a₀ carries the DC term, b₀ is 0 by convention."""
+    if index == 0:
+        return _trapezoid(0, "a") / 2.0, 0.0
+    return _trapezoid(index, "a"), _trapezoid(index, "b")
+
+
+def fourier_coefficients(count: int) -> list[tuple[float, float]]:
+    """First *count* coefficient pairs, sequentially."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [fourier_coefficient_pair(index) for index in range(count)]
+
+
+@parallel(
+    name="jgf.SeriesWorker",
+    async_methods=["compute_range"],
+    sync_methods=["results"],
+)
+class SeriesWorker:
+    """Computes a contiguous range of coefficient pairs."""
+
+    def __init__(self) -> None:
+        self.pairs: dict[int, tuple[float, float]] = {}
+
+    def compute_range(self, start: int, stop: int) -> None:
+        for index in range(start, stop):
+            self.pairs[index] = fourier_coefficient_pair(index)
+
+    def results(self) -> dict:
+        return self.pairs
+
+
+def parallel_fourier_coefficients(
+    count: int, workers: int = 4
+) -> list[tuple[float, float]]:
+    """Farmed computation; requires a live runtime.
+
+    Coefficients are block-distributed; each block is one asynchronous
+    call, collection is the synchronous barrier.
+    """
+    if workers < 1:
+        raise ScooppError(f"workers must be >= 1, got {workers}")
+    pool = [new(SeriesWorker) for _ in range(workers)]
+    try:
+        block = (count + workers - 1) // workers
+        for index, worker in enumerate(pool):
+            start = index * block
+            stop = min(start + block, count)
+            if start < stop:
+                worker.compute_range(start, stop)
+        merged: dict[int, tuple[float, float]] = {}
+        for worker in pool:
+            merged.update(worker.results())
+    finally:
+        for worker in pool:
+            try:
+                worker.parc_release()
+            except ScooppError:
+                pass
+    missing = [index for index in range(count) if index not in merged]
+    if missing:
+        raise ScooppError(f"series farm lost coefficients {missing[:5]}")
+    return [tuple(merged[index]) for index in range(count)]

@@ -1,0 +1,187 @@
+"""JGF SOR: red-black successive over-relaxation on a 2-D grid.
+
+The communication-bound JGF kernel: each iteration updates every interior
+point from its four neighbours, so a row-block decomposition must exchange
+halo rows every half-iteration.  The parallel version gives each
+:class:`SorWorker` a block of rows; a coordinator drives the red/black
+half-sweeps and moves boundary rows between neighbours — every update a
+worker makes uses exactly the same values as the sequential sweep, so the
+final grids agree to the last bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.model import parallel
+from repro.core.runtime import new
+from repro.errors import ScooppError
+
+OMEGA = 1.25
+
+
+def make_grid(size: int, seed: int = 101) -> list[list[float]]:
+    """Random initial grid, deterministic per seed (JGF uses a fixed RNG)."""
+    rng = random.Random(seed)
+    return [
+        [rng.random() * 1e-6 for _column in range(size)]
+        for _row in range(size)
+    ]
+
+
+def _relax_row(
+    row: list[float],
+    above: list[float],
+    below: list[float],
+    row_index: int,
+    colour: int,
+    omega: float,
+) -> None:
+    """Red-black update of one row in place.
+
+    A point (i, j) is updated in the *colour* half-sweep when
+    ``(i + j) % 2 == colour``.
+    """
+    size = len(row)
+    start = 1 + ((row_index + 1 + colour) % 2)
+    one_minus = 1.0 - omega
+    quarter = omega * 0.25
+    for column in range(start, size - 1, 2):
+        row[column] = (
+            quarter
+            * (above[column] + below[column] + row[column - 1] + row[column + 1])
+            + one_minus * row[column]
+        )
+
+
+def sor(grid: list[list[float]], iterations: int, omega: float = OMEGA) -> None:
+    """Sequential red-black SOR, in place."""
+    size = len(grid)
+    for _sweep in range(iterations):
+        for colour in (0, 1):
+            for row_index in range(1, size - 1):
+                _relax_row(
+                    grid[row_index],
+                    grid[row_index - 1],
+                    grid[row_index + 1],
+                    row_index,
+                    colour,
+                    omega,
+                )
+
+
+def sor_checksum(grid: list[list[float]]) -> float:
+    """JGF validation: the sum of all grid values."""
+    return sum(sum(row) for row in grid)
+
+
+@parallel(
+    name="jgf.SorWorker",
+    async_methods=["set_halo", "relax"],
+    sync_methods=["boundary_rows", "block"],
+)
+class SorWorker:
+    """Owns rows [start, stop) of the grid (global indices)."""
+
+    def __init__(self, rows: list, start: int, grid_size: int) -> None:
+        self.rows = [list(row) for row in rows]
+        self.start = start
+        self.grid_size = grid_size
+        self.halo_above: list | None = None
+        self.halo_below: list | None = None
+
+    def set_halo(self, above: list | None, below: list | None) -> None:
+        """Install this half-sweep's neighbour boundary rows."""
+        self.halo_above = list(above) if above is not None else None
+        self.halo_below = list(below) if below is not None else None
+
+    def relax(self, colour: int, omega: float) -> None:
+        """One half-sweep over the owned interior rows."""
+        for offset, row in enumerate(self.rows):
+            global_index = self.start + offset
+            if global_index in (0, self.grid_size - 1):
+                continue  # fixed boundary rows
+            above = (
+                self.rows[offset - 1] if offset > 0 else self.halo_above
+            )
+            below = (
+                self.rows[offset + 1]
+                if offset + 1 < len(self.rows)
+                else self.halo_below
+            )
+            if above is None or below is None:
+                raise ScooppError(
+                    f"missing halo for row {global_index} "
+                    f"(above={above is not None}, below={below is not None})"
+                )
+            _relax_row(row, above, below, global_index, colour, omega)
+
+    def boundary_rows(self) -> tuple:
+        """(first owned row, last owned row) for neighbour halos."""
+        return (list(self.rows[0]), list(self.rows[-1]))
+
+    def block(self) -> list:
+        return self.rows
+
+
+def _partition(size: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous row ranges, one per worker, covering [0, size)."""
+    base, extra = divmod(size, workers)
+    ranges = []
+    start = 0
+    for index in range(workers):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return [(s, e) for s, e in ranges if s < e]
+
+
+def parallel_sor(
+    grid: list[list[float]],
+    iterations: int,
+    workers: int = 4,
+    omega: float = OMEGA,
+) -> list[list[float]]:
+    """Row-block parallel SOR; returns the relaxed grid (input untouched).
+
+    Requires a live runtime.  Each half-sweep: collect boundary rows from
+    every worker (synchronous — also the barrier), install halos, relax.
+    """
+    size = len(grid)
+    if size < 3:
+        result = [list(row) for row in grid]
+        sor(result, iterations, omega)
+        return result
+    ranges = _partition(size, min(workers, size))
+    pool = [
+        new(SorWorker, [grid[i] for i in range(start, stop)], start, size)
+        for start, stop in ranges
+    ]
+    try:
+        for _sweep in range(iterations):
+            for colour in (0, 1):
+                boundaries = [worker.boundary_rows() for worker in pool]
+                for index, worker in enumerate(pool):
+                    above = boundaries[index - 1][1] if index > 0 else None
+                    below = (
+                        boundaries[index + 1][0]
+                        if index + 1 < len(pool)
+                        else None
+                    )
+                    worker.set_halo(above, below)
+                for worker in pool:
+                    worker.relax(colour, omega)
+        result: list[list[float]] = []
+        for worker in pool:
+            result.extend(worker.block())
+    finally:
+        for worker in pool:
+            try:
+                worker.parc_release()
+            except ScooppError:
+                pass
+    if len(result) != size:
+        raise ScooppError(
+            f"SOR farm returned {len(result)} rows, expected {size}"
+        )
+    return result

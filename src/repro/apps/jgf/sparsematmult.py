@@ -1,0 +1,146 @@
+"""JGF SparseMatmult: repeated sparse matrix-vector multiplication.
+
+The irregular-access JGF kernel: y += A·x over a random sparse matrix in
+CSR form, iterated.  Rows are independent within one multiplication, so
+the parallel version block-distributes rows; the *iterated* variant
+(y feeding back into x) needs a gather between iterations — a realistic
+bulk-synchronous pattern for the runtime.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.model import parallel
+from repro.core.runtime import new
+from repro.errors import ScooppError
+
+
+def random_sparse_matrix(
+    size: int, nonzeros_per_row: int, seed: int = 7
+) -> tuple[list[int], list[int], list[float]]:
+    """CSR (row_ptr, col_idx, values) with fixed nonzeros per row."""
+    if nonzeros_per_row > size:
+        raise ValueError("more nonzeros than columns")
+    rng = random.Random(seed)
+    row_ptr = [0]
+    col_idx: list[int] = []
+    values: list[float] = []
+    for _row in range(size):
+        columns = sorted(rng.sample(range(size), nonzeros_per_row))
+        col_idx.extend(columns)
+        values.extend(rng.uniform(-1.0, 1.0) for _ in columns)
+        row_ptr.append(len(col_idx))
+    return row_ptr, col_idx, values
+
+
+def _multiply_rows(
+    row_ptr: list[int],
+    col_idx: list[int],
+    values: list[float],
+    x: list[float],
+    start: int,
+    stop: int,
+) -> list[float]:
+    """y[start:stop] of one multiplication."""
+    out = []
+    for row in range(start, stop):
+        total = 0.0
+        for position in range(row_ptr[row], row_ptr[row + 1]):
+            total += values[position] * x[col_idx[position]]
+        out.append(total)
+    return out
+
+
+def sparse_matmult(
+    matrix: tuple[list[int], list[int], list[float]],
+    x: list[float],
+    iterations: int = 1,
+) -> list[float]:
+    """Sequential y = Aⁿ·x (renormalized each step to stay finite)."""
+    row_ptr, col_idx, values = matrix
+    size = len(row_ptr) - 1
+    vector = list(x)
+    for _step in range(iterations):
+        vector = _multiply_rows(row_ptr, col_idx, values, vector, 0, size)
+        vector = _normalize(vector)
+    return vector
+
+
+def _normalize(vector: list[float]) -> list[float]:
+    peak = max(abs(value) for value in vector) or 1.0
+    return [value / peak for value in vector]
+
+
+@parallel(
+    name="jgf.SparseMatmultWorker",
+    async_methods=["load", "set_vector"],
+    sync_methods=["multiply"],
+)
+class SparseMatmultWorker:
+    """Owns rows [start, stop) of the CSR matrix."""
+
+    def __init__(self) -> None:
+        self.matrix = None
+        self.range = (0, 0)
+        self.x: list[float] = []
+
+    def load(self, matrix: tuple, start: int, stop: int) -> None:
+        self.matrix = matrix
+        self.range = (start, stop)
+
+    def set_vector(self, x: list) -> None:
+        self.x = list(x)
+
+    def multiply(self) -> list:
+        row_ptr, col_idx, values = self.matrix
+        start, stop = self.range
+        return _multiply_rows(row_ptr, col_idx, values, self.x, start, stop)
+
+
+def parallel_sparse_matmult(
+    matrix: tuple[list[int], list[int], list[float]],
+    x: list[float],
+    iterations: int = 1,
+    workers: int = 4,
+) -> list[float]:
+    """Row-block parallel Aⁿ·x; requires a live runtime.
+
+    Each iteration: broadcast the vector (async), multiply (sync barrier,
+    returns the block), gather + renormalize at the coordinator.
+    """
+    row_ptr, _col_idx, _values = matrix
+    size = len(row_ptr) - 1
+    if workers < 1:
+        raise ScooppError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, size)
+    base, extra = divmod(size, workers)
+    ranges = []
+    start = 0
+    for index in range(workers):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    pool = [new(SparseMatmultWorker) for _ in ranges]
+    try:
+        for worker, (block_start, block_stop) in zip(pool, ranges):
+            worker.load(matrix, block_start, block_stop)
+        vector = list(x)
+        for _step in range(iterations):
+            for worker in pool:
+                worker.set_vector(vector)
+            gathered: list[float] = []
+            for worker in pool:
+                gathered.extend(worker.multiply())
+            vector = _normalize(gathered)
+    finally:
+        for worker in pool:
+            try:
+                worker.parc_release()
+            except ScooppError:
+                pass
+    if len(vector) != size:
+        raise ScooppError(
+            f"matmult farm returned {len(vector)} rows, expected {size}"
+        )
+    return vector

@@ -1,0 +1,26 @@
+"""Prime workloads: the paper's running example and its sieve benchmark.
+
+* :func:`sieve` — sequential sieve of Eratosthenes, the "prime number
+  sieve" whose Mono-vs-JVM sequential time §4 reports as ≈ equal
+  (integer-heavy code, unlike the FP-heavy ray tracer);
+* :class:`PrimeServer` — the farm-style parallel prime tester of the
+  paper's Figs. 4–7 (the class whose generated PO/IO/factory code the
+  paper shows);
+* :class:`PrimeFilter` + :func:`pipeline_primes` — a parallel-object
+  sieve *pipeline*: each stage holds one prime and forwards survivors,
+  a natural chain of asynchronous method calls (and the workload the
+  aggregation ablation uses — tiny methods, huge call counts).
+"""
+
+from repro.apps.primes.sieve import is_prime, sieve
+from repro.apps.primes.farm import PrimeServer, farm_count_primes
+from repro.apps.primes.pipeline import PrimeFilter, pipeline_primes
+
+__all__ = [
+    "PrimeFilter",
+    "PrimeServer",
+    "farm_count_primes",
+    "is_prime",
+    "pipeline_primes",
+    "sieve",
+]

@@ -1,0 +1,76 @@
+"""PrimeServer: the paper's running example as a worker farm (Figs. 4-7).
+
+The class the paper uses to illustrate every piece of generated code —
+``process(int[] num)`` as the asynchronous method that delegates call,
+aggregation packs, and the per-class factory instantiate.  Here it is as a
+plain ``@parallel`` class plus a farm driver.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.primes.sieve import is_prime
+from repro.core.model import parallel
+from repro.core.runtime import new
+from repro.errors import ScooppError
+
+
+@parallel(
+    name="parc.apps.PrimeServer",
+    async_methods=["process"],
+    sync_methods=["count", "found"],
+)
+class PrimeServer:
+    """Tests batches of candidates, keeping the primes (Fig. 4's class)."""
+
+    def __init__(self) -> None:
+        self.primes: list[int] = []
+        self.tested = 0
+
+    def process(self, num: Sequence[int]) -> None:
+        """Test each candidate in *num* (asynchronous, aggregatable)."""
+        for candidate in num:
+            self.tested += 1
+            if is_prime(candidate):
+                self.primes.append(candidate)
+
+    def count(self) -> int:
+        """Number of primes found so far (synchronous)."""
+        return len(self.primes)
+
+    def found(self) -> list:
+        """The primes found, sorted (synchronous)."""
+        return sorted(self.primes)
+
+
+def farm_count_primes(
+    limit: int, workers: int = 4, batch: int = 64
+) -> int:
+    """Count primes < *limit* with a PrimeServer farm.
+
+    Candidates are dealt to workers in *batch*-sized ``process`` calls —
+    the paper's "array of integers ... sent as the method parameter".
+    Requires a live runtime.
+    """
+    if workers < 1:
+        raise ScooppError(f"workers must be >= 1, got {workers}")
+    servers = [new(PrimeServer) for _ in range(workers)]
+    try:
+        chunk: list[int] = []
+        target = 0
+        for candidate in range(2, limit):
+            chunk.append(candidate)
+            if len(chunk) >= batch:
+                servers[target % workers].process(chunk)
+                chunk = []
+                target += 1
+        if chunk:
+            servers[target % workers].process(chunk)
+        return sum(server.count() for server in servers)
+    finally:
+        for server in servers:
+            try:
+                server.parc_release()
+            except ScooppError:
+                pass

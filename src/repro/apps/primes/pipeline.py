@@ -1,0 +1,77 @@
+"""PrimeFilter pipeline: a chain of parallel objects.
+
+The classic sieve-of-Eratosthenes pipeline: each stage holds one prime and
+forwards candidates that survive it; a candidate that reaches the end of
+the chain is itself prime and starts a new stage.  Every hop is an
+asynchronous parallel-object call carrying almost no work — the perfect
+stress test for **method-call aggregation** (and the workload the ABL-AGG
+ablation measures): without packing, the run costs one message per number
+per stage.
+
+Stages are created *inside* a parallel method (when a new prime is found),
+exercising nested creation and PO-reference passing (§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.model import parallel
+from repro.core.runtime import new
+
+
+@parallel(
+    name="parc.apps.PrimeFilter",
+    async_methods=["feed", "finish"],
+    sync_methods=["chain_primes"],
+)
+class PrimeFilter:
+    """One pipeline stage: holds a prime, forwards survivors."""
+
+    def __init__(self, prime: int) -> None:
+        self.prime = prime
+        self.next_stage = None  # created lazily, on the first survivor
+
+    def feed(self, candidate: int) -> None:
+        """Test *candidate*; forward it or grow the chain (asynchronous)."""
+        if candidate % self.prime == 0:
+            return
+        if self.next_stage is None:
+            self.next_stage = new(PrimeFilter, candidate)
+        else:
+            self.next_stage.feed(candidate)
+
+    def finish(self) -> None:
+        """Propagate end-of-stream down the chain (asynchronous)."""
+        if self.next_stage is not None:
+            self.next_stage.finish()
+
+    def chain_primes(self) -> list:
+        """This stage's prime plus everything downstream (synchronous).
+
+        Walking the chain through synchronous calls also acts as the
+        barrier: each stage's pending asynchronous feeds are flushed
+        before it reports.
+        """
+        primes = [self.prime]
+        if self.next_stage is not None:
+            primes.extend(self.next_stage.chain_primes())
+        return primes
+
+
+def pipeline_primes(limit: int) -> list[int]:
+    """All primes <= *limit* through a PrimeFilter pipeline.
+
+    Requires a live runtime.  The chain grows one parallel object per
+    prime; with an adaptive grain controller the runtime agglomerates the
+    tiny stages (they are exactly the "excess of parallelism" §3.1's
+    run-time packing exists to remove).
+    """
+    if limit < 2:
+        return []
+    head = new(PrimeFilter, 2)
+    try:
+        for candidate in range(3, limit + 1):
+            head.feed(candidate)
+        head.finish()
+        return head.chain_primes()
+    finally:
+        head.parc_release()

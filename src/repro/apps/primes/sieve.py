@@ -1,0 +1,43 @@
+"""Sequential prime sieve (the integer benchmark of §4).
+
+"Running another application, a prime number sieve, the Mono execution
+time is about the same as the JVM" — integer array work exercises a VM
+very differently from FP-heavy ray tracing, which is why the platform
+models carry separate int/float compute scales.
+"""
+
+from __future__ import annotations
+
+
+def sieve(limit: int) -> list[int]:
+    """All primes <= *limit* by the sieve of Eratosthenes."""
+    if limit < 2:
+        return []
+    composite = bytearray(limit + 1)
+    primes: list[int] = []
+    for candidate in range(2, limit + 1):
+        if composite[candidate]:
+            continue
+        primes.append(candidate)
+        start = candidate * candidate
+        if start <= limit:
+            composite[start :: candidate] = b"\x01" * len(
+                range(start, limit + 1, candidate)
+            )
+    return primes
+
+
+def is_prime(n: int) -> bool:
+    """Trial-division primality test (the per-call work of PrimeServer)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 2
+    return True

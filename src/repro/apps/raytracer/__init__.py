@@ -1,0 +1,39 @@
+"""Java-Grande-style ray tracer (the paper's high-level benchmark, §4).
+
+A Whitted-style recursive ray tracer over a grid of reflective spheres —
+the scene structure of the Java Grande Forum ``raytracer`` benchmark the
+paper converted to C#.  The paper renders 500×500; the pure-Python
+reproduction defaults to smaller frames and scales (see EXPERIMENTS.md).
+
+Public surface:
+
+* :func:`create_scene` — the JGF sphere-grid scene;
+* :func:`render` / :func:`render_lines` — sequential rendering;
+* :func:`checksum` — JGF-style validation checksum of a rendered image;
+* :class:`RenderWorker` + :func:`farm_render` — the ParC# farm
+  parallelisation ("each worker renders several lines");
+* :func:`rmi_farm_render` — the same farm over the Java RMI analog, the
+  Fig. 9 comparison partner.
+"""
+
+from repro.apps.raytracer.scene import Camera, Light, Scene, Sphere, create_scene
+from repro.apps.raytracer.tracer import checksum, render, render_line, render_lines
+from repro.apps.raytracer.parallel import RenderWorker, farm_render
+from repro.apps.raytracer.rmi_farm import rmi_farm_render
+from repro.apps.raytracer.mpi_farm import mpi_farm_render
+
+__all__ = [
+    "Camera",
+    "Light",
+    "RenderWorker",
+    "Scene",
+    "Sphere",
+    "checksum",
+    "create_scene",
+    "farm_render",
+    "mpi_farm_render",
+    "render",
+    "render_line",
+    "render_lines",
+    "rmi_farm_render",
+]

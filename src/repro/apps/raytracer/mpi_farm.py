@@ -1,0 +1,99 @@
+"""MPI farm parallelisation of the ray tracer (the §2 contrast, embodied).
+
+The paper's §2 argues the CSP/message-passing model fits object-oriented
+applications poorly: "MPI requires explicit packing and unpacking of
+messages".  This module is that argument in code — the *same* line farm as
+:func:`~repro.apps.raytracer.parallel.farm_render`, written the MPI way:
+
+* rank 0 is the master, ranks 1..n-1 render;
+* work requests, line data, and results are hand-packed with
+  :class:`~repro.mpi.PackBuffer` / :class:`~repro.mpi.UnpackBuffer` —
+  method names become integer tags, arguments become typed runs;
+* self-scheduling via explicit request/response message pairs.
+
+Compare the line count and the failure modes with the ParC# version's
+two-method parallel class.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.apps.raytracer.scene import create_scene
+from repro.apps.raytracer.tracer import render_line
+from repro.errors import MpiError
+from repro.mpi import INT, PackBuffer, UnpackBuffer, run_mpi
+
+# Message tags: the hand-rolled "method table" of a message-passing farm.
+TAG_REQUEST = 1  # worker -> master: give me work
+TAG_WORK = 2  # master -> worker: line index (or -1 = stop)
+TAG_RESULT = 3  # worker -> master: packed line pixels
+
+
+def _master(comm, width: int, height: int) -> list[array]:
+    image: list[array | None] = [None] * height
+    next_line = 0
+    stopped = 0
+    workers = comm.size - 1
+    if workers == 0:
+        raise MpiError("MPI farm needs at least 2 ranks (master + worker)")
+    while stopped < workers:
+        payload, status = comm.recv(tag=TAG_REQUEST)
+        unpacker = UnpackBuffer(payload)
+        completed_line = unpacker.unpack(INT)
+        if completed_line >= 0:
+            result_payload, _result_status = comm.recv(
+                source=status.source, tag=TAG_RESULT
+            )
+            pixels = array("i")
+            pixels.frombytes(result_payload)
+            image[completed_line] = pixels
+        if next_line < height:
+            work = PackBuffer().pack(next_line, INT)
+            next_line += 1
+        else:
+            work = PackBuffer().pack(-1, INT)
+            stopped += 1
+        comm.send(work.getvalue(), dest=status.source, tag=TAG_WORK)
+    missing = [y for y, line in enumerate(image) if line is None]
+    if missing:
+        raise MpiError(f"MPI farm lost lines {missing[:5]} of {height}")
+    return image  # type: ignore[return-value]
+
+
+def _worker(comm, width: int, height: int, grid: int) -> None:
+    scene = create_scene(grid)
+    completed = -1
+    pending: bytes | None = None
+    while True:
+        request = PackBuffer().pack(completed, INT)
+        comm.send(request.getvalue(), dest=0, tag=TAG_REQUEST)
+        if pending is not None:
+            # The pixels of the line we just finished travel separately —
+            # a raw contiguous buffer, as MPI wants it.
+            comm.send(pending, dest=0, tag=TAG_RESULT)
+            pending = None
+        payload, _status = comm.recv(source=0, tag=TAG_WORK)
+        line_index = UnpackBuffer(payload).unpack(INT)
+        if line_index < 0:
+            return
+        pixels = render_line(scene, line_index, width, height)
+        pending = pixels.tobytes()
+        completed = line_index
+
+
+def mpi_farm_render(
+    processors: int, width: int, height: int, grid: int = 2
+) -> list[array]:
+    """Render with an MPI master/worker farm of *processors* workers."""
+    if processors < 1:
+        raise ValueError(f"processors must be >= 1, got {processors}")
+
+    def main(comm):  # type: ignore[no-untyped-def]
+        if comm.rank == 0:
+            return _master(comm, width, height)
+        _worker(comm, width, height, grid)
+        return None
+
+    results = run_mpi(processors + 1, main)
+    return results[0]

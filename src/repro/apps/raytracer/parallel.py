@@ -1,0 +1,89 @@
+"""ParC# farm parallelisation of the ray tracer (Fig. 9, left curve).
+
+"This application was parallelised using a farming approach, where each
+worker renders several lines from the generated image" (§4).  Each worker
+is a parallel object; chunk dispatch uses the asynchronous path (and
+therefore benefits from method-call aggregation when enabled), collection
+is one synchronous call per worker, which also acts as the barrier.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Sequence
+
+from repro.apps.raytracer.scene import create_scene
+from repro.apps.raytracer.tracer import render_lines
+from repro.core.model import parallel
+from repro.core.runtime import new
+from repro.errors import ScooppError
+
+
+@parallel(name="parc.apps.RenderWorker", async_methods=["render_chunk"], sync_methods=["collect"])
+class RenderWorker:
+    """One farm worker: owns a scene copy, renders requested lines.
+
+    The scene is rebuilt from its parameters on the worker's node rather
+    than serialized — the paper's workers likewise each hold the scene.
+    """
+
+    def __init__(self, grid: int, width: int, height: int) -> None:
+        self.scene = create_scene(grid)
+        self.width = width
+        self.height = height
+        self.results: list[tuple[int, array]] = []
+
+    def render_chunk(self, ys: Sequence[int]) -> None:
+        """Render lines *ys* and keep them for collection (asynchronous)."""
+        self.results.extend(
+            render_lines(self.scene, list(ys), self.width, self.height)
+        )
+
+    def collect(self) -> list:
+        """Return accumulated (y, pixels) pairs (synchronous barrier)."""
+        return self.results
+
+
+def make_chunks(height: int, lines_per_chunk: int) -> list[list[int]]:
+    """Split image lines into contiguous chunks of *lines_per_chunk*."""
+    if lines_per_chunk < 1:
+        raise ValueError(f"lines_per_chunk must be >= 1, got {lines_per_chunk}")
+    return [
+        list(range(start, min(start + lines_per_chunk, height)))
+        for start in range(0, height, lines_per_chunk)
+    ]
+
+
+def farm_render(
+    processors: int,
+    width: int,
+    height: int,
+    grid: int = 2,
+    lines_per_chunk: int = 4,
+) -> list[array]:
+    """Render the image with a *processors*-worker ParC# farm.
+
+    Requires a live runtime (``repro.core.init``).  Returns the image as
+    a list of lines; the caller can verify it against the sequential
+    render with :func:`~repro.apps.raytracer.tracer.checksum`.
+    """
+    if processors < 1:
+        raise ValueError(f"processors must be >= 1, got {processors}")
+    workers = [new(RenderWorker, grid, width, height) for _ in range(processors)]
+    try:
+        for index, chunk in enumerate(make_chunks(height, lines_per_chunk)):
+            workers[index % processors].render_chunk(chunk)
+        image: list[array | None] = [None] * height
+        for worker in workers:
+            for y, line in worker.collect():
+                image[y] = line
+    finally:
+        for worker in workers:
+            try:
+                worker.parc_release()
+            except ScooppError:
+                pass
+    missing = [y for y, line in enumerate(image) if line is None]
+    if missing:
+        raise ScooppError(f"farm lost lines {missing[:5]}... of {height}")
+    return image  # type: ignore[return-value]

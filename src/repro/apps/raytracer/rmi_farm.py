@@ -1,0 +1,116 @@
+"""Java RMI farm parallelisation of the ray tracer (Fig. 9, right curve).
+
+The comparison partner: the same line-farming structure implemented the
+Java way — remote interface, exported workers, a name registry, and
+client-side threads for concurrency ("in Java, a similar functionality
+must be explicitly programmed using threads", §2).
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from typing import Sequence
+
+from repro.apps.raytracer.parallel import make_chunks
+from repro.apps.raytracer.scene import create_scene
+from repro.apps.raytracer.tracer import render_lines
+from repro.errors import RemoteException
+from repro.rmi import Naming, Remote, UnicastRemoteObject, remote_method
+from repro.rmi.registry import LocateRegistry
+
+
+class IRenderWorker(Remote):
+    """Remote farm-worker interface (Fig. 1 discipline)."""
+
+    @remote_method
+    def render_chunk(self, ys: Sequence[int]) -> list:
+        """Render lines *ys*; returns (y, pixels) pairs."""
+        raise NotImplementedError
+
+
+class RenderWorkerServer(UnicastRemoteObject, IRenderWorker):
+    """Exported worker holding its own scene copy."""
+
+    def __init__(self, grid: int, width: int, height: int, runtime=None) -> None:
+        super().__init__(runtime=runtime)
+        self.scene = create_scene(grid)
+        self.width = width
+        self.height = height
+
+    def render_chunk(self, ys: Sequence[int]) -> list:
+        return render_lines(self.scene, list(ys), self.width, self.height)
+
+
+def rmi_farm_render(
+    processors: int,
+    width: int,
+    height: int,
+    grid: int = 2,
+    lines_per_chunk: int = 4,
+) -> list[array]:
+    """Render with an RMI worker farm; self-contained (boots a registry).
+
+    One client thread per worker pulls chunks from a shared queue and
+    calls the worker's stub synchronously — RMI's only invocation mode.
+    """
+    if processors < 1:
+        raise ValueError(f"processors must be >= 1, got {processors}")
+    registry_runtime, _registry = LocateRegistry.create_registry()
+    endpoint = registry_runtime.endpoint
+    workers = []
+    try:
+        for index in range(processors):
+            worker = RenderWorkerServer(grid, width, height)
+            Naming.rebind(f"rmi://{endpoint}/worker{index}", worker)
+            workers.append(worker)
+        stubs = [
+            Naming.lookup(f"rmi://{endpoint}/worker{index}", IRenderWorker)
+            for index in range(processors)
+        ]
+        chunks = make_chunks(height, lines_per_chunk)
+        chunk_lock = threading.Lock()
+        next_chunk = 0
+        image: list[array | None] = [None] * height
+        image_lock = threading.Lock()
+        failures: list[BaseException] = []
+
+        def drive(stub) -> None:  # type: ignore[no-untyped-def]
+            nonlocal next_chunk
+            while True:
+                with chunk_lock:
+                    if next_chunk >= len(chunks) or failures:
+                        return
+                    chunk = chunks[next_chunk]
+                    next_chunk += 1
+                try:
+                    lines = stub.render_chunk(chunk)
+                except RemoteException as exc:
+                    with chunk_lock:
+                        failures.append(exc)
+                    return
+                with image_lock:
+                    for y, pixels in lines:
+                        image[y] = pixels
+
+        threads = [
+            threading.Thread(target=drive, args=(stub,), daemon=True)
+            for stub in stubs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+    finally:
+        registry_runtime.close()
+        from repro.rmi.runtime import default_runtime
+
+        runtime = default_runtime()
+        for worker in workers:
+            runtime.unexport(worker)
+    missing = [y for y, line in enumerate(image) if line is None]
+    if missing:
+        raise RemoteException(f"farm lost lines {missing[:5]}... of {height}")
+    return image  # type: ignore[return-value]

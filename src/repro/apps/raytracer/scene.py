@@ -1,0 +1,167 @@
+"""Scene model: spheres, lights, camera, and the JGF sphere-grid scene.
+
+Vectors are plain ``(x, y, z)`` tuples manipulated by free functions —
+pure-Python ray tracing is arithmetic-bound and tuples beat objects by a
+wide margin, which matters because the sequential time of this very code
+is one of the paper's measurements (TAB-SEQ).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+Vec = tuple[float, float, float]
+
+
+def vadd(a: Vec, b: Vec) -> Vec:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def vsub(a: Vec, b: Vec) -> Vec:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def vscale(a: Vec, s: float) -> Vec:
+    return (a[0] * s, a[1] * s, a[2] * s)
+
+
+def vdot(a: Vec, b: Vec) -> float:
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+def vmul(a: Vec, b: Vec) -> Vec:
+    """Componentwise product (colour filtering)."""
+    return (a[0] * b[0], a[1] * b[1], a[2] * b[2])
+
+
+def vcross(a: Vec, b: Vec) -> Vec:
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def vnorm(a: Vec) -> Vec:
+    length = math.sqrt(vdot(a, a))
+    if length == 0.0:
+        return (0.0, 0.0, 0.0)
+    inv = 1.0 / length
+    return (a[0] * inv, a[1] * inv, a[2] * inv)
+
+
+@dataclass(frozen=True)
+class Sphere:
+    """One scene sphere with Phong material parameters."""
+
+    center: Vec
+    radius: float
+    color: Vec = (1.0, 1.0, 1.0)
+    kd: float = 0.8  # diffuse coefficient
+    ks: float = 0.3  # specular coefficient
+    shine: float = 15.0  # Phong exponent
+    kr: float = 0.3  # reflectance
+
+    def intersect(self, origin: Vec, direction: Vec) -> float | None:
+        """Smallest positive ray parameter t, or None if missed."""
+        oc = vsub(origin, self.center)
+        b = 2.0 * vdot(oc, direction)
+        c = vdot(oc, oc) - self.radius * self.radius
+        disc = b * b - 4.0 * c  # direction is unit: a == 1
+        if disc < 0.0:
+            return None
+        sqrt_disc = math.sqrt(disc)
+        t = (-b - sqrt_disc) * 0.5
+        if t > 1e-6:
+            return t
+        t = (-b + sqrt_disc) * 0.5
+        if t > 1e-6:
+            return t
+        return None
+
+    def normal_at(self, point: Vec) -> Vec:
+        return vnorm(vsub(point, self.center))
+
+
+@dataclass(frozen=True)
+class Light:
+    """Point light source."""
+
+    position: Vec
+    brightness: float = 1.0
+
+
+@dataclass(frozen=True)
+class Camera:
+    """Pinhole camera: position + view frame."""
+
+    position: Vec = (0.0, 0.0, -10.0)
+    look_at: Vec = (0.0, 0.0, 0.0)
+    up: Vec = (0.0, 1.0, 0.0)
+    fov_degrees: float = 40.0
+
+    def ray_direction(self, u: float, v: float) -> Vec:
+        """Unit ray direction for normalized screen coords in [-1, 1]."""
+        forward = vnorm(vsub(self.look_at, self.position))
+        right = vnorm(vcross(forward, self.up))
+        true_up = vcross(right, forward)
+        half = math.tan(math.radians(self.fov_degrees) * 0.5)
+        direction = vadd(
+            forward,
+            vadd(vscale(right, u * half), vscale(true_up, v * half)),
+        )
+        return vnorm(direction)
+
+
+@dataclass
+class Scene:
+    """Spheres + lights + camera + ambient term."""
+
+    spheres: list[Sphere] = field(default_factory=list)
+    lights: list[Light] = field(default_factory=list)
+    camera: Camera = field(default_factory=Camera)
+    ambient: float = 0.15
+    background: Vec = (0.05, 0.05, 0.08)
+    max_depth: int = 2
+
+
+def create_scene(grid: int = 4) -> Scene:
+    """The JGF benchmark scene: a ``grid³`` lattice of reflective spheres.
+
+    ``grid=4`` gives the canonical 64 spheres; tests use ``grid=2`` (8
+    spheres) to keep pure-Python runtimes short.
+    """
+    if grid < 1:
+        raise ValueError(f"grid must be >= 1, got {grid}")
+    spheres: list[Sphere] = []
+    spacing = 4.0 / max(grid - 1, 1)
+    palette = [
+        (0.9, 0.3, 0.25),
+        (0.3, 0.85, 0.35),
+        (0.3, 0.45, 0.9),
+        (0.9, 0.85, 0.3),
+        (0.8, 0.35, 0.85),
+        (0.35, 0.85, 0.85),
+    ]
+    index = 0
+    for i in range(grid):
+        for j in range(grid):
+            for k in range(grid):
+                center = (
+                    -2.0 + i * spacing,
+                    -2.0 + j * spacing,
+                    -1.0 + k * spacing,
+                )
+                spheres.append(
+                    Sphere(
+                        center=center,
+                        radius=0.45 * spacing / 2.0 + 0.25,
+                        color=palette[index % len(palette)],
+                    )
+                )
+                index += 1
+    lights = [
+        Light(position=(-6.0, 6.0, -8.0), brightness=0.9),
+        Light(position=(6.0, 3.0, -6.0), brightness=0.5),
+    ]
+    return Scene(spheres=spheres, lights=lights)

@@ -1,0 +1,128 @@
+"""Sequential renderer: Whitted-style recursive ray tracing by lines.
+
+The unit of work is one image **line** — the farm's work item ("each
+worker renders several lines from the generated image", §4).  Pixels are
+returned as packed 24-bit RGB ints, and :func:`checksum` folds an image to
+one integer for JGF-style validation (the parallel versions must produce
+*exactly* the sequential checksum).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Sequence
+
+from repro.apps.raytracer.scene import (
+    Scene,
+    Sphere,
+    Vec,
+    vadd,
+    vdot,
+    vmul,
+    vnorm,
+    vscale,
+    vsub,
+)
+
+
+def _closest_hit(
+    scene: Scene, origin: Vec, direction: Vec
+) -> tuple[Sphere, float] | None:
+    best: tuple[Sphere, float] | None = None
+    for sphere in scene.spheres:
+        t = sphere.intersect(origin, direction)
+        if t is not None and (best is None or t < best[1]):
+            best = (sphere, t)
+    return best
+
+
+def _shadowed(scene: Scene, point: Vec, to_light: Vec, light_dist: float) -> bool:
+    for sphere in scene.spheres:
+        t = sphere.intersect(point, to_light)
+        if t is not None and t < light_dist:
+            return True
+    return False
+
+
+def trace_ray(scene: Scene, origin: Vec, direction: Vec, depth: int) -> Vec:
+    """Radiance along one ray (recursive up to ``scene.max_depth``)."""
+    hit = _closest_hit(scene, origin, direction)
+    if hit is None:
+        return scene.background
+    sphere, t = hit
+    point = vadd(origin, vscale(direction, t))
+    normal = sphere.normal_at(point)
+    if vdot(normal, direction) > 0.0:
+        normal = vscale(normal, -1.0)
+    color = vscale(sphere.color, scene.ambient)
+    for light in scene.lights:
+        offset = vsub(light.position, point)
+        light_dist_sq = vdot(offset, offset)
+        to_light = vnorm(offset)
+        if _shadowed(scene, point, to_light, light_dist_sq ** 0.5):
+            continue
+        diffuse = vdot(normal, to_light)
+        if diffuse > 0.0:
+            color = vadd(
+                color,
+                vscale(sphere.color, sphere.kd * diffuse * light.brightness),
+            )
+        # Phong specular highlight.
+        reflect = vsub(vscale(normal, 2.0 * vdot(normal, to_light)), to_light)
+        spec = -vdot(reflect, direction)
+        if spec > 0.0:
+            color = vadd(
+                color,
+                vscale(
+                    (1.0, 1.0, 1.0),
+                    sphere.ks * (spec ** sphere.shine) * light.brightness,
+                ),
+            )
+    if depth < scene.max_depth and sphere.kr > 0.0:
+        bounce = vsub(direction, vscale(normal, 2.0 * vdot(normal, direction)))
+        reflected = trace_ray(scene, point, vnorm(bounce), depth + 1)
+        color = vadd(color, vmul(vscale(reflected, sphere.kr), sphere.color))
+    return color
+
+
+def _pack(color: Vec) -> int:
+    r = min(255, max(0, int(color[0] * 255.0)))
+    g = min(255, max(0, int(color[1] * 255.0)))
+    b = min(255, max(0, int(color[2] * 255.0)))
+    return (r << 16) | (g << 8) | b
+
+
+def render_line(scene: Scene, y: int, width: int, height: int) -> array:
+    """Render image line *y*; returns packed RGB ints ('i' array)."""
+    if not 0 <= y < height:
+        raise ValueError(f"line {y} outside image of height {height}")
+    pixels = array("i", bytes(4 * width))
+    v = 1.0 - 2.0 * (y + 0.5) / height
+    camera = scene.camera
+    origin = camera.position
+    for x in range(width):
+        u = 2.0 * (x + 0.5) / width - 1.0
+        direction = camera.ray_direction(u, v)
+        pixels[x] = _pack(trace_ray(scene, origin, direction, 0))
+    return pixels
+
+
+def render_lines(
+    scene: Scene, ys: Sequence[int], width: int, height: int
+) -> list[tuple[int, array]]:
+    """Render several lines (a farm work chunk); (y, pixels) pairs."""
+    return [(y, render_line(scene, y, width, height)) for y in ys]
+
+
+def render(scene: Scene, width: int, height: int) -> list[array]:
+    """Full sequential render: list of lines, index = y."""
+    return [render_line(scene, y, width, height) for y in range(height)]
+
+
+def checksum(image: Sequence[array]) -> int:
+    """JGF-style validation checksum over all pixels."""
+    total = 0
+    for line in image:
+        for pixel in line:
+            total = (total + pixel) & 0xFFFFFFFF
+    return total

@@ -1,0 +1,48 @@
+"""Benchmark support: ping-pong drivers, farm simulation, table formatting.
+
+The figure benchmarks combine two honest ingredients:
+
+1. **real protocol bytes** — each stack's messages are actually encoded by
+   its real formatter/envelope code, so the binary-vs-SOAP-vs-raw-buffer
+   overhead ratios are measured, not assumed;
+2. **modeled network cost** — the paper's own latency/bandwidth constants
+   (:mod:`repro.perfmodel`), because the paper's 2005 cluster cannot be
+   re-run.
+
+Live drivers (:mod:`repro.benchlib.pingpong`) also run the full stacks
+over real localhost sockets for functional validation and relative
+ordering on today's hardware.
+"""
+
+from repro.benchlib.pingpong import (
+    live_pingpong_mpi,
+    live_pingpong_nio,
+    live_pingpong_remoting,
+    live_pingpong_rmi,
+    message_bytes_mpi,
+    message_bytes_nio,
+    message_bytes_remoting,
+    message_bytes_rmi,
+    modeled_bandwidth_from_bytes,
+    modeled_time_from_bytes,
+)
+from repro.benchlib.farmsim import FarmResult, simulate_farm, fig9_curve
+from repro.benchlib.tables import format_table, log_sizes
+
+__all__ = [
+    "FarmResult",
+    "fig9_curve",
+    "format_table",
+    "live_pingpong_mpi",
+    "live_pingpong_nio",
+    "live_pingpong_remoting",
+    "live_pingpong_rmi",
+    "log_sizes",
+    "message_bytes_mpi",
+    "message_bytes_nio",
+    "message_bytes_remoting",
+    "message_bytes_rmi",
+    "modeled_bandwidth_from_bytes",
+    "modeled_time_from_bytes",
+    "simulate_farm",
+]

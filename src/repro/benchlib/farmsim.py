@@ -1,0 +1,156 @@
+"""Farm simulator: regenerates Fig. 9's execution-time curves.
+
+A deterministic event simulation of the paper's line-farming ray tracer:
+a master deals chunks of image lines to ``p`` workers; each transfer costs
+the platform model's latency + bytes/bandwidth (the master's NIC is a
+serial resource); each chunk costs its compute time scaled by the
+platform's sequential factor; at most ``pool_limit`` chunks may be in
+flight (the Mono thread-pool throttling §4 blames: "limiting the number of
+running threads in parallel applications reduces the overlap among
+computation and communication and also produces starvation in some
+application threads").
+
+Both Fig. 9 curves come from one simulator with different platform
+presets — exactly how the paper's two implementations differ.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.perfmodel.network import transfer_time
+from repro.perfmodel.platforms import PlatformModel
+
+#: Seconds between pool-thread injections for a capped thread pool
+#: (mirrors the .Net/Mono thread-pool growth heuristic of the era).
+THREAD_INJECTION_S = 0.5
+
+
+@dataclass(frozen=True)
+class FarmResult:
+    """Outcome of one simulated farm run."""
+
+    makespan_s: float
+    chunks: int
+    workers: int
+    per_worker_busy_s: tuple[float, ...]
+
+    @property
+    def efficiency(self) -> float:
+        """Busy time / (makespan × workers): 1.0 = perfect scaling."""
+        if self.makespan_s <= 0:
+            return 1.0
+        return sum(self.per_worker_busy_s) / (self.makespan_s * self.workers)
+
+
+def simulate_farm(
+    workers: int,
+    chunk_compute_s: list[float],
+    model: PlatformModel,
+    chunk_out_bytes: float,
+    chunk_back_bytes: float,
+    pool_limit: int | None = None,
+) -> FarmResult:
+    """Simulate a self-scheduling farm; returns makespan and busy times.
+
+    Event structure per chunk: the master serializes sends on its NIC
+    (``nic_free``); the chunk starts computing on its worker when both the
+    transfer arrives and the worker is free; the result transfer completes
+    the chunk.  ``pool_limit`` caps chunks dispatched-but-not-completed.
+    """
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if not chunk_compute_s:
+        return FarmResult(0.0, 0, workers, tuple([0.0] * workers))
+
+    send_s = transfer_time(model, chunk_out_bytes)
+    back_s = transfer_time(model, chunk_back_bytes)
+
+    worker_free = [0.0] * workers
+    busy = [0.0] * workers
+    nic_free = 0.0
+    # Completion heap of in-flight chunks: (finish time, worker index).
+    in_flight: list[tuple[float, int]] = []
+    makespan = 0.0
+
+    def window_at(now: float) -> int:
+        """Dispatch window: pool threads available at time *now*.
+
+        A capped pool starts with ``pool_limit`` threads and injects one
+        more every ``thread_injection_s`` — the slow ramp-up behind the
+        starvation §4 describes.  An uncapped pool admits every worker.
+        """
+        if pool_limit is None:
+            return workers
+        grown = pool_limit + int(now / THREAD_INJECTION_S)
+        return max(1, min(workers, grown))
+
+    for compute_s in chunk_compute_s:
+        # Respect the dispatch window (thread-pool throttling).
+        while len(in_flight) >= window_at(nic_free):
+            finish, _worker = heapq.heappop(in_flight)
+            nic_free = max(nic_free, finish)
+        # Self-scheduling: next chunk goes to the earliest-free worker.
+        target = min(range(workers), key=worker_free.__getitem__)
+        send_start = max(nic_free, worker_free[target])
+        nic_free = send_start + send_s
+        compute_start = max(send_start + send_s, worker_free[target])
+        scaled = compute_s * model.compute_scale_float
+        compute_end = compute_start + scaled
+        finish = compute_end + back_s
+        worker_free[target] = finish
+        busy[target] += scaled
+        heapq.heappush(in_flight, (finish, target))
+        makespan = max(makespan, finish)
+
+    return FarmResult(
+        makespan_s=makespan,
+        chunks=len(chunk_compute_s),
+        workers=workers,
+        per_worker_busy_s=tuple(busy),
+    )
+
+
+def fig9_curve(
+    model: PlatformModel,
+    processors: list[int],
+    width: int = 500,
+    height: int = 500,
+    per_line_s: float = 0.17,
+    lines_per_chunk: int = 10,
+    pool_limit: int | None = None,
+) -> list[tuple[int, float]]:
+    """Execution time vs processor count for the Fig. 9 ray tracer.
+
+    ``per_line_s`` is the JVM-baseline sequential cost of one 500-pixel
+    line (the paper's Java curve starts near 85 s at one processor:
+    85/500 = 0.17 s/line); platform scaling comes from *model*.
+    ``pool_limit`` defaults to the model's ``thread_pool_limit``.
+    """
+    if pool_limit is None:
+        pool_limit = model.thread_pool_limit
+    chunk_bytes = 4.0 * width * lines_per_chunk  # packed RGB ints back
+    request_bytes = 64.0 + 8.0 * lines_per_chunk  # line indices out
+    chunks = []
+    full, rest = divmod(height, lines_per_chunk)
+    chunks.extend([per_line_s * lines_per_chunk] * full)
+    if rest:
+        chunks.append(per_line_s * rest)
+    curve = []
+    for p in processors:
+        if p == 1:
+            # Sequential execution: no farm, no communication.
+            curve.append((p, per_line_s * height * model.compute_scale_float))
+            continue
+        result = simulate_farm(
+            workers=p,
+            chunk_compute_s=chunks,
+            model=model,
+            chunk_out_bytes=request_bytes,
+            chunk_back_bytes=chunk_bytes,
+            pool_limit=pool_limit,
+        )
+        curve.append((p, result.makespan_s))
+    return curve

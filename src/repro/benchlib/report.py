@@ -1,0 +1,199 @@
+"""One-shot evaluation report: every §4 figure/table on stdout.
+
+Usage::
+
+    python -m repro.benchlib.report            # all experiments
+    python -m repro.benchlib.report fig8a fig9 # a subset
+
+This is the human-friendly companion to ``pytest benchmarks/`` — the same
+drivers and models, no assertions, just the paper-style tables.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.benchlib.pingpong import (
+    message_bytes_mpi,
+    message_bytes_remoting,
+    message_bytes_rmi,
+    modeled_bandwidth_from_bytes,
+)
+from repro.benchlib.farmsim import fig9_curve, simulate_farm
+from repro.benchlib.tables import format_table, human_bytes, log_sizes
+from repro.perfmodel import (
+    JAVA_NIO,
+    JAVA_RMI,
+    MONO_105_TCP,
+    MONO_117_HTTP,
+    MONO_117_TCP,
+    MPI_MPICH,
+    MS_NET,
+)
+from repro.perfmodel.platforms import SUN_JVM
+from repro.serialization import BinaryFormatter, SoapFormatter
+
+MB = 1024.0 * 1024.0
+SIZES = log_sizes(1, 1024 * 1024, per_decade=2)
+
+
+def _bandwidth_row(model, measure, size, formatter=None):  # type: ignore[no-untyped-def]
+    n_ints = max(1, size // 4)
+    payload = 4 * n_ints
+    if formatter is None:
+        request, response = measure(n_ints)
+    else:
+        request, response = measure(n_ints, formatter)
+    return modeled_bandwidth_from_bytes(model, payload, request, response) / MB
+
+
+def report_fig8a() -> str:
+    rows = []
+    for size in SIZES:
+        rows.append(
+            [
+                human_bytes(4 * max(1, size // 4)),
+                round(_bandwidth_row(MPI_MPICH, message_bytes_mpi, size), 3),
+                round(_bandwidth_row(JAVA_RMI, message_bytes_rmi, size), 3),
+                round(
+                    _bandwidth_row(MONO_117_TCP, message_bytes_remoting, size),
+                    3,
+                ),
+            ]
+        )
+    return format_table(
+        ["message", "MPI MB/s", "Java RMI MB/s", "Mono MB/s"],
+        rows,
+        title="Fig. 8a — inter-node bandwidth: Mono versus other",
+    )
+
+
+def report_fig8b() -> str:
+    rows = []
+    for size in SIZES:
+        rows.append(
+            [
+                human_bytes(4 * max(1, size // 4)),
+                round(
+                    _bandwidth_row(
+                        MONO_117_TCP, message_bytes_remoting, size,
+                        BinaryFormatter(),
+                    ),
+                    4,
+                ),
+                round(
+                    _bandwidth_row(
+                        MONO_105_TCP, message_bytes_remoting, size,
+                        BinaryFormatter(),
+                    ),
+                    4,
+                ),
+                round(
+                    _bandwidth_row(
+                        MONO_117_HTTP, message_bytes_remoting, size,
+                        SoapFormatter(),
+                    ),
+                    4,
+                ),
+            ]
+        )
+    return format_table(
+        ["message", "1.1.7 Tcp", "1.0.5 Tcp", "1.1.7 Http"],
+        rows,
+        title="Fig. 8b — bandwidth across Mono implementations (MB/s)",
+    )
+
+
+def report_latency() -> str:
+    rows = [
+        [model.name, round(model.one_way_latency_s * 1e6, 1)]
+        for model in (MPI_MPICH, JAVA_RMI, JAVA_NIO, MONO_117_TCP)
+    ]
+    return format_table(
+        ["platform", "one-way latency (us)"],
+        rows,
+        title="TAB-LAT — inter-node latency (paper: 100 / 273 / ~ / 520 us)",
+    )
+
+
+def report_fig9() -> str:
+    processors = [1, 2, 3, 4, 5, 6]
+    parc_curve = dict(fig9_curve(MONO_117_TCP, processors))
+    java_curve = dict(fig9_curve(JAVA_RMI, processors))
+    rows = [
+        [
+            p,
+            round(parc_curve[p], 1),
+            round(java_curve[p], 1),
+            round(parc_curve[p] / java_curve[p], 2),
+        ]
+        for p in processors
+    ]
+    return format_table(
+        ["processors", "ParC# (s)", "Java RMI (s)", "ratio"],
+        rows,
+        title="Fig. 9 — parallel ray tracer execution time (500x500)",
+    )
+
+
+def report_sequential() -> str:
+    rows = [
+        [model.name, model.compute_scale_float, model.compute_scale_int]
+        for model in (SUN_JVM, MS_NET, MONO_117_TCP)
+    ]
+    return format_table(
+        ["virtual machine", "float scale (ray tracer)", "int scale (sieve)"],
+        rows,
+        title="TAB-SEQ / TAB-SIEVE — sequential scale factors vs the JVM",
+    )
+
+
+def report_pool() -> str:
+    chunks = [1.7] * 50
+    model = MONO_117_TCP.with_overrides(thread_pool_limit=None)
+    rows = []
+    for cap in (1, 2, 4, 6, None):
+        result = simulate_farm(6, chunks, model, 144.0, 20000.0, pool_limit=cap)
+        rows.append(
+            [
+                "uncapped" if cap is None else cap,
+                round(result.makespan_s, 2),
+                round(result.efficiency, 3),
+            ]
+        )
+    return format_table(
+        ["pool cap", "makespan (s)", "efficiency"],
+        rows,
+        title="ABL-POOL — thread-pool throttling (Fig. 9 farm, 6 workers)",
+    )
+
+
+REPORTS = {
+    "fig8a": report_fig8a,
+    "fig8b": report_fig8b,
+    "latency": report_latency,
+    "fig9": report_fig9,
+    "sequential": report_sequential,
+    "pool": report_pool,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if any(arg in ("-h", "--help") for arg in args):
+        print(f"usage: python -m repro.benchlib.report [{' '.join(REPORTS)}]")
+        return 2
+    selected = args or list(REPORTS)
+    unknown = [name for name in selected if name not in REPORTS]
+    if unknown:
+        print(f"unknown reports: {unknown}; known: {list(REPORTS)}", file=sys.stderr)
+        return 2
+    for index, name in enumerate(selected):
+        if index:
+            print()
+        print(REPORTS[name]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess test
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Table/series formatting for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures plot, in
+plain aligned text, so a run's output can be compared against the paper
+(and against EXPERIMENTS.md) by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def log_sizes(start: float = 1.0, stop: float = 1024 * 1024, per_decade: int = 2) -> list[int]:
+    """Integer message sizes on a log scale (Fig. 8's x axis)."""
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    sizes: list[int] = []
+    size = float(start)
+    ratio = 10.0 ** (1.0 / per_decade)
+    while size <= stop * 1.0001:
+        value = max(1, int(round(size)))
+        if not sizes or value != sizes[-1]:
+            sizes.append(value)
+        size *= ratio
+    return sizes
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width aligned table; numbers right-aligned, text left."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for original, row in zip(rows, rendered):
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i])
+                if isinstance(original[i], (int, float))
+                else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def human_bytes(size: float) -> str:
+    """1 B / 1.0 KB / 1.0 MB labels for size axes."""
+    if size < 1024:
+        return f"{int(size)} B"
+    if size < 1024 * 1024:
+        return f"{size / 1024:.3g} KB"
+    return f"{size / (1024 * 1024):.3g} MB"

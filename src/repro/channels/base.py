@@ -1,0 +1,67 @@
+"""Channel interface: synchronous request/response over some wire.
+
+A channel is deliberately simple — ``call(authority, path, body) -> bytes``
+on the client side and a registered handler on the server side.  Request
+correlation, async delegates, one-way optimization and object identity all
+live a layer up in :mod:`repro.remoting`; this split mirrors .Net
+remoting's channel-sink architecture and keeps each wire implementation
+small enough to reason about.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Mapping
+
+#: Server-side request handler: (path, body, headers) -> response body.
+RequestHandler = Callable[[str, bytes, Mapping[str, str]], bytes]
+
+
+class ServerBinding(abc.ABC):
+    """A live server endpoint created by :meth:`Channel.listen`."""
+
+    @property
+    @abc.abstractmethod
+    def authority(self) -> str:
+        """The address clients should dial (e.g. ``127.0.0.1:4711``)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Stop accepting requests and release resources (idempotent)."""
+
+    def __enter__(self) -> "ServerBinding":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Channel(abc.ABC):
+    """One wire protocol (framing + formatter) usable as client and server."""
+
+    #: URI scheme this channel serves (``tcp``, ``http``, ``loopback``).
+    scheme: str
+
+    def __init__(self, formatter) -> None:  # type: ignore[no-untyped-def]
+        self.formatter = formatter
+
+    @abc.abstractmethod
+    def listen(self, authority: str, handler: RequestHandler) -> ServerBinding:
+        """Start serving requests at *authority*.
+
+        ``authority`` may request an ephemeral endpoint (port 0 for socket
+        channels); the effective address is on the returned binding.
+        """
+
+    @abc.abstractmethod
+    def call(
+        self,
+        authority: str,
+        path: str,
+        body: bytes,
+        headers: Mapping[str, str] | None = None,
+    ) -> bytes:
+        """Send one request and block for the response body."""
+
+    def close(self) -> None:
+        """Release client-side resources (connection pools).  Idempotent."""

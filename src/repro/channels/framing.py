@@ -1,0 +1,65 @@
+"""Length-prefixed frame codec used by the TCP channel.
+
+Frame layout::
+
+    magic   2 bytes   0x50 0x43  ("PC")
+    flags   1 byte    reserved (0)
+    length  4 bytes   big-endian payload length
+    payload N bytes
+
+The magic bytes catch cross-protocol accidents (e.g. an HTTP client dialing
+a TCP-channel port) with a clear error instead of a hung read.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import ChannelClosedError, WireFormatError
+
+MAGIC = b"PC"
+_HEADER = struct.Struct(">2sBI")
+
+#: Refuse absurd frames rather than allocating gigabytes on a bad length.
+MAX_FRAME = 256 * 1024 * 1024
+
+
+def encode_frame(payload: bytes, flags: int = 0) -> bytes:
+    """Build a complete frame for *payload*."""
+    if len(payload) > MAX_FRAME:
+        raise WireFormatError(
+            f"frame payload of {len(payload)} bytes exceeds {MAX_FRAME}"
+        )
+    return _HEADER.pack(MAGIC, flags, len(payload)) + payload
+
+
+def recv_exact(sock: socket.socket, size: int) -> bytes:
+    """Read exactly *size* bytes or raise on EOF."""
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise ChannelClosedError(
+                f"peer closed connection with {remaining} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> tuple[int, bytes]:
+    """Read one frame; returns ``(flags, payload)``."""
+    header = recv_exact(sock, _HEADER.size)
+    magic, flags, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise WireFormatError(f"frame length {length} exceeds {MAX_FRAME}")
+    return flags, recv_exact(sock, length)
+
+
+def write_frame(sock: socket.socket, payload: bytes, flags: int = 0) -> None:
+    """Send one complete frame."""
+    sock.sendall(encode_frame(payload, flags))

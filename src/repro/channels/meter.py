@@ -1,0 +1,73 @@
+"""Byte/call metering wrapper around any channel.
+
+The figure benchmarks need the *real* number of bytes a protocol exchange
+puts on the wire (binary vs SOAP encodings differ by multiples), which they
+then price with a :class:`~repro.perfmodel.platforms.PlatformModel`.
+``MeteredChannel`` decorates a channel and counts request/response bytes
+and call counts without touching the payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.channels.base import Channel, RequestHandler, ServerBinding
+
+
+@dataclass
+class ChannelMeter:
+    """Mutable counters shared by all calls through one MeteredChannel."""
+
+    calls: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, request_size: int, response_size: int) -> None:
+        with self._lock:
+            self.calls += 1
+            self.request_bytes += request_size
+            self.response_bytes += response_size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.request_bytes + self.response_bytes
+
+    def reset(self) -> None:
+        with self._lock:
+            self.calls = 0
+            self.request_bytes = 0
+            self.response_bytes = 0
+
+
+class MeteredChannel(Channel):
+    """Delegates to an inner channel, counting payload traffic.
+
+    Only body bytes are counted (framing overhead is platform-specific and
+    already folded into the cost models' ``wire_expansion``).
+    """
+
+    def __init__(self, inner: Channel, meter: ChannelMeter | None = None) -> None:
+        super().__init__(inner.formatter)
+        self.inner = inner
+        self.meter = meter if meter is not None else ChannelMeter()
+        self.scheme = inner.scheme
+
+    def listen(self, authority: str, handler: RequestHandler) -> ServerBinding:
+        return self.inner.listen(authority, handler)
+
+    def call(
+        self,
+        authority: str,
+        path: str,
+        body: bytes,
+        headers: Mapping[str, str] | None = None,
+    ) -> bytes:
+        response = self.inner.call(authority, path, body, headers)
+        self.meter.record(len(body), len(response))
+        return response
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,179 @@
+"""Channel sink chains: composable message processing (.Net sink analog).
+
+.Net remoting channels are built from *sink chains* — each message passes
+through formatter and custom sinks before the transport.  This module
+reproduces that extensibility point: a :class:`ChannelSink` transforms
+(body, headers) on the way out and back, and :class:`SinkChannel` wraps
+any channel with a chain of them.
+
+Provided sinks:
+
+* :class:`CompressionSink` — zlib-compresses bodies above a threshold
+  (the classic custom sink every .Net remoting tutorial built).  Over the
+  paper's 100 Mbit Ethernet this is a real trade: CPU time for wire
+  bytes; the EXT-COMP benchmark finds the crossover.
+* :class:`TraceSink` — records per-call request/response sizes and
+  transformations for diagnostics and tests.
+
+Sinks are symmetric: the same chain instance must wrap both the client
+channel and the server listener (headers negotiate per-message, so mixed
+deployments degrade gracefully — an uncompressed message passes through a
+decompressing server untouched).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Mapping, Sequence
+
+from repro.channels.base import Channel, RequestHandler, ServerBinding
+from repro.errors import ChannelError
+
+#: Header marking a compressed body (value: original size).
+COMPRESSION_HEADER = "parc-encoding"
+COMPRESSION_VALUE = "zlib"
+
+
+class ChannelSink:
+    """One stage of a sink chain; default implementation is identity."""
+
+    def outbound(self, body: bytes, headers: dict[str, str]) -> bytes:
+        """Transform a message leaving this side (request or response)."""
+        return body
+
+    def inbound(self, body: bytes, headers: Mapping[str, str]) -> bytes:
+        """Transform a message arriving at this side."""
+        return body
+
+
+class CompressionSink(ChannelSink):
+    """zlib compression for bodies above *threshold* bytes.
+
+    Compression is skipped when it does not actually shrink the body
+    (already-compressed or random data), so the sink never inflates
+    traffic.
+    """
+
+    def __init__(self, level: int = 6, threshold: int = 512) -> None:
+        if not 0 <= level <= 9:
+            raise ChannelError(f"zlib level must be 0..9, got {level}")
+        if threshold < 0:
+            raise ChannelError("threshold cannot be negative")
+        self.level = level
+        self.threshold = threshold
+
+    def outbound(self, body: bytes, headers: dict[str, str]) -> bytes:
+        if len(body) < self.threshold:
+            return body
+        compressed = zlib.compress(body, self.level)
+        if len(compressed) >= len(body):
+            return body
+        headers[COMPRESSION_HEADER] = COMPRESSION_VALUE
+        return compressed
+
+    def inbound(self, body: bytes, headers: Mapping[str, str]) -> bytes:
+        if headers.get(COMPRESSION_HEADER) != COMPRESSION_VALUE:
+            return body
+        try:
+            return zlib.decompress(body)
+        except zlib.error as exc:
+            raise ChannelError(f"corrupt compressed body: {exc}") from exc
+
+
+class TraceSink(ChannelSink):
+    """Records (direction, size before, size after) per message."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, int, int]] = []
+        self._lock = threading.Lock()
+
+    def outbound(self, body: bytes, headers: dict[str, str]) -> bytes:
+        with self._lock:
+            self.events.append(("out", len(body), len(body)))
+        return body
+
+    def inbound(self, body: bytes, headers: Mapping[str, str]) -> bytes:
+        with self._lock:
+            self.events.append(("in", len(body), len(body)))
+        return body
+
+    def reset(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+
+class SinkChannel(Channel):
+    """Wraps a channel with a sink chain (outermost sink first).
+
+    Client side: requests run the chain front-to-back, responses
+    back-to-front.  Server side (``listen``): the mirror image.  Response
+    metadata rides in a reserved request header space, so the underlying
+    channel needs no changes — response-side sink headers are carried
+    in-band as a 1-byte flag prefix (0 = plain, 1 = zlib), the simplest
+    faithful encoding over a body-only response path.
+    """
+
+    _FLAG_PLAIN = b"\x00"
+    _FLAG_ZLIB = b"\x01"
+
+    def __init__(self, inner: Channel, sinks: Sequence[ChannelSink]) -> None:
+        super().__init__(inner.formatter)
+        self.inner = inner
+        self.sinks = list(sinks)
+        self.scheme = inner.scheme
+
+    # -- response-side framing helpers ------------------------------------
+
+    def _encode_response(self, body: bytes) -> bytes:
+        headers: dict[str, str] = {}
+        for sink in self.sinks:
+            body = sink.outbound(body, headers)
+        flag = (
+            self._FLAG_ZLIB
+            if headers.get(COMPRESSION_HEADER) == COMPRESSION_VALUE
+            else self._FLAG_PLAIN
+        )
+        return flag + body
+
+    def _decode_response(self, payload: bytes) -> bytes:
+        if not payload:
+            raise ChannelError("empty sink-framed response")
+        flag, body = payload[:1], payload[1:]
+        headers = (
+            {COMPRESSION_HEADER: COMPRESSION_VALUE}
+            if flag == self._FLAG_ZLIB
+            else {}
+        )
+        for sink in reversed(self.sinks):
+            body = sink.inbound(body, headers)
+        return body
+
+    # -- channel surface ----------------------------------------------------
+
+    def listen(self, authority: str, handler: RequestHandler) -> ServerBinding:
+        def sink_handler(path: str, body: bytes, headers: Mapping[str, str]) -> bytes:
+            incoming = body
+            for sink in reversed(self.sinks):
+                incoming = sink.inbound(incoming, headers)
+            response = handler(path, incoming, headers)
+            return self._encode_response(response)
+
+        return self.inner.listen(authority, sink_handler)
+
+    def call(
+        self,
+        authority: str,
+        path: str,
+        body: bytes,
+        headers: Mapping[str, str] | None = None,
+    ) -> bytes:
+        mutable_headers = dict(headers or {})
+        outgoing = body
+        for sink in self.sinks:
+            outgoing = sink.outbound(outgoing, mutable_headers)
+        payload = self.inner.call(authority, path, outgoing, mutable_headers)
+        return self._decode_response(payload)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,225 @@
+"""TCP channel: length-prefixed binary frames over real sockets.
+
+The analog of ``TcpChannel`` in the paper's Fig. 2 and the configuration
+behind every "Mono (Tcp)" measurement.  Requests carry a path (the
+published object URI) plus headers and a body; responses carry a status
+byte so transport-level handler failures are distinguishable from
+application-level return values.
+
+Request payload layout (inside one frame)::
+
+    uvarint len(path)    path bytes (utf-8)
+    uvarint header-count (len(key) key len(value) value)*
+    body (rest of frame)
+
+Response payload layout::
+
+    status byte (0 = ok, 1 = handler raised)
+    body (result bytes, or utf-8 error text when status = 1)
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import threading
+from typing import Mapping
+
+from repro.channels.base import Channel, RequestHandler, ServerBinding
+from repro.channels.framing import read_frame, write_frame
+from repro.errors import AddressError, ChannelClosedError, ChannelError
+from repro.serialization import BinaryFormatter
+from repro.serialization.binary import read_uvarint, write_uvarint
+
+_STATUS_OK = 0
+_STATUS_ERROR = 1
+
+
+def _encode_request(path: str, headers: Mapping[str, str], body: bytes) -> bytes:
+    out = io.BytesIO()
+    path_bytes = path.encode("utf-8")
+    write_uvarint(out, len(path_bytes))
+    out.write(path_bytes)
+    write_uvarint(out, len(headers))
+    for key, value in headers.items():
+        key_bytes = key.encode("utf-8")
+        value_bytes = value.encode("utf-8")
+        write_uvarint(out, len(key_bytes))
+        out.write(key_bytes)
+        write_uvarint(out, len(value_bytes))
+        out.write(value_bytes)
+    out.write(body)
+    return out.getvalue()
+
+
+def _decode_request(payload: bytes) -> tuple[str, dict[str, str], bytes]:
+    buf = io.BytesIO(payload)
+    path = buf.read(read_uvarint(buf)).decode("utf-8")
+    header_count = read_uvarint(buf)
+    headers: dict[str, str] = {}
+    for _ in range(header_count):
+        key = buf.read(read_uvarint(buf)).decode("utf-8")
+        value = buf.read(read_uvarint(buf)).decode("utf-8")
+        headers[key] = value
+    return path, headers, buf.read()
+
+
+def parse_host_port(authority: str) -> tuple[str, int]:
+    """Split ``host:port``; raises AddressError on malformed input."""
+    host, sep, port_text = authority.rpartition(":")
+    if not sep:
+        raise AddressError(f"authority {authority!r} is not host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise AddressError(f"bad port in authority {authority!r}") from None
+    if not 0 <= port <= 65535:
+        raise AddressError(f"port {port} out of range in {authority!r}")
+    return host or "127.0.0.1", port
+
+
+class _TcpBinding(ServerBinding):
+    """Accept loop + per-connection worker threads."""
+
+    def __init__(self, host: str, port: int, handler: RequestHandler) -> None:
+        self._handler = handler
+        self._closed = threading.Event()
+        self._server = socket.create_server((host, port), reuse_port=False)
+        self._host, self._port = self._server.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"parc-tcp-accept-{self._port}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    @property
+    def authority(self) -> str:
+        return f"{self._host}:{self._port}"
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._server.accept()
+            except OSError:
+                return  # server socket closed
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"parc-tcp-conn-{self._port}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while not self._closed.is_set():
+                try:
+                    _flags, payload = read_frame(conn)
+                except (ChannelError, OSError):
+                    return  # client hung up or sent garbage
+                try:
+                    path, headers, body = _decode_request(payload)
+                    response = self._handler(path, body, headers)
+                    status = _STATUS_OK
+                except Exception as exc:  # noqa: BLE001 - wire boundary
+                    response = f"{type(exc).__name__}: {exc}".encode("utf-8")
+                    status = _STATUS_ERROR
+                try:
+                    write_frame(conn, bytes((status,)) + response)
+                except OSError:
+                    return
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            try:
+                self._server.close()
+            except OSError:
+                pass
+
+
+class _ConnectionPool:
+    """Idle-socket pool, one list per remote authority."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._idle: dict[str, list[socket.socket]] = {}
+        self._closed = False
+
+    def checkout(self, authority: str) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError("channel is closed")
+            idle = self._idle.get(authority)
+            if idle:
+                return idle.pop()
+        host, port = parse_host_port(authority)
+        try:
+            conn = socket.create_connection((host, port), timeout=30.0)
+        except OSError as exc:
+            raise ChannelError(f"cannot connect to {authority}: {exc}") from exc
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def checkin(self, authority: str, conn: socket.socket) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.setdefault(authority, []).append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            sockets = [
+                conn for conns in self._idle.values() for conn in conns
+            ]
+            self._idle.clear()
+        for conn in sockets:
+            conn.close()
+
+
+class TcpChannel(Channel):
+    """Binary formatter over framed TCP — the fast remoting configuration."""
+
+    scheme = "tcp"
+
+    def __init__(self, formatter=None) -> None:  # type: ignore[no-untyped-def]
+        super().__init__(formatter if formatter is not None else BinaryFormatter())
+        self._pool = _ConnectionPool()
+
+    def listen(self, authority: str, handler: RequestHandler) -> ServerBinding:
+        host, port = parse_host_port(authority)
+        return _TcpBinding(host, port, handler)
+
+    def call(
+        self,
+        authority: str,
+        path: str,
+        body: bytes,
+        headers: Mapping[str, str] | None = None,
+    ) -> bytes:
+        request = _encode_request(path, dict(headers or {}), body)
+        conn = self._pool.checkout(authority)
+        try:
+            write_frame(conn, request)
+            _flags, payload = read_frame(conn)
+        except (OSError, ChannelError):
+            conn.close()
+            raise
+        self._pool.checkin(authority, conn)
+        if not payload:
+            raise ChannelError("empty response payload")
+        status, response = payload[0], payload[1:]
+        if status == _STATUS_ERROR:
+            raise ChannelError(
+                f"remote handler failed: {response.decode('utf-8', 'replace')}"
+            )
+        if status != _STATUS_OK:
+            raise ChannelError(f"unknown response status {status}")
+        return response
+
+    def close(self) -> None:
+        self._pool.close()

@@ -1,0 +1,163 @@
+"""Cluster: boots N nodes and wires their object managers together.
+
+The "application entry code" of §3.2: create one OM per node, register the
+factories in each node's boot code, and hand every OM the cluster
+directory so they can exchange loads and statistics.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Literal
+
+from repro.channels import LoopbackChannel, TcpChannel
+from repro.channels.services import ChannelServices
+from repro.core.grain import AdaptiveGrainController, GrainPolicy
+from repro.cluster.node import Node
+from repro.cluster.placement import PlacementPolicy, make_placement
+from repro.errors import ScooppError
+
+ChannelKind = Literal["loopback", "tcp"]
+
+
+class Cluster:
+    """N in-process nodes talking over loopback or real TCP.
+
+    All nodes share one :class:`ChannelServices` (the "network"), so a
+    proxy created anywhere in the process can reach any node.  Node 0 is
+    the *home node*: the node whose OM serves creations made from the
+    application's main thread (creations made inside parallel methods go
+    through the executing node's OM).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        channel_kind: ChannelKind = "loopback",
+        grain: GrainPolicy | AdaptiveGrainController | None = None,
+        placement: PlacementPolicy | str = "round_robin",
+        dispatch_pool_size: int = 16,
+        worker_processes: int = 0,
+        worker_modules: tuple[str, ...] = (),
+    ) -> None:
+        """*worker_processes* additional nodes run as separate OS
+        processes over TCP (see :mod:`repro.cluster.proc`); they import
+        *worker_modules* at boot to register the application's parallel
+        classes.  Process workers force ``channel_kind="tcp"``."""
+        if num_nodes < 1:
+            raise ScooppError(f"cluster needs >= 1 node, got {num_nodes}")
+        if channel_kind not in ("loopback", "tcp"):
+            raise ScooppError(f"unknown channel kind {channel_kind!r}")
+        if worker_processes < 0:
+            raise ScooppError("worker_processes cannot be negative")
+        if worker_processes and channel_kind != "tcp":
+            raise ScooppError(
+                "process workers speak TCP; use channel_kind='tcp'"
+            )
+        self.num_nodes = num_nodes
+        self.channel_kind = channel_kind
+        self.grain = grain if grain is not None else GrainPolicy()
+        if isinstance(placement, str):
+            placement = make_placement(placement)
+        self.placement = placement
+        self.services = ChannelServices()
+        if channel_kind == "loopback":
+            self.services.register_channel(LoopbackChannel())
+        else:
+            self.services.register_channel(TcpChannel())
+        run_id = uuid.uuid4().hex[:8]
+        self.nodes: list[Node] = []
+        try:
+            for index in range(num_nodes):
+                if channel_kind == "loopback":
+                    channel = LoopbackChannel()
+                    authority = f"parc-{run_id}-n{index}"
+                else:
+                    channel = TcpChannel()
+                    authority = "127.0.0.1:0"
+                self.nodes.append(
+                    Node(
+                        index=index,
+                        channel=channel,
+                        authority=authority,
+                        services=self.services,
+                        grain=self.grain,
+                        placement=self.placement,
+                        dispatch_pool_size=dispatch_pool_size,
+                    )
+                )
+        except Exception:
+            self.close()
+            raise
+        self.worker_handles = []
+        if worker_processes:
+            from repro.cluster.proc import spawn_workers
+
+            placement_name = getattr(self.placement, "name", "round_robin")
+            try:
+                self.worker_handles = spawn_workers(
+                    count=worker_processes,
+                    first_index=num_nodes,
+                    modules=worker_modules,
+                    grain=self.grain,
+                    placement_name=placement_name,
+                    dispatch_pool_size=dispatch_pool_size,
+                )
+            except Exception:
+                self.close()
+                raise
+        directory = [node.base_uri for node in self.nodes] + [
+            handle.base_uri for handle in self.worker_handles
+        ]
+        for node in self.nodes:
+            node.om.set_directory(directory)
+        for handle in self.worker_handles:
+            handle.set_directory(directory)
+        self._closed = False
+
+    @property
+    def home_node(self) -> Node:
+        return self.nodes[0]
+
+    def node_by_uri(self, base_uri: str) -> Node | None:
+        for node in self.nodes:
+            if node.base_uri == base_uri:
+                return node
+        return None
+
+    def total_ios(self) -> int:
+        local = sum(node.io_count() for node in self.nodes)
+        remote = sum(
+            handle.stats()["ios"]
+            for handle in getattr(self, "worker_handles", [])
+        )
+        return local + remote
+
+    def stats(self) -> list[dict]:
+        rows = [node.stats() for node in self.nodes]
+        rows.extend(
+            handle.stats() for handle in getattr(self, "worker_handles", [])
+        )
+        return rows
+
+    def close(self) -> None:
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for handle in getattr(self, "worker_handles", []):
+            try:
+                handle.shutdown()
+            except Exception:  # noqa: BLE001 - teardown must finish
+                pass
+        for node in self.nodes:
+            try:
+                node.close()
+            except Exception:  # noqa: BLE001 - teardown must finish
+                pass
+        self.services.close_all()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

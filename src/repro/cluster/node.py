@@ -1,0 +1,361 @@
+"""Node: one processing element — host, object manager, factory.
+
+Fig. 3's per-node cast: the **OM** (object manager) owns placement and
+grain decisions for objects created on this node; the **factory** (the
+``RemoteFactory`` of Fig. 6) instantiates implementation objects on
+request from remote POs; the remoting host carries both plus every IO the
+node ends up hosting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Sequence
+
+from repro.channels.base import Channel
+from repro.channels.services import ChannelServices
+from repro.core.grain import AdaptiveGrainController, GrainDecision, GrainPolicy
+from repro.core.impl import ImplementationObject
+from repro.core.model import parallel_class_table
+from repro.cluster.placement import PlacementPolicy
+from repro.errors import PlacementError, ScooppError
+from repro.remoting import MarshalByRefObject, RemotingHost
+from repro.remoting.proxy import RemoteProxy
+
+#: How long a sampled peer-load vector stays fresh (seconds).  Placement
+#: is latency-sensitive: one remote load query per peer per creation would
+#: dwarf the creation itself, so loads are cached briefly — the paper's
+#: OMs similarly exchange load information periodically, not per call.
+LOAD_CACHE_TTL_S = 0.05
+
+#: Refresh peer execution statistics every this many grain decisions.
+STATS_REFRESH_PERIOD = 32
+
+
+class ObjectManager(MarshalByRefObject):
+    """Per-node manager: load reporting, placement, grain decisions.
+
+    The remotely callable surface (``load``, ``class_stats``, ``ping``) is
+    what peer OMs use; ``decide_and_place`` is the local entry POs go
+    through at construction (Fig. 5's "contact OM to get a (host) and tcp
+    (port) for the new object").
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        grain: GrainPolicy | AdaptiveGrainController,
+        placement: PlacementPolicy,
+    ) -> None:
+        self.node = node
+        self.grain = grain
+        self.placement = placement
+        self._lock = threading.Lock()
+        self._directory: list[str] = []  # node base URIs, cluster order
+        self._peer_oms: dict[str, RemoteProxy] = {}
+        self._loads_cache: list[float] | None = None
+        self._loads_stamp = 0.0
+        self._decisions = 0
+        # Placements made since the last load refresh: the cache alone
+        # would send every creation in a burst to the same node.
+        self._placed_since_refresh: dict[int, int] = {}
+        # Nodes observed unreachable; excluded from placement until a
+        # later probe sees them again.
+        self._dead: set[str] = set()
+
+    # -- remote surface ----------------------------------------------------
+
+    def load(self) -> float:
+        """This node's load: live IOs plus queued work (remote-callable)."""
+        return self.node.current_load()
+
+    def class_stats(self, class_name: str) -> tuple:
+        """(avg exec seconds, samples) for *class_name* on this node."""
+        if isinstance(self.grain, AdaptiveGrainController):
+            return self.grain.stats_for(class_name)
+        return (0.0, 0)
+
+    def ping(self) -> str:
+        """Liveness probe; returns the node's base URI."""
+        return self.node.base_uri
+
+    # -- local surface --------------------------------------------------------
+
+    def set_directory(self, directory: Sequence[str]) -> None:
+        with self._lock:
+            self._directory = list(directory)
+            self._peer_oms.clear()
+            self._loads_cache = None
+
+    def decide_and_place(self, class_name: str) -> tuple[GrainDecision, str | None]:
+        """Grain decision plus target factory URI (None = agglomerate)."""
+        with self._lock:
+            self._decisions += 1
+            refresh_stats = self._decisions % STATS_REFRESH_PERIOD == 0
+        if refresh_stats:
+            self._merge_peer_stats(class_name)
+        decision = self.grain.decide(class_name)
+        if decision.agglomerate:
+            return decision, None
+        directory = self._directory_snapshot()
+        loads = self._current_loads()
+        with self._lock:
+            dead = set(self._dead)
+            adjusted = [
+                load + self._placed_since_refresh.get(index, 0)
+                for index, load in enumerate(loads)
+            ]
+        # Exclude nodes observed dead: the policy chooses among the
+        # living, preserving original indices for accounting.
+        live_indices = [
+            index
+            for index, base_uri in enumerate(directory)
+            if base_uri not in dead and adjusted[index] != float("inf")
+        ]
+        if not live_indices:
+            raise PlacementError(
+                "no live nodes available for placement "
+                f"(directory of {len(directory)}, all unreachable)"
+            )
+        live_loads = [adjusted[index] for index in live_indices]
+        home_index = self._home_index()
+        live_home = (
+            live_indices.index(home_index) if home_index in live_indices else 0
+        )
+        chosen = self.placement.choose(live_loads, live_home)
+        if not 0 <= chosen < len(live_loads):
+            raise PlacementError(
+                f"policy {self.placement.name} chose invalid index {chosen}"
+            )
+        index = live_indices[chosen]
+        with self._lock:
+            self._placed_since_refresh[index] = (
+                self._placed_since_refresh.get(index, 0) + 1
+            )
+        return decision, f"{directory[index]}/factory"
+
+    def note_dead(self, base_uri: str) -> None:
+        """Record *base_uri* as unreachable (excluded from placement)."""
+        with self._lock:
+            self._dead.add(base_uri)
+            self._loads_cache = None
+
+    def note_alive(self, base_uri: str) -> None:
+        with self._lock:
+            self._dead.discard(base_uri)
+            self._loads_cache = None
+
+    def dead_nodes(self) -> list[str]:
+        with self._lock:
+            return sorted(self._dead)
+
+    def probe_peers(self) -> dict[str, bool]:
+        """Ping every directory peer; updates liveness, returns the map."""
+        results: dict[str, bool] = {}
+        for base_uri in self._directory_snapshot():
+            if base_uri == self.node.base_uri:
+                results[base_uri] = True
+                continue
+            try:
+                self._peer_om(base_uri).ping()
+                results[base_uri] = True
+                self.note_alive(base_uri)
+            except Exception:  # noqa: BLE001 - probe failure = dead
+                results[base_uri] = False
+                self.note_dead(base_uri)
+        return results
+
+    def note_created(self) -> None:
+        self.node.note_io_created()
+
+    # -- internals ---------------------------------------------------------
+
+    def _directory_snapshot(self) -> list[str]:
+        with self._lock:
+            if not self._directory:
+                raise ScooppError(
+                    "object manager has no cluster directory; was the "
+                    "cluster booted?"
+                )
+            return list(self._directory)
+
+    def _home_index(self) -> int:
+        directory = self._directory_snapshot()
+        try:
+            return directory.index(self.node.base_uri)
+        except ValueError:
+            return 0
+
+    def _peer_om(self, base_uri: str) -> RemoteProxy:
+        with self._lock:
+            proxy = self._peer_oms.get(base_uri)
+            if proxy is None:
+                proxy = self.node.make_proxy(f"{base_uri}/om")
+                self._peer_oms[base_uri] = proxy
+            return proxy
+
+    def _current_loads(self) -> list[float]:
+        now = time.monotonic()
+        with self._lock:
+            if (
+                self._loads_cache is not None
+                and now - self._loads_stamp < LOAD_CACHE_TTL_S
+            ):
+                return self._loads_cache
+        directory = self._directory_snapshot()
+        loads: list[float] = []
+        for base_uri in directory:
+            if base_uri == self.node.base_uri:
+                loads.append(self.node.current_load())
+                continue
+            try:
+                loads.append(float(self._peer_om(base_uri).load()))
+            except Exception:  # noqa: BLE001 - a dead peer must not block
+                loads.append(float("inf"))
+                with self._lock:
+                    self._dead.add(base_uri)
+        with self._lock:
+            self._loads_cache = loads
+            self._loads_stamp = now
+            self._placed_since_refresh.clear()
+        return loads
+
+    def _merge_peer_stats(self, class_name: str) -> None:
+        if not isinstance(self.grain, AdaptiveGrainController):
+            return
+        for base_uri in self._directory_snapshot():
+            if base_uri == self.node.base_uri:
+                continue
+            try:
+                avg, samples = self._peer_om(base_uri).class_stats(class_name)
+            except Exception:  # noqa: BLE001 - best-effort exchange
+                continue
+            self.grain.merge_remote_stats(class_name, avg, samples)
+
+
+class NodeFactory(MarshalByRefObject):
+    """The per-node RemoteFactory of Fig. 6: instantiates IOs on request."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+
+    def create(self, class_name: str, args: tuple = (), kwargs: dict | None = None):
+        """Instantiate *class_name* here; returns the IO (by reference).
+
+        The implementation object travels back as an ObjRef and the
+        calling PO receives a transparent proxy — or, when the caller is
+        on this very node, the live object itself (intra-grain shortcut,
+        Fig. 3 call b).
+        """
+        return self.node.create_impl(class_name, tuple(args), dict(kwargs or {}))
+
+    def impl_count(self) -> int:
+        return self.node.io_count()
+
+
+class Node:
+    """One processing node: remoting host + OM + factory + hosted IOs."""
+
+    def __init__(
+        self,
+        index: int,
+        channel: Channel,
+        authority: str,
+        services: ChannelServices,
+        grain: GrainPolicy | AdaptiveGrainController,
+        placement: PlacementPolicy,
+        dispatch_pool_size: int = 16,
+    ) -> None:
+        self.index = index
+        self.services = services
+        self.host = RemotingHost(
+            name=f"parc-node-{index}",
+            services=services,
+            dispatch_pool_size=dispatch_pool_size,
+        )
+        binding = self.host.listen(channel, authority)
+        self.base_uri = f"{channel.scheme}://{binding.authority}"
+        self.om = ObjectManager(self, grain, placement)
+        self.factory = NodeFactory(self)
+        self.host.publish(self.om, "om")
+        self.host.publish(self.factory, "factory")
+        self._lock = threading.Lock()
+        self._impls: list[ImplementationObject] = []
+        self._created_total = 0
+        self._closed = False
+
+    # -- IO hosting -----------------------------------------------------------
+
+    def create_impl(
+        self, class_name: str, args: tuple, kwargs: dict
+    ) -> ImplementationObject:
+        info = parallel_class_table.by_name(class_name)
+        instance = info.cls(*args, **kwargs)
+        impl = ImplementationObject(
+            instance,
+            class_name,
+            on_execution=self._on_execution,
+            node=self,
+        )
+        with self._lock:
+            if self._closed:
+                impl.dispose()
+                raise ScooppError(f"node {self.index} is closed")
+            self._impls.append(impl)
+            self._created_total += 1
+        return impl
+
+    def _on_execution(self, class_name: str, elapsed_s: float) -> None:
+        if isinstance(self.om.grain, AdaptiveGrainController):
+            self.om.grain.observe_execution(class_name, elapsed_s)
+
+    def adopt_impl(self, impl: ImplementationObject) -> None:
+        """Take ownership of an externally built IO (grain promotion)."""
+        with self._lock:
+            if self._closed:
+                raise ScooppError(f"node {self.index} is closed")
+            self._impls.append(impl)
+            self._created_total += 1
+
+    def note_io_created(self) -> None:
+        with self._lock:
+            self._created_total += 1
+
+    def io_count(self) -> int:
+        with self._lock:
+            return len(self._impls)
+
+    def current_load(self) -> float:
+        """Live IOs plus their queued tasks (the OM's load metric)."""
+        with self._lock:
+            impls = list(self._impls)
+        return float(len(impls) + sum(impl.queue_length for impl in impls))
+
+    def make_proxy(self, uri: str) -> RemoteProxy:
+        return self.host.get_object(uri)
+
+    def stats(self) -> dict:
+        with self._lock:
+            impls = list(self._impls)
+        return {
+            "index": self.index,
+            "base_uri": self.base_uri,
+            "ios": len(impls),
+            "created_total": self._created_total,
+            "queued": sum(impl.queue_length for impl in impls),
+            "processed": sum(impl.stats()["processed"] for impl in impls),
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            impls, self._impls = self._impls, []
+        for impl in impls:
+            try:
+                impl.dispose()
+            except Exception:  # noqa: BLE001 - teardown must finish
+                pass
+        self.host.close()

@@ -1,0 +1,100 @@
+"""Placement policies: which node hosts a new implementation object.
+
+§3.2: "the OM selects a processing node to create a new IO (according to
+the current load distribution policy)".  The paper leaves the policy
+abstract; we provide the three classic ones and make the choice pluggable
+(an extension ablated in the benchmarks).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import threading
+from typing import Sequence
+
+from repro.errors import PlacementError
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses a node index given the cluster's current loads."""
+
+    name: str
+
+    @abc.abstractmethod
+    def choose(self, loads: Sequence[float], home_index: int) -> int:
+        """Index into *loads* for the new IO.
+
+        *home_index* is the creating node (policies may avoid or prefer
+        it).  *loads* always has at least one entry.
+        """
+
+    def _check(self, loads: Sequence[float]) -> None:
+        if not loads:
+            raise PlacementError("placement asked with no nodes")
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through nodes; ignores load.  The paper-era default."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def choose(self, loads: Sequence[float], home_index: int) -> int:
+        self._check(loads)
+        with self._lock:
+            index = self._next % len(loads)
+            self._next += 1
+            return index
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Pick the node with the lowest reported load (ties: lowest index)."""
+
+    name = "least_loaded"
+
+    def choose(self, loads: Sequence[float], home_index: int) -> int:
+        self._check(loads)
+        best_index = 0
+        best_load = loads[0]
+        for index, load in enumerate(loads):
+            if load < best_load:
+                best_index, best_load = index, load
+        return best_index
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random choice; seedable for reproducible runs."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def choose(self, loads: Sequence[float], home_index: int) -> int:
+        self._check(loads)
+        with self._lock:
+            return self._random.randrange(len(loads))
+
+
+_POLICIES = {
+    "round_robin": RoundRobinPlacement,
+    "least_loaded": LeastLoadedPlacement,
+    "random": RandomPlacement,
+}
+
+
+def make_placement(name: str, **kwargs: object) -> PlacementPolicy:
+    """Build a policy by name (``round_robin``, ``least_loaded``, ``random``)."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise PlacementError(
+            f"unknown placement policy {name!r}; known: {known}"
+        ) from None
+    return factory(**kwargs)  # type: ignore[arg-type]

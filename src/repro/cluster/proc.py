@@ -1,0 +1,238 @@
+"""Multi-process nodes: the cluster as separate OS processes over TCP.
+
+The paper's platform ran each node as its own process on its own machine;
+the in-process clusters of :mod:`repro.cluster.cluster` are convenient but
+GIL-bound.  This module spawns **real worker processes**, each booting a
+full node (remoting host + object manager + factory) on an ephemeral TCP
+port.  Everything crosses real sockets with real serialization; compute
+runs truly in parallel.
+
+Worker lifecycle: the parent spawns ``_worker_main`` (spawn context, so
+each worker is a fresh interpreter), the worker imports the application's
+modules (registering its ``@parallel`` and ``@serializable`` classes —
+the per-node "boot code" of §3.2), boots the node, reports its base URI,
+receives the cluster directory, and serves until told to shut down.
+
+Grain policies travel as specs (the adaptive controller holds locks and
+cannot be pickled); each process builds its own controller, and the
+object managers exchange statistics over the wire as usual.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.grain import AdaptiveGrainController, GrainPolicy
+from repro.errors import ScooppError
+
+#: Seconds to wait for a worker to boot / shut down before escalating.
+WORKER_BOOT_TIMEOUT_S = 30.0
+WORKER_SHUTDOWN_TIMEOUT_S = 10.0
+
+
+def grain_to_spec(grain: GrainPolicy | AdaptiveGrainController) -> tuple[str, dict]:
+    """Portable description of a grain policy (picklable)."""
+    if isinstance(grain, GrainPolicy):
+        return (
+            "static",
+            {"agglomerate": grain.agglomerate, "max_calls": grain.max_calls},
+        )
+    if isinstance(grain, AdaptiveGrainController):
+        return (
+            "adaptive",
+            {
+                "overhead_s": grain.overhead_s,
+                "pack_factor": grain.pack_factor,
+                "agglomerate_factor": grain.agglomerate_factor,
+                "max_calls_cap": grain.max_calls_cap,
+                "min_samples": grain.min_samples,
+                "bootstrap_max_calls": grain.bootstrap_max_calls,
+                "ewma_alpha": grain.ewma_alpha,
+            },
+        )
+    raise ScooppError(f"unknown grain policy type {type(grain).__qualname__}")
+
+
+def grain_from_spec(spec: tuple[str, dict]) -> GrainPolicy | AdaptiveGrainController:
+    """Rebuild a grain policy from its spec (in the worker process)."""
+    kind, params = spec
+    if kind == "static":
+        return GrainPolicy(**params)
+    if kind == "adaptive":
+        return AdaptiveGrainController(**params)
+    raise ScooppError(f"unknown grain spec kind {kind!r}")
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker process needs to boot its node."""
+
+    index: int
+    modules: tuple[str, ...]
+    grain_spec: tuple[str, dict]
+    placement_name: str
+    dispatch_pool_size: int = 16
+    extra_sys_path: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore[no-untyped-def]
+    """Entry point of one worker process (top-level: spawn-importable)."""
+    # Make the parent's application modules importable, then import them:
+    # this is the node "boot code" that registers factories/classes (§3.2).
+    for path in config.extra_sys_path:
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    try:
+        for module_name in config.modules:
+            importlib.import_module(module_name)
+
+        from repro.channels import TcpChannel
+        from repro.channels.services import ChannelServices
+        from repro.cluster.node import Node
+        from repro.cluster.placement import make_placement
+
+        services = ChannelServices()
+        services.register_channel(TcpChannel())
+        node = Node(
+            index=config.index,
+            channel=TcpChannel(),
+            authority="127.0.0.1:0",
+            services=services,
+            grain=grain_from_spec(config.grain_spec),
+            placement=make_placement(config.placement_name),
+            dispatch_pool_size=config.dispatch_pool_size,
+        )
+    except BaseException as exc:  # noqa: BLE001 - boot failure report
+        ready.put(("error", f"{type(exc).__name__}: {exc}"))
+        return
+    ready.put(("ok", node.base_uri))
+
+    # Install a worker-side runtime so nested creations and PO-reference
+    # decoding work inside this process.
+    from repro.core import runtime as runtime_module
+    from repro.core.runtime import ParcRuntime
+
+    runtime_module._runtime = ParcRuntime(_WorkerCluster(node, services))
+
+    while True:
+        command = commands.get()
+        if command is None or command[0] == "shutdown":
+            break
+        if command[0] == "set_directory":
+            node.om.set_directory(command[1])
+            ready.put(("ok", "directory"))
+        elif command[0] == "stats":
+            ready.put(("ok", node.stats()))
+        else:  # pragma: no cover - defensive
+            ready.put(("error", f"unknown command {command[0]!r}"))
+    node.close()
+    services.close_all()
+
+
+class _WorkerCluster:
+    """Single-node cluster view installed inside a worker process."""
+
+    def __init__(self, node, services) -> None:  # type: ignore[no-untyped-def]
+        self.nodes = [node]
+        self.services = services
+
+    @property
+    def home_node(self):  # type: ignore[no-untyped-def]
+        return self.nodes[0]
+
+    def node_by_uri(self, base_uri: str):  # type: ignore[no-untyped-def]
+        node = self.nodes[0]
+        return node if node.base_uri == base_uri else None
+
+    def total_ios(self) -> int:
+        return self.nodes[0].io_count()
+
+    def stats(self) -> list[dict]:
+        return [self.nodes[0].stats()]
+
+    def close(self) -> None:
+        return None  # lifecycle owned by _worker_main
+
+
+class ProcessNodeHandle:
+    """Parent-side handle to one spawned worker node."""
+
+    def __init__(
+        self,
+        config: WorkerConfig,
+        context: multiprocessing.context.BaseContext,
+    ) -> None:
+        self.index = config.index
+        self._ready = context.Queue()
+        self._commands = context.Queue()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(config, self._ready, self._commands),
+            name=f"parc-worker-{config.index}",
+            daemon=True,
+        )
+        self.process.start()
+        status, payload = self._ready.get(timeout=WORKER_BOOT_TIMEOUT_S)
+        if status != "ok":
+            self.process.join(timeout=WORKER_SHUTDOWN_TIMEOUT_S)
+            raise ScooppError(f"worker {config.index} failed to boot: {payload}")
+        self.base_uri: str = payload
+
+    def set_directory(self, directory: Sequence[str]) -> None:
+        self._commands.put(("set_directory", list(directory)))
+        status, payload = self._ready.get(timeout=WORKER_BOOT_TIMEOUT_S)
+        if status != "ok":  # pragma: no cover - defensive
+            raise ScooppError(f"worker {self.index}: {payload}")
+
+    def stats(self) -> dict:
+        self._commands.put(("stats",))
+        status, payload = self._ready.get(timeout=WORKER_BOOT_TIMEOUT_S)
+        if status != "ok":  # pragma: no cover - defensive
+            raise ScooppError(f"worker {self.index}: {payload}")
+        return payload
+
+    def shutdown(self) -> None:
+        if not self.process.is_alive():
+            return
+        try:
+            self._commands.put(("shutdown",))
+            self.process.join(timeout=WORKER_SHUTDOWN_TIMEOUT_S)
+        finally:
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.terminate()
+                self.process.join(timeout=5.0)
+
+
+def spawn_workers(
+    count: int,
+    first_index: int,
+    modules: Sequence[str],
+    grain: GrainPolicy | AdaptiveGrainController,
+    placement_name: str,
+    dispatch_pool_size: int,
+) -> list[ProcessNodeHandle]:
+    """Spawn *count* worker nodes; returns their handles (booted)."""
+    context = multiprocessing.get_context("spawn")
+    spec = grain_to_spec(grain)
+    sys_paths = tuple(path for path in sys.path if path)
+    handles: list[ProcessNodeHandle] = []
+    try:
+        for offset in range(count):
+            config = WorkerConfig(
+                index=first_index + offset,
+                modules=tuple(modules),
+                grain_spec=spec,
+                placement_name=placement_name,
+                dispatch_pool_size=dispatch_pool_size,
+                extra_sys_path=sys_paths,
+            )
+            handles.append(ProcessNodeHandle(config, context))
+    except Exception:
+        for handle in handles:
+            handle.shutdown()
+        raise
+    return handles

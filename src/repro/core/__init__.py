@@ -1,0 +1,77 @@
+"""SCOOPP / ParC# core: the paper's primary contribution.
+
+The programming model (§3.1): **parallel objects** are active — they have
+their own thread of control, are placed on cluster nodes by the runtime,
+and are invoked through *asynchronous* method calls when no value is
+returned and *synchronous* calls when one is.  **Passive objects** are
+ordinary Python objects, copied between grains by the serialization layer.
+
+The implementation (§3.2) mirrors the paper's architecture exactly:
+
+* a **preprocessor** (:mod:`repro.core.preprocess`) rewrites ``@parallel``
+  classes into generated **PO** (proxy object) classes — source-to-source,
+  like the ParC++/ParC# preprocessor of Figs. 4–7 — with an equivalent
+  runtime path (:func:`make_parallel_class`) for codegen-free use;
+* **PO**s perform grain-size adaptation: *method-call aggregation* (buffer
+  ``max_calls`` asynchronous invocations and ship one batch) and *object
+  agglomeration* (create the IO locally and run serially when the runtime
+  is removing parallelism);
+* **IO**s (implementation objects) are the user's instances, hosted in an
+  active-object container with a FIFO mailbox and a dedicated worker —
+  "they specify explicit parallelism, having its own thread of control";
+* one **OM** (object manager) per node performs placement, load exchange
+  and grain decisions (:mod:`repro.cluster.node`).
+
+Public entry points: :func:`repro.core.runtime.init` /
+:func:`~repro.core.runtime.shutdown`, the :func:`parallel` decorator, and
+:func:`make_parallel_class`.
+"""
+
+from repro.core.model import (
+    MethodKind,
+    ParallelClassInfo,
+    infer_method_kinds,
+    parallel,
+    parallel_class_table,
+)
+from repro.core.grain import AdaptiveGrainController, GrainDecision, GrainPolicy
+from repro.core.impl import ImplementationObject
+from repro.core.proxy_object import ProxyObject, make_parallel_class
+from repro.core.preprocess import preprocess_module, preprocess_source
+from repro.core.runtime import (
+    ParcRuntime,
+    current_runtime,
+    init,
+    new,
+    shutdown,
+)
+from repro.core.naming import bind, lookup, names, rebind, unbind
+from repro.core.patterns import Farm, Pipeline
+
+__all__ = [
+    "AdaptiveGrainController",
+    "Farm",
+    "Pipeline",
+    "GrainDecision",
+    "GrainPolicy",
+    "ImplementationObject",
+    "MethodKind",
+    "ParallelClassInfo",
+    "ParcRuntime",
+    "ProxyObject",
+    "bind",
+    "current_runtime",
+    "lookup",
+    "names",
+    "rebind",
+    "unbind",
+    "infer_method_kinds",
+    "init",
+    "make_parallel_class",
+    "new",
+    "parallel",
+    "parallel_class_table",
+    "preprocess_module",
+    "preprocess_source",
+    "shutdown",
+]

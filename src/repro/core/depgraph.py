@@ -1,0 +1,70 @@
+"""Application dependence graph (§3.1).
+
+"References to parallel objects may be copied or sent as a method
+argument, which may lead to cycles in a dependence graph.  The
+application's dependence graph becomes a DAG when this feature is not
+used."  The tracker records two edge kinds:
+
+* **creation** — creator grain → created grain (always acyclic on its own);
+* **reference** — holder grain → referenced grain, added when a PO
+  reference is passed through a remote call.
+
+Nodes are implementation-object labels (their published paths, or
+``local:<id>`` for agglomerated grains; ``main`` is the application entry
+thread).  :meth:`DependenceTracker.is_dag` answers the paper's question
+directly; cycles are reported for diagnostics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+import networkx as nx
+
+MAIN = "main"
+
+
+class DependenceTracker:
+    """Thread-safe dependence graph over grain labels."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._graph = nx.DiGraph()
+        self._graph.add_node(MAIN)
+
+    def record_creation(self, parent: str, child: str) -> None:
+        with self._lock:
+            self._graph.add_edge(parent, child, kind="creation")
+
+    def record_reference(self, holder: str, referenced: str) -> None:
+        if holder == referenced:
+            # Self-references are legal and always cyclic; record them so
+            # is_dag reports the truth.
+            pass
+        with self._lock:
+            self._graph.add_edge(holder, referenced, kind="reference")
+
+    def is_dag(self) -> bool:
+        with self._lock:
+            return nx.is_directed_acyclic_graph(self._graph)
+
+    def cycles(self) -> list[list[str]]:
+        with self._lock:
+            return [list(cycle) for cycle in nx.simple_cycles(self._graph)]
+
+    def edges(self, kind: str | None = None) -> list[tuple[str, str]]:
+        with self._lock:
+            return [
+                (source, dest)
+                for source, dest, data in self._graph.edges(data=True)
+                if kind is None or data.get("kind") == kind
+            ]
+
+    def nodes(self) -> Iterable[str]:
+        with self._lock:
+            return list(self._graph.nodes)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._graph.number_of_edges()

@@ -1,0 +1,160 @@
+"""Grain-size policies: when to aggregate calls and agglomerate objects.
+
+§3.1: "SCOOPP removes parallelism overheads at run-time by transforming
+(packing) parallel objects in passive ones and by aggregating method
+calls."  Two controls exist:
+
+* **method-call aggregation** — ``max_calls`` asynchronous invocations are
+  combined into one aggregate message, reducing per-message latency;
+* **object agglomeration** — a newly created parallel object is created
+  locally (as a passive object) so its calls run synchronously/serially.
+
+:class:`GrainPolicy` is the static form (fixed knobs).
+:class:`AdaptiveGrainController` is the dynamic form from the paper's
+run-time grain packing reference [9]: it compares the observed average
+method execution time of a class against the measured remote-call
+overhead and packs until a batch amortizes the overhead.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import GrainError
+
+
+@dataclass(frozen=True)
+class GrainDecision:
+    """What a PO should do, decided at PO construction (paper Fig. 5)."""
+
+    agglomerate: bool
+    max_calls: int
+
+    def __post_init__(self) -> None:
+        if self.max_calls < 1:
+            raise GrainError(f"max_calls must be >= 1, got {self.max_calls}")
+
+
+@dataclass(frozen=True)
+class GrainPolicy:
+    """Static grain configuration.
+
+    ``max_calls=1`` disables aggregation (every async call is its own
+    message); ``agglomerate=True`` removes all parallelism (every object
+    local) — the two endpoints the ablation benchmarks sweep between.
+    """
+
+    agglomerate: bool = False
+    max_calls: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_calls < 1:
+            raise GrainError(f"max_calls must be >= 1, got {self.max_calls}")
+
+    def decide(self, class_name: str) -> GrainDecision:
+        return GrainDecision(
+            agglomerate=self.agglomerate, max_calls=self.max_calls
+        )
+
+
+@dataclass
+class _ClassStats:
+    """EWMA of one class's method execution time (seconds)."""
+
+    avg_exec_s: float = 0.0
+    samples: int = 0
+
+    def observe(self, exec_s: float, alpha: float) -> None:
+        if self.samples == 0:
+            self.avg_exec_s = exec_s
+        else:
+            self.avg_exec_s = alpha * exec_s + (1.0 - alpha) * self.avg_exec_s
+        self.samples += 1
+
+
+@dataclass
+class AdaptiveGrainController:
+    """Run-time grain packing (the paper's reference [9]).
+
+    Decision rules, per class:
+
+    * **aggregation**: pack enough calls that a batch's total work is
+      ``pack_factor`` × the per-message overhead:
+      ``max_calls = ceil(pack_factor * overhead_s / avg_exec_s)``,
+      clamped to ``[1, max_calls_cap]``;
+    * **agglomeration**: if even a full batch cannot amortize the overhead
+      (``avg_exec_s * max_calls_cap < agglomerate_factor * overhead_s``),
+      remove the parallelism entirely and create the object locally.
+
+    Until ``min_samples`` executions of a class have been observed the
+    controller stays conservative: no agglomeration, mild aggregation
+    (``bootstrap_max_calls``) — the paper's RTS likewise starts parallel
+    and packs as evidence accumulates.
+    """
+
+    overhead_s: float = 500e-6
+    pack_factor: float = 4.0
+    agglomerate_factor: float = 0.25
+    max_calls_cap: int = 128
+    min_samples: int = 8
+    bootstrap_max_calls: int = 4
+    ewma_alpha: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.overhead_s <= 0:
+            raise GrainError("overhead_s must be positive")
+        if self.max_calls_cap < 1:
+            raise GrainError("max_calls_cap must be >= 1")
+        self._lock = threading.Lock()
+        self._stats: dict[str, _ClassStats] = {}
+
+    def observe_execution(self, class_name: str, exec_s: float) -> None:
+        """Feed one measured method execution time back to the controller."""
+        if exec_s < 0:
+            raise GrainError(f"negative execution time {exec_s}")
+        with self._lock:
+            stats = self._stats.setdefault(class_name, _ClassStats())
+            stats.observe(exec_s, self.ewma_alpha)
+
+    def stats_for(self, class_name: str) -> tuple[float, int]:
+        """(avg execution seconds, sample count) for *class_name*."""
+        with self._lock:
+            stats = self._stats.get(class_name)
+            if stats is None:
+                return 0.0, 0
+            return stats.avg_exec_s, stats.samples
+
+    def merge_remote_stats(
+        self, class_name: str, avg_exec_s: float, samples: int
+    ) -> None:
+        """Fold a peer node's observations in (OM load/stat exchange)."""
+        if samples <= 0:
+            return
+        with self._lock:
+            stats = self._stats.setdefault(class_name, _ClassStats())
+            if stats.samples == 0:
+                stats.avg_exec_s = avg_exec_s
+                stats.samples = samples
+            else:
+                total = stats.samples + samples
+                stats.avg_exec_s = (
+                    stats.avg_exec_s * stats.samples + avg_exec_s * samples
+                ) / total
+                stats.samples = total
+
+    def decide(self, class_name: str) -> GrainDecision:
+        avg_exec_s, samples = self.stats_for(class_name)
+        if samples < self.min_samples or avg_exec_s <= 0:
+            return GrainDecision(
+                agglomerate=False,
+                max_calls=min(self.bootstrap_max_calls, self.max_calls_cap),
+            )
+        max_calls = math.ceil(self.pack_factor * self.overhead_s / avg_exec_s)
+        max_calls = max(1, min(max_calls, self.max_calls_cap))
+        agglomerate = (
+            avg_exec_s * self.max_calls_cap
+            < self.agglomerate_factor * self.overhead_s
+        )
+        return GrainDecision(agglomerate=agglomerate, max_calls=max_calls)

@@ -1,0 +1,240 @@
+"""Implementation objects: the active-object container for user instances.
+
+§3.1: parallel objects are "active objects ... having its own thread of
+control".  An :class:`ImplementationObject` hosts one user instance (the
+IO of Fig. 3) behind a FIFO mailbox drained by a dedicated worker thread:
+calls — single or aggregated — execute strictly in arrival order, one at a
+time, which is what makes SCOOPP's asynchronous invocations safe without
+user locking.
+
+In ParC++ this role needed an explicit server object (SO) with a message
+loop; in ParC#/here "the C# remoting [the remoting host] implements this
+loop" for the *transport*, and the container supplies only the
+active-object queue (§3.2: "The ParC# implementation no longer requires
+SO objects").
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ScooppError
+from repro.remoting import MarshalByRefObject
+
+#: The node whose implementation object is executing on this thread.
+#: Parallel objects created *inside* a parallel method are placed by the
+#: executing node's object manager (they originate there), not by node 0's.
+current_node: contextvars.ContextVar[Any] = contextvars.ContextVar(
+    "parc_current_node", default=None
+)
+
+#: The implementation object whose method is executing on this thread
+#: (used for dependence-graph labelling of nested creations).
+executing_impl: contextvars.ContextVar[Any] = contextvars.ContextVar(
+    "parc_executing_impl", default=None
+)
+
+
+@dataclass
+class _Task:
+    """One queued invocation."""
+
+    method: str
+    args: tuple
+    kwargs: dict
+    done: threading.Event | None = None  # set for synchronous waits
+    result: Any = None
+    error: BaseException | None = None
+
+
+class ImplementationObject(MarshalByRefObject):
+    """Hosts a user instance; executes its methods serially in FIFO order.
+
+    Remote surface (called through the PO's transparent proxy):
+
+    * ``enqueue(method, args, kwargs)`` — post one asynchronous call;
+    * ``enqueue_batch(method, batch)`` — post an aggregated call (the
+      paper's ``processN``, Fig. 7): *batch* is a list of
+      ``(args, kwargs)`` pairs, executed back-to-back;
+    * ``invoke(method, args, kwargs)`` — synchronous call: queued behind
+      pending work, result returned (program order is preserved);
+    * ``drain()`` — block until the mailbox is empty;
+    * ``dispose()`` — drain and stop the worker;
+    * ``stats()`` — counters for the object manager.
+    """
+
+    def __init__(
+        self,
+        instance: Any,
+        class_name: str,
+        on_execution: Callable[[str, float], None] | None = None,
+        node: Any = None,
+    ) -> None:
+        self.instance = instance
+        self.class_name = class_name
+        self.node = node
+        self._on_execution = on_execution
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queue: deque[_Task] = deque()
+        self._active = 0  # tasks dequeued but still executing
+        self._stopped = False
+        self._processed = 0
+        self._busy_s = 0.0
+        self._async_failures: list[tuple[str, str]] = []
+        self._worker = threading.Thread(
+            target=self._run,
+            name=f"parc-io-{class_name.rsplit('.', 1)[-1]}",
+            daemon=True,
+        )
+        self._worker.start()
+
+    # -- remote surface ----------------------------------------------------
+
+    def enqueue(self, method: str, args: tuple = (), kwargs: dict | None = None) -> None:
+        self._post(_Task(method=method, args=tuple(args), kwargs=dict(kwargs or {})))
+
+    def enqueue_batch(self, method: str, batch: list) -> None:
+        """Post one aggregate message carrying *batch* invocations.
+
+        The whole batch is a single mailbox entry: its calls execute
+        consecutively with no interleaving, matching Fig. 7's ``processN``
+        loop over the parameter array.
+        """
+        tasks = [
+            _Task(method=method, args=tuple(args), kwargs=dict(kwargs))
+            for args, kwargs in batch
+        ]
+        with self._work_available:
+            self._ensure_running()
+            self._queue.extend(tasks)
+            self._work_available.notify()
+
+    def invoke(self, method: str, args: tuple = (), kwargs: dict | None = None) -> Any:
+        task = _Task(
+            method=method,
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            done=threading.Event(),
+        )
+        self._post(task)
+        task.done.wait()
+        if task.error is not None:
+            raise task.error
+        return task.result
+
+    def drain(self) -> None:
+        with self._idle:
+            while self._queue or self._active:
+                self._idle.wait()
+
+    def dispose(self) -> None:
+        with self._work_available:
+            self._stopped = True
+            self._work_available.notify()
+        self._worker.join(timeout=30.0)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "class_name": self.class_name,
+                "queued": len(self._queue),
+                "processed": self._processed,
+                "busy_s": self._busy_s,
+                "async_failures": len(self._async_failures),
+            }
+
+    def async_failures(self) -> list:
+        """(method, error text) pairs from failed asynchronous calls."""
+        with self._lock:
+            return list(self._async_failures)
+
+    # -- worker --------------------------------------------------------------
+
+    def _ensure_running(self) -> None:
+        if self._stopped:
+            raise ScooppError(
+                f"implementation object for {self.class_name} is disposed"
+            )
+
+    def _post(self, task: _Task) -> None:
+        with self._work_available:
+            self._ensure_running()
+            self._queue.append(task)
+            self._work_available.notify()
+
+    def _run(self) -> None:
+        while True:
+            with self._work_available:
+                while not self._queue and not self._stopped:
+                    self._work_available.wait()
+                if not self._queue and self._stopped:
+                    self._idle.notify_all()
+                    return
+                task = self._queue.popleft()
+                self._active += 1
+            self._execute(task)
+            with self._lock:
+                self._active -= 1
+                self._processed += 1
+                if not self._queue and not self._active:
+                    self._idle.notify_all()
+
+    def _execute(self, task: _Task) -> None:
+        from repro.telemetry import get_global_tracer
+
+        tracer = get_global_tracer()
+        started = time.perf_counter()
+        started_us = None
+        if tracer is not None:
+            started_us = tracer._now_us()
+        token = current_node.set(self.node)
+        impl_token = executing_impl.set(self)
+        try:
+            method = getattr(self.instance, task.method)
+            task.result = method(*task.args, **task.kwargs)
+        except BaseException as exc:  # noqa: BLE001 - active-object boundary
+            task.error = exc
+            if task.done is None:
+                with self._lock:
+                    self._async_failures.append((task.method, repr(exc)))
+                    del self._async_failures[:-32]
+        finally:
+            executing_impl.reset(impl_token)
+            current_node.reset(token)
+            elapsed = time.perf_counter() - started
+            if tracer is not None and started_us is not None:
+                from repro.telemetry.tracer import TraceEvent
+                import threading as _threading
+
+                tracer._record(
+                    TraceEvent(
+                        name=f"{self.class_name.rsplit('.', 1)[-1]}."
+                        f"{task.method}",
+                        category="io",
+                        start_us=started_us,
+                        duration_us=elapsed * 1e6,
+                        thread_name=_threading.current_thread().name,
+                        args={"sync": task.done is not None},
+                    )
+                )
+            with self._lock:
+                self._busy_s += elapsed
+            if self._on_execution is not None:
+                try:
+                    self._on_execution(self.class_name, elapsed)
+                except Exception:  # noqa: BLE001 - stats must never kill work
+                    pass
+            if task.done is not None:
+                task.done.set()
+
+    @property
+    def queue_length(self) -> int:
+        with self._lock:
+            return len(self._queue) + self._active

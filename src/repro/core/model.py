@@ -1,0 +1,275 @@
+"""Parallel-class declarations and async/sync method classification.
+
+§3.1: parallel objects "communicate through either asynchronous (when no
+value is returned) or synchronous method calls (when a value is
+returned)".  The classifier decides, per method, which kind it is:
+
+1. an explicit override passed to ``@parallel(async_methods=...,
+   sync_methods=...)`` always wins;
+2. a ``-> None`` return annotation (or any other annotation) decides;
+3. otherwise the method's **source is analysed with ``ast``**: a method
+   whose body never executes ``return <expr>`` (or ``yield``) returns no
+   value and is classified asynchronous — this is the preprocessor's
+   analysis from §3.2 ("the pre-processor analyses the application -
+   retrieving information about the declared parallel objects").
+
+Classified classes are recorded in the process-wide
+:data:`parallel_class_table` so node factories can instantiate them by
+wire name, and registered with the serialization registry so instances
+(passive copies) could cross the wire if the user chooses.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import inspect
+import textwrap
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, TypeVar
+
+from repro.errors import PreprocessError, ScooppError
+
+T = TypeVar("T", bound=type)
+
+
+class MethodKind(enum.Enum):
+    """How a parallel-object method is invoked through its PO."""
+
+    ASYNC = "async"  # no return value: buffered/aggregated, fire-and-forget
+    SYNC = "sync"  # returns a value: flushes pending work, round trip
+
+
+@dataclass
+class ParallelClassInfo:
+    """Everything the runtime knows about one ``@parallel`` class."""
+
+    cls: type
+    wire_name: str
+    method_kinds: dict[str, MethodKind] = field(default_factory=dict)
+
+    @property
+    def async_methods(self) -> list[str]:
+        return sorted(
+            name
+            for name, kind in self.method_kinds.items()
+            if kind is MethodKind.ASYNC
+        )
+
+    @property
+    def sync_methods(self) -> list[str]:
+        return sorted(
+            name
+            for name, kind in self.method_kinds.items()
+            if kind is MethodKind.SYNC
+        )
+
+
+class ParallelClassTable:
+    """Thread-safe registry of declared parallel classes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_name: dict[str, ParallelClassInfo] = {}
+        self._by_class: dict[type, ParallelClassInfo] = {}
+
+    def add(self, info: ParallelClassInfo) -> None:
+        with self._lock:
+            existing = self._by_name.get(info.wire_name)
+            if existing is not None and existing.cls is not info.cls:
+                raise ScooppError(
+                    f"parallel class name {info.wire_name!r} already maps "
+                    f"to {existing.cls.__qualname__}"
+                )
+            self._by_name[info.wire_name] = info
+            self._by_class[info.cls] = info
+
+    def by_name(self, wire_name: str) -> ParallelClassInfo:
+        with self._lock:
+            info = self._by_name.get(wire_name)
+        if info is None:
+            raise ScooppError(
+                f"no parallel class registered as {wire_name!r}; decorate "
+                f"it with @parallel (and import its module on every node)"
+            )
+        return info
+
+    def by_class(self, cls: type) -> ParallelClassInfo:
+        with self._lock:
+            info = self._by_class.get(cls)
+        if info is None:
+            raise ScooppError(
+                f"{cls.__qualname__} is not a parallel class; decorate it "
+                f"with @parallel"
+            )
+        return info
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._by_name)
+
+
+#: Process-wide table consulted by node factories.
+parallel_class_table = ParallelClassTable()
+
+
+def ast_function_returns_value(
+    function_node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    """Does this function's body ever return a value (or yield)?
+
+    Nested function/lambda bodies are skipped: their returns are not the
+    method's.  Shared by the runtime classifier and the source
+    preprocessor, so both always agree.
+    """
+
+    class ReturnFinder(ast.NodeVisitor):
+        found = False
+
+        def visit_Return(self, node: ast.Return) -> None:
+            if node.value is not None and not (
+                isinstance(node.value, ast.Constant) and node.value.value is None
+            ):
+                self.found = True
+
+        def visit_Yield(self, node: ast.Yield) -> None:
+            self.found = True
+
+        def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+            self.found = True
+
+        # Do not descend into nested callables.
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is not function_node:
+                return
+            self.generic_visit(node)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            if node is not function_node:
+                return
+            self.generic_visit(node)
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            return
+
+    finder = ReturnFinder()
+    finder.visit(function_node)
+    return finder.found
+
+
+def _returns_value(func: Callable[..., Any]) -> bool | None:
+    """AST check on *func*'s source; None when source is unavailable."""
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ast_function_returns_value(node)
+    return None
+
+
+def classify_method(func: Callable[..., Any]) -> MethodKind:
+    """Classify one method by annotation, then AST, then the safe default."""
+    annotation = getattr(func, "__annotations__", {}).get("return", _MISSING)
+    if isinstance(annotation, str):
+        # `from __future__ import annotations` stringifies annotations
+        # (and quotes string literals); normalise before comparing.
+        annotation = annotation.strip("'\"")
+    if annotation is None or annotation == "None":
+        return MethodKind.ASYNC
+    if annotation is not _MISSING:
+        return MethodKind.SYNC
+    returns = _returns_value(func)
+    if returns is None:
+        return MethodKind.SYNC
+    return MethodKind.SYNC if returns else MethodKind.ASYNC
+
+
+_MISSING = object()
+
+
+def public_methods(cls: type) -> list[str]:
+    """Public callables defined on *cls* (not inherited from object)."""
+    names = []
+    for name in dir(cls):
+        if name.startswith("_"):
+            continue
+        member = inspect.getattr_static(cls, name, None)
+        if isinstance(member, (staticmethod, classmethod)):
+            continue
+        if callable(getattr(cls, name, None)):
+            names.append(name)
+    return sorted(names)
+
+
+def infer_method_kinds(
+    cls: type,
+    async_methods: Iterable[str] = (),
+    sync_methods: Iterable[str] = (),
+) -> dict[str, MethodKind]:
+    """Classify every public method of *cls*, honouring overrides."""
+    forced_async = set(async_methods)
+    forced_sync = set(sync_methods)
+    overlap = forced_async & forced_sync
+    if overlap:
+        raise PreprocessError(
+            f"methods {sorted(overlap)} declared both async and sync"
+        )
+    names = public_methods(cls)
+    unknown = (forced_async | forced_sync) - set(names)
+    if unknown:
+        raise PreprocessError(
+            f"@parallel overrides name missing methods {sorted(unknown)} "
+            f"on {cls.__qualname__}"
+        )
+    kinds: dict[str, MethodKind] = {}
+    for name in names:
+        if name in forced_async:
+            kinds[name] = MethodKind.ASYNC
+        elif name in forced_sync:
+            kinds[name] = MethodKind.SYNC
+        else:
+            kinds[name] = classify_method(getattr(cls, name))
+    return kinds
+
+
+def parallel(
+    cls: T | None = None,
+    *,
+    name: str | None = None,
+    async_methods: Iterable[str] = (),
+    sync_methods: Iterable[str] = (),
+) -> T | Callable[[T], T]:
+    """Declare a class as a parallel (active) object class.
+
+    The decorated class itself is untouched — it is the implementation
+    object (IO).  The PO class is produced either by the source
+    preprocessor (:func:`repro.core.preprocess.preprocess_source`) or at
+    runtime by :func:`repro.core.proxy_object.make_parallel_class` /
+    :func:`repro.core.runtime.new`.
+
+    Example (the paper's running example, Fig. 4)::
+
+        @parallel
+        class PrimeServer(PrimeFilter):
+            def process(self, num):     # no return value -> asynchronous
+                ...
+    """
+
+    def decorate(klass: T) -> T:
+        wire_name = name or f"{klass.__module__}.{klass.__qualname__}"
+        info = ParallelClassInfo(
+            cls=klass,
+            wire_name=wire_name,
+            method_kinds=infer_method_kinds(klass, async_methods, sync_methods),
+        )
+        parallel_class_table.add(info)
+        klass._parc_parallel_info = info
+        return klass
+
+    if cls is None:
+        return decorate
+    return decorate(cls)

@@ -1,0 +1,120 @@
+"""Cluster-wide naming of parallel objects.
+
+The RMI/remoting layers resolve objects by registered names; SCOOPP code
+frequently wants the same for *parallel objects* — a coordinator PO that
+every node's grains can find.  This module provides it:
+
+* the **name service** is a plain :class:`MarshalByRefObject` published
+  at a well-known path on the home node, so every node reaches it through
+  ordinary remoting;
+* values are PO references — the
+  :class:`~repro.core.proxy_object.ProxyObjectSurrogate` carries them, so
+  ``lookup`` returns a PO wired to the *original* implementation object
+  wherever it lives (and binding an agglomerated PO promotes it, exactly
+  like passing it as an argument).
+
+Usage::
+
+    parc.bind("dispatcher", dispatcher_po)
+    ...
+    # anywhere in the cluster, including inside parallel methods:
+    dispatcher = parc.lookup("dispatcher")
+    dispatcher.submit(task)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.core.proxy_object import ProxyObject
+from repro.core.runtime import current_runtime
+from repro.errors import ScooppError
+from repro.remoting import MarshalByRefObject
+
+#: Well-known path of the name service on the home node's host.
+NAME_SERVICE_PATH = "parc-names"
+
+
+class NameService(MarshalByRefObject):
+    """Name → PO-reference table (served from the home node)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bindings: dict[str, Any] = {}
+
+    def bind(self, name: str, po: Any) -> None:
+        with self._lock:
+            if name in self._bindings:
+                raise ScooppError(f"name {name!r} is already bound")
+            self._bindings[name] = po
+
+    def rebind(self, name: str, po: Any) -> None:
+        with self._lock:
+            self._bindings[name] = po
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._bindings:
+                raise ScooppError(f"name {name!r} is not bound")
+            del self._bindings[name]
+
+    def lookup(self, name: str) -> Any:
+        with self._lock:
+            po = self._bindings.get(name)
+        if po is None:
+            raise ScooppError(f"name {name!r} is not bound")
+        return po
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._bindings)
+
+
+def _service_proxy():  # type: ignore[no-untyped-def]
+    """The name service for the current runtime (created on first use)."""
+    runtime = current_runtime()
+    home = runtime.cluster.home_node
+    if NAME_SERVICE_PATH not in home.host.published_paths():
+        try:
+            home.host.publish(NameService(), NAME_SERVICE_PATH)
+        except Exception:  # noqa: BLE001 - lost a benign publish race
+            pass
+    uri = f"{home.base_uri}/{NAME_SERVICE_PATH}"
+    node = runtime._creating_node()
+    return node.make_proxy(uri)
+
+
+def _check_po(po: Any) -> None:
+    if not isinstance(po, ProxyObject):
+        raise ScooppError(
+            f"only parallel objects (POs) can be bound, got "
+            f"{type(po).__qualname__}"
+        )
+
+
+def bind(name: str, po: Any) -> None:
+    """Bind *name* to a parallel object; error if already bound."""
+    _check_po(po)
+    _service_proxy().bind(name, po)
+
+
+def rebind(name: str, po: Any) -> None:
+    """Bind *name*, replacing any existing binding."""
+    _check_po(po)
+    _service_proxy().rebind(name, po)
+
+
+def unbind(name: str) -> None:
+    """Remove a binding; error if absent."""
+    _service_proxy().unbind(name)
+
+
+def lookup(name: str) -> Any:
+    """Resolve *name* to a PO wired to the original implementation."""
+    return _service_proxy().lookup(name)
+
+
+def names() -> list[str]:
+    """All bound names, sorted."""
+    return list(_service_proxy().names())

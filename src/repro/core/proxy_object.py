@@ -1,0 +1,455 @@
+"""Proxy objects (PO): the client half of a parallel object.
+
+§3.2: "A PO represents a local or a remote parallel object and has the
+same interface as the object it represents.  It transparently replaces
+remote parallel objects and forwards all method invocations to the remote
+parallel object implementation."
+
+A PO owns one *grain*:
+
+* :class:`RemoteGrain` — the parallel case: a transparent proxy to the
+  remote :class:`~repro.core.impl.ImplementationObject`, plus the PO-side
+  grain-size machinery — aggregation buffers (Fig. 7) and a dedicated
+  sender thread so asynchronous calls return immediately to the caller
+  while staying in program order on the wire;
+* :class:`LocalGrain` — the agglomerated case (Fig. 5's ``if
+  aglomerateObj``): the IO lives in-place and "its subsequent
+  (asynchronous parallel) method invocations are actually executed
+  synchronously and serially".
+
+Generated PO classes (from :func:`make_parallel_class` or the source
+preprocessor) subclass :class:`ProxyObject` and add one forwarding method
+per user method — async methods post, sync methods flush-then-call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any
+
+from repro.core.model import MethodKind, ParallelClassInfo, parallel_class_table
+from repro.errors import GrainError, ScooppError
+from repro.remoting.objref import ObjRef
+from repro.remoting.proxy import RemoteProxy
+from repro.serialization.registry import Surrogate, default_registry
+
+_grain_ids = itertools.count(1)
+
+
+class LocalGrain:
+    """Agglomerated grain: direct, serial, in-place execution."""
+
+    is_local = True
+
+    def __init__(self, instance: Any, class_name: str) -> None:
+        self.instance = instance
+        self.class_name = class_name
+        self.grain_id = next(_grain_ids)
+        self.direct_calls = 0
+
+    def post(self, method: str, args: tuple, kwargs: dict) -> None:
+        # Asynchronous in the model, synchronous in the agglomerated
+        # implementation — exactly the parallelism removal of §3.1.
+        self.direct_calls += 1
+        getattr(self.instance, method)(*args, **kwargs)
+
+    def call(self, method: str, args: tuple, kwargs: dict) -> Any:
+        self.direct_calls += 1
+        return getattr(self.instance, method)(*args, **kwargs)
+
+    def flush(self) -> None:
+        return None
+
+    def drain(self) -> None:
+        return None
+
+    def dispose(self) -> None:
+        return None
+
+
+class RemoteGrain:
+    """Parallel grain: aggregation buffers + ordered sender + remote IO.
+
+    Aggregation is "(delay and) combine" (§3.1): a partial batch is never
+    held indefinitely — the sender thread auto-flushes any buffer older
+    than *flush_after_s*, so asynchronous calls always make progress even
+    when the program stops short of ``max_calls``.
+    """
+
+    is_local = False
+
+    #: Default maximum age of a partial aggregation batch (seconds).
+    FLUSH_AFTER_S = 0.005
+
+    def __init__(
+        self,
+        impl_proxy: RemoteProxy,
+        max_calls: int,
+        flush_after_s: float | None = None,
+    ) -> None:
+        if max_calls < 1:
+            raise GrainError(f"max_calls must be >= 1, got {max_calls}")
+        self.impl = impl_proxy
+        self.max_calls = max_calls
+        self.flush_after_s = (
+            flush_after_s if flush_after_s is not None else self.FLUSH_AFTER_S
+        )
+        self.grain_id = next(_grain_ids)
+        self.batches_sent = 0
+        self.calls_posted = 0
+        self._lock = threading.Lock()
+        self._buffer_method: str | None = None
+        self._buffer: list[tuple[tuple, dict]] = []
+        self._buffer_since = 0.0
+        self._outbox: deque = deque()
+        self._outbox_cv = threading.Condition(self._lock)
+        self._sender_error: BaseException | None = None
+        self._released = False
+        self._sender = threading.Thread(
+            target=self._send_loop, name="parc-po-sender", daemon=True
+        )
+        self._sender.start()
+
+    # -- async path -----------------------------------------------------
+
+    def post(self, method: str, args: tuple, kwargs: dict) -> None:
+        """Buffer an asynchronous call; ship a batch at ``max_calls``.
+
+        Buffering is per *consecutive run* of one method: a call to a
+        different method flushes the previous run first, so total program
+        order is preserved (batches and singles leave in caller order).
+        """
+        with self._lock:
+            self._ensure_usable()
+            self.calls_posted += 1
+            if self.max_calls == 1:
+                self._enqueue_locked(("single", method, (tuple(args), dict(kwargs))))
+                return
+            if self._buffer_method not in (None, method):
+                self._flush_locked()
+            if not self._buffer:
+                import time as _time
+
+                self._buffer_since = _time.monotonic()
+                # Wake the sender so it can arm the auto-flush timer.
+                self._outbox_cv.notify_all()
+            self._buffer_method = method
+            self._buffer.append((tuple(args), dict(kwargs)))
+            if len(self._buffer) >= self.max_calls:
+                self._flush_locked()
+
+    # -- sync path ------------------------------------------------------
+
+    def call(self, method: str, args: tuple, kwargs: dict) -> Any:
+        """Synchronous call: flush pending work, then round-trip.
+
+        The IO's FIFO mailbox guarantees the flushed batches execute
+        before this call — program order holds across the async/sync
+        boundary.
+        """
+        with self._lock:
+            self._ensure_usable()
+            self._flush_locked()
+        self._wait_outbox_empty()
+        return self.impl.invoke(method, tuple(args), dict(kwargs))
+
+    # -- grain controls ----------------------------------------------------
+
+    def flush(self) -> None:
+        """Ship any buffered calls now (does not wait for execution)."""
+        with self._lock:
+            self._ensure_usable()
+            self._flush_locked()
+
+    def sync_outbox(self) -> None:
+        """Flush and wait until every shipped call is in the IO's mailbox.
+
+        This is the happens-before edge used when this grain's PO is
+        passed by reference: once the reference arrives, any call the
+        receiver makes through it is ordered after the sender's earlier
+        asynchronous calls (the IO mailbox is FIFO).
+        """
+        self.flush()
+        self._wait_outbox_empty()
+
+    def drain(self) -> None:
+        """Flush and block until the IO has executed everything."""
+        self.flush()
+        self._wait_outbox_empty()
+        self.impl.drain()
+
+    def dispose(self) -> None:
+        with self._lock:
+            if self._released:
+                return
+            self._flush_locked()
+        self._wait_outbox_empty()
+        with self._lock:
+            self._released = True
+            self._outbox_cv.notify_all()
+        self.impl.dispose()
+        self._sender.join(timeout=30.0)
+
+    # -- internals ---------------------------------------------------------
+
+    def _ensure_usable(self) -> None:
+        if self._released:
+            raise GrainError("proxy object has been released")
+        if self._sender_error is not None:
+            error, self._sender_error = self._sender_error, None
+            raise ScooppError(
+                f"asynchronous send failed: {error}"
+            ) from error
+
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        method, self._buffer_method = self._buffer_method, None
+        if len(batch) == 1:
+            self._enqueue_locked(("single", method, batch[0]))
+        else:
+            self._enqueue_locked(("batch", method, batch))
+
+    def _enqueue_locked(self, item: tuple) -> None:
+        self._outbox.append(item)
+        self.batches_sent += 1
+        self._outbox_cv.notify_all()
+
+    def _wait_outbox_empty(self) -> None:
+        with self._outbox_cv:
+            while self._outbox and self._sender_error is None:
+                self._outbox_cv.wait()
+            self._ensure_usable()
+
+    def _send_loop(self) -> None:
+        import time as _time
+
+        while True:
+            with self._outbox_cv:
+                while not self._outbox and not self._released:
+                    if self._buffer:
+                        # Auto-flush: a partial batch may only be
+                        # *delayed*, never parked indefinitely.
+                        age = _time.monotonic() - self._buffer_since
+                        if age >= self.flush_after_s:
+                            self._flush_locked()
+                            continue
+                        self._outbox_cv.wait(self.flush_after_s - age)
+                    else:
+                        self._outbox_cv.wait()
+                if not self._outbox and self._released:
+                    return
+                kind, method, payload = self._outbox[0]
+            try:
+                if kind == "single":
+                    args, kwargs = payload
+                    self.impl.enqueue(method, args, kwargs)
+                else:
+                    self.impl.enqueue_batch(method, payload)
+            except BaseException as exc:  # noqa: BLE001 - surfaced on next use
+                with self._outbox_cv:
+                    self._sender_error = exc
+                    self._outbox.clear()
+                    self._outbox_cv.notify_all()
+                continue
+            with self._outbox_cv:
+                self._outbox.popleft()
+                if not self._outbox:
+                    self._outbox_cv.notify_all()
+
+
+class ProxyObject:
+    """Base class of generated PO classes.
+
+    Construction consults the runtime's object manager (grain decision +
+    placement, Fig. 5) and builds the grain; generated methods forward to
+    it.  Runtime controls are ``parc_``-prefixed to stay clear of user
+    method names:
+
+    * ``parc_flush()`` — ship buffered asynchronous calls;
+    * ``parc_wait()`` — block until all posted work has executed;
+    * ``parc_release()`` — dispose the grain (flushes and drains first);
+    * ``parc_is_local`` — True when the object was agglomerated.
+    """
+
+    #: Set on subclasses by make_parallel_class / the preprocessor.
+    _parc_info: ParallelClassInfo | None = None
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        info = type(self)._parc_info
+        if info is None:
+            raise ScooppError(
+                "ProxyObject subclass was not generated; use "
+                "make_parallel_class or the preprocessor"
+            )
+        from repro.core.runtime import current_runtime
+
+        runtime = current_runtime()
+        self._parc_grain = runtime.create_grain(info, args, kwargs)
+
+    def parc_delegate(self, method_name: str):  # type: ignore[no-untyped-def]
+        """A :class:`~repro.remoting.delegates.Delegate` for one method.
+
+        The PO equivalent of Fig. 4's ``RemoteAsyncDelegate``: lets a
+        *synchronous* method run in background and deliver its value
+        later::
+
+            delegate = po.parc_delegate("summary")
+            handle = delegate.begin_invoke()
+            ...                               # overlap other work
+            result = delegate.end_invoke(handle)
+        """
+        info = type(self)._parc_info
+        if info is None or method_name not in info.method_kinds:
+            raise ScooppError(
+                f"{type(self).__name__} has no parallel method "
+                f"{method_name!r}"
+            )
+        from repro.remoting.delegates import Delegate
+
+        grain = self._parc_grain
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            return grain.call(method_name, args, kwargs)
+
+        call.__name__ = method_name
+        return Delegate(call)
+
+    def parc_flush(self) -> None:
+        self._parc_grain.flush()
+
+    def parc_wait(self) -> None:
+        self._parc_grain.drain()
+
+    def parc_release(self) -> None:
+        self._parc_grain.dispose()
+
+    @property
+    def parc_is_local(self) -> bool:
+        return self._parc_grain.is_local
+
+    def __repr__(self) -> str:
+        info = type(self)._parc_info
+        name = info.wire_name if info is not None else "?"
+        kind = "local" if self._parc_grain.is_local else "remote"
+        return f"<PO {name} ({kind} grain {self._parc_grain.grain_id})>"
+
+
+def _make_async_method(name: str) -> Any:
+    def method(self: ProxyObject, *args: Any, **kwargs: Any) -> None:
+        self._parc_grain.post(name, args, kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = name
+    method.__doc__ = f"Asynchronous parallel call of {name} (no result)."
+    return method
+
+
+def _make_sync_method(name: str) -> Any:
+    def method(self: ProxyObject, *args: Any, **kwargs: Any) -> Any:
+        return self._parc_grain.call(name, args, kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = name
+    method.__doc__ = f"Synchronous parallel call of {name} (returns a value)."
+    return method
+
+
+_po_class_cache: dict[type, type] = {}
+_po_class_lock = threading.Lock()
+
+
+def make_parallel_class(cls: type) -> type:
+    """Runtime equivalent of the preprocessor: generate *cls*'s PO class.
+
+    ``make_parallel_class(PrimeServer)`` returns a class with
+    ``PrimeServer``'s public interface whose instances are POs (Fig. 4's
+    generated ``PrimeServer`` with the original renamed away).  Cached per
+    class; tests assert it is behaviourally identical to the
+    source-generated PO.
+    """
+    with _po_class_lock:
+        cached = _po_class_cache.get(cls)
+        if cached is not None:
+            return cached
+    info = parallel_class_table.by_class(cls)
+    namespace: dict[str, Any] = {
+        "_parc_info": info,
+        "__doc__": f"Generated proxy-object class for {cls.__qualname__}.",
+        "_parc_impl_class": cls,
+    }
+    for name, kind in info.method_kinds.items():
+        if kind is MethodKind.ASYNC:
+            namespace[name] = _make_async_method(name)
+        else:
+            namespace[name] = _make_sync_method(name)
+    po_class = type(f"{cls.__name__}PO", (ProxyObject,), namespace)
+    with _po_class_lock:
+        _po_class_cache[cls] = po_class
+    return po_class
+
+
+class ProxyObjectSurrogate(Surrogate):
+    """Lets PO references travel as method arguments (§3.1).
+
+    "References to parallel objects may be copied or sent as a method
+    argument" — a PO on the wire becomes (class wire name, IO ObjRef);
+    the receiver rebuilds a PO of the same generated class whose grain
+    points at the *same* implementation object.  Local (agglomerated)
+    grains are first promoted to published implementation objects by the
+    current runtime.
+    """
+
+    wire_name = "parc.scoopp.PORef"
+
+    def applies_to(self, obj: Any) -> bool:
+        return isinstance(obj, ProxyObject)
+
+    def encode(self, obj: ProxyObject) -> dict[str, Any]:
+        info = type(obj)._parc_info
+        grain = obj._parc_grain
+        if grain.is_local:
+            from repro.core.runtime import current_runtime
+
+            grain = current_runtime().promote_grain(obj)
+        # Happens-before: ship pending asynchronous calls before the
+        # reference leaves, so the receiver observes them (FIFO mailbox).
+        grain.sync_outbox()
+        if isinstance(grain.impl, RemoteProxy):
+            ref = grain.impl._parc_objref
+        else:
+            # Reference-shortcut grain: the impl is a live local
+            # ImplementationObject; publish it through the runtime.
+            from repro.core.runtime import current_runtime
+
+            ref = current_runtime().objref_for_impl(grain.impl)
+        return {
+            "class_name": info.wire_name,
+            "uris": list(ref.uris),
+            "host_id": ref.host_id,
+            "max_calls": grain.max_calls,
+        }
+
+    def decode(self, state: dict[str, Any]) -> Any:
+        from repro.core.runtime import current_runtime
+
+        info = parallel_class_table.by_name(state["class_name"])
+        po_class = make_parallel_class(info.cls)
+        ref = ObjRef(
+            uris=tuple(state["uris"]),
+            type_hint="repro.core.impl.ImplementationObject",
+            host_id=state.get("host_id", ""),
+        )
+        runtime = current_runtime()
+        impl_proxy = runtime.proxy_for_objref(ref)
+        po = po_class.__new__(po_class)
+        po._parc_grain = RemoteGrain(
+            impl_proxy, max_calls=int(state.get("max_calls", 1))
+        )
+        return po
+
+
+default_registry.register_surrogate(ProxyObjectSurrogate())

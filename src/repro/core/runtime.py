@@ -1,0 +1,303 @@
+"""The runtime system entry points: init, shutdown, grain creation.
+
+Typical use (the paper's programming model, in Python)::
+
+    import repro.core as parc
+
+    @parc.parallel
+    class PrimeServer:
+        def process(self, nums):          # async (no return value)
+            ...
+        def count(self):                  # sync (returns a value)
+            return ...
+
+    parc.init(nodes=4)
+    try:
+        server = parc.new(PrimeServer)    # PO; IO placed by the OM
+        server.process([2, 3, 5])         # asynchronous, may be aggregated
+        total = server.count()            # synchronous, flushes first
+    finally:
+        parc.shutdown()
+
+``parc.new(Cls, ...)`` and instantiating a generated PO class are
+equivalent; the preprocessor route produces modules where the original
+class *name* already denotes the PO (paper §3.2: "the original parallel
+object classes are replaced by generated PO classes").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.core.depgraph import MAIN, DependenceTracker
+from repro.core.grain import AdaptiveGrainController, GrainPolicy
+from repro.core.impl import ImplementationObject, current_node
+from repro.core.model import ParallelClassInfo, parallel_class_table
+from repro.core.proxy_object import (
+    LocalGrain,
+    ProxyObject,
+    RemoteGrain,
+    make_parallel_class,
+)
+from repro.errors import NotRunningError, ScooppError
+from repro.remoting.objref import ObjRef, current_host
+
+# NOTE: repro.cluster modules import repro.core (grain, impl, model), so
+# the cluster itself is imported lazily inside the functions that need it
+# — a module-level import here would be circular when a worker process's
+# first import is a repro.cluster module.
+
+if False:  # pragma: no cover - static typing aid only
+    from repro.cluster.cluster import Cluster  # noqa: F401
+    from repro.cluster.node import Node  # noqa: F401
+
+
+class ParcRuntime:
+    """One live SCOOPP runtime over a cluster."""
+
+    def __init__(self, cluster) -> None:  # type: ignore[no-untyped-def]
+        self.cluster = cluster
+        self.dependence = DependenceTracker()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- grain creation ----------------------------------------------------
+
+    def _creating_node(self):  # type: ignore[no-untyped-def]
+        from repro.cluster.node import Node
+
+        node = current_node.get()
+        if node is not None and isinstance(node, Node):
+            return node
+        return self.cluster.home_node
+
+    @staticmethod
+    def _creator_label() -> str:
+        node = current_node.get()
+        if node is None:
+            return MAIN
+        impl = _executing_impl.get()
+        if impl is None:
+            return MAIN
+        return _impl_label(impl)
+
+    #: Placement attempts before giving up on creating an IO (a failed
+    #: attempt marks the target node dead and re-places elsewhere).
+    CREATE_ATTEMPTS = 3
+
+    def create_grain(
+        self, info: ParallelClassInfo, args: tuple, kwargs: dict
+    ) -> Any:
+        """Fig. 5's generated constructor body: decide, place, create.
+
+        Node failures are absorbed: if the chosen node is unreachable it
+        is recorded dead with the object manager and placement retries on
+        the remaining nodes (up to :data:`CREATE_ATTEMPTS` times).
+        """
+        from repro.errors import (
+            ChannelError,
+            RemoteInvocationError,
+            RemotingError,
+        )
+
+        self._ensure_open()
+        node = self._creating_node()
+        creator = self._creator_label()
+        last_error: Exception | None = None
+        for _attempt in range(self.CREATE_ATTEMPTS):
+            decision, factory_uri = node.om.decide_and_place(info.wire_name)
+            if factory_uri is None:
+                # Object agglomeration: intra-grain creation (Fig. 3 call d).
+                instance = info.cls(*args, **kwargs)
+                grain = LocalGrain(instance, info.wire_name)
+                self.dependence.record_creation(
+                    creator, f"local:{grain.grain_id}"
+                )
+                return grain
+            factory = node.make_proxy(factory_uri)
+            token = current_host.set(node.host)
+            try:
+                impl = factory.create(
+                    info.wire_name, tuple(args), dict(kwargs)
+                )
+            except RemoteInvocationError:
+                # The node answered: this is an application failure (for
+                # example the user constructor raised), not a dead node.
+                raise
+            except (ChannelError, RemotingError) as exc:
+                last_error = exc
+                base_uri = factory_uri.rsplit("/", 1)[0]
+                node.om.note_dead(base_uri)
+                continue
+            finally:
+                current_host.reset(token)
+            grain = RemoteGrain(impl, max_calls=decision.max_calls)
+            self.dependence.record_creation(creator, _grain_label(grain))
+            return grain
+        raise ScooppError(
+            f"could not place {info.wire_name} after "
+            f"{self.CREATE_ATTEMPTS} attempts: {last_error}"
+        ) from last_error
+
+    # -- reference support (PO passing, promotion) ------------------------
+
+    def promote_grain(self, po: ProxyObject) -> RemoteGrain:
+        """Convert a local (agglomerated) grain into a publishable one.
+
+        Needed when a reference to an agglomerated PO is sent remotely:
+        the instance is adopted by the creating node as a hosted IO and
+        the PO switches to a remote grain in place.
+        """
+        grain = po._parc_grain
+        if isinstance(grain, RemoteGrain):
+            return grain
+        node = self._creating_node()
+        impl = ImplementationObject(
+            grain.instance,
+            grain.class_name,
+            on_execution=node._on_execution,
+            node=node,
+        )
+        node.adopt_impl(impl)
+        node.host.objref_for(impl)  # publish now so the label is its path
+        new_grain = RemoteGrain(impl, max_calls=1)
+        po._parc_grain = new_grain
+        return new_grain
+
+    def objref_for_impl(self, impl: ImplementationObject) -> ObjRef:
+        from repro.cluster.node import Node
+
+        node = impl.node if isinstance(impl.node, Node) else self.cluster.home_node
+        return node.host.objref_for(impl)
+
+    def proxy_for_objref(self, ref: ObjRef) -> Any:
+        """Resolve an IO reference: local shortcut or transparent proxy."""
+        host = current_host.get()
+        if host is None:
+            host = self.cluster.home_node.host
+        local = host.resolve_local(ref)
+        if local is not None:
+            return local
+        holder = self._creator_label()
+        self.dependence.record_reference(holder, _path_of(ref))
+        return host.make_proxy(ref)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise NotRunningError("runtime has been shut down")
+
+    def stats(self) -> list[dict]:
+        return self.cluster.stats()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.cluster.close()
+
+
+# -- labelling helpers --------------------------------------------------------
+
+from repro.core.impl import executing_impl as _executing_impl
+
+
+def _impl_label(impl: ImplementationObject) -> str:
+    path = getattr(impl, "_parc_path", None)
+    home = getattr(impl, "_parc_home", None)
+    if path and home is not None:
+        # Auto-generated paths repeat across hosts; qualify with the host.
+        return f"{home.host_id}/{path}"
+    return f"impl:{id(impl):x}"
+
+
+def _grain_label(grain: RemoteGrain) -> str:
+    from repro.remoting.proxy import RemoteProxy
+
+    if isinstance(grain.impl, RemoteProxy):
+        return _path_of(grain.impl._parc_objref)
+    return _impl_label(grain.impl)
+
+
+def _path_of(ref: ObjRef) -> str:
+    from repro.channels.services import parse_uri
+
+    return f"{ref.host_id}/{parse_uri(ref.uris[0]).path}"
+
+
+# -- module-level runtime management -----------------------------------------
+
+_runtime_lock = threading.Lock()
+_runtime: ParcRuntime | None = None
+
+
+def init(
+    nodes: int = 4,
+    channel: str = "loopback",
+    grain: GrainPolicy | AdaptiveGrainController | None = None,
+    placement: str = "round_robin",
+    dispatch_pool_size: int = 16,
+    worker_processes: int = 0,
+    worker_modules: tuple[str, ...] = (),
+) -> ParcRuntime:
+    """Boot the runtime: *nodes* processing nodes, one OM+factory each.
+
+    *channel* is ``"loopback"`` (in-process, deterministic) or ``"tcp"``
+    (real sockets).  *grain* defaults to no adaptation
+    (:class:`GrainPolicy` with ``max_calls=1``); pass an
+    :class:`AdaptiveGrainController` for run-time grain packing.
+
+    *worker_processes* adds nodes running as separate OS processes over
+    TCP (true parallelism); they import *worker_modules* at boot so the
+    application's ``@parallel`` classes are registered there.
+    """
+    global _runtime
+    with _runtime_lock:
+        if _runtime is not None and not _runtime._closed:
+            raise ScooppError("runtime already initialized; call shutdown()")
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster(
+            num_nodes=nodes,
+            channel_kind=channel,  # type: ignore[arg-type]
+            grain=grain,
+            placement=placement,
+            dispatch_pool_size=dispatch_pool_size,
+            worker_processes=worker_processes,
+            worker_modules=worker_modules,
+        )
+        _runtime = ParcRuntime(cluster)
+        return _runtime
+
+
+def current_runtime() -> ParcRuntime:
+    """The live runtime; raises NotRunningError before init/after shutdown."""
+    runtime = _runtime
+    if runtime is None or runtime._closed:
+        raise NotRunningError(
+            "ParC runtime is not initialized; call repro.core.init() first"
+        )
+    return runtime
+
+
+def shutdown() -> None:
+    """Stop the runtime and release all nodes (idempotent)."""
+    global _runtime
+    with _runtime_lock:
+        runtime, _runtime = _runtime, None
+    if runtime is not None:
+        runtime.close()
+
+
+def new(cls: type, *args: Any, **kwargs: Any) -> Any:
+    """Create a parallel object: returns a PO for ``@parallel`` class *cls*.
+
+    Equivalent to instantiating the generated PO class; the IO is created
+    where the object manager places it (or locally under agglomeration).
+    """
+    parallel_class_table.by_class(cls)  # clear error if not @parallel
+    po_class = make_parallel_class(cls)
+    return po_class(*args, **kwargs)

@@ -1,0 +1,55 @@
+"""MPI analog: explicit message passing, the paper's low-level baseline.
+
+Paper §2: "The mechanisms for communication are based on explicit message
+send and receive, where each process is identified by its rank in the
+communication group ... MPI requires explicit packing and unpacking of
+messages."  This package reproduces that programming model:
+
+* :func:`run_mpi` — SPMD launcher: run a function on ``size`` ranks
+  (thread-backed processes) sharing a :class:`World`;
+* :class:`Comm` — per-rank communicator with blocking ``send``/``recv``
+  (bytes in, bytes out — *no* object serialization, by design), buffered
+  non-blocking ``isend``/``irecv`` returning :class:`Request` handles;
+* collectives: ``bcast``, ``reduce``, ``allreduce``, ``gather``,
+  ``scatter``, ``barrier`` — built on point-to-point with binomial trees;
+* :class:`PackBuffer` / :class:`UnpackBuffer` — the explicit
+  ``MPI_Pack``/``MPI_Unpack`` discipline the paper contrasts with object
+  serialization (a non-contiguous structure "must be packed into a
+  continuous memory area before being sent").
+
+Message-ordering guarantee: messages between one (source, dest) pair are
+non-overtaking, matching the MPI standard; tags and ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards follow MPI matching rules.
+"""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Comm, Status, World, run_mpi
+from repro.mpi.p2p import Request
+from repro.mpi.ops import MAX, MIN, PROD, SUM
+from repro.mpi.pack import (
+    CHAR,
+    DOUBLE,
+    INT,
+    LONG,
+    PackBuffer,
+    UnpackBuffer,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CHAR",
+    "Comm",
+    "DOUBLE",
+    "INT",
+    "LONG",
+    "MAX",
+    "MIN",
+    "PROD",
+    "PackBuffer",
+    "Request",
+    "SUM",
+    "Status",
+    "UnpackBuffer",
+    "World",
+    "run_mpi",
+]

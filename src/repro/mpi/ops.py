@@ -1,0 +1,45 @@
+"""Reduction operators for MPI collectives.
+
+Operate on numbers or on equal-length numeric sequences (elementwise),
+mirroring MPI's typed reductions over count > 1 buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import MpiError
+
+
+class ReduceOp:
+    """Named associative/commutative binary operator."""
+
+    def __init__(self, name: str, scalar: Callable[[Any, Any], Any]) -> None:
+        self.name = name
+        self._scalar = scalar
+
+    def combine(self, left: Any, right: Any) -> Any:
+        if _is_sequence(left) or _is_sequence(right):
+            if not (_is_sequence(left) and _is_sequence(right)):
+                raise MpiError(
+                    f"{self.name}: cannot reduce sequence with scalar"
+                )
+            if len(left) != len(right):
+                raise MpiError(
+                    f"{self.name}: length mismatch {len(left)} vs {len(right)}"
+                )
+            return [self._scalar(a, b) for a, b in zip(left, right)]
+        return self._scalar(left, right)
+
+    def __repr__(self) -> str:
+        return f"<ReduceOp {self.name}>"
+
+
+def _is_sequence(value: Any) -> bool:
+    return isinstance(value, Sequence) and not isinstance(value, (str, bytes))
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b)
+PROD = ReduceOp("PROD", lambda a, b: a * b)
+MAX = ReduceOp("MAX", lambda a, b: a if a >= b else b)
+MIN = ReduceOp("MIN", lambda a, b: a if a <= b else b)

@@ -1,0 +1,183 @@
+"""Point-to-point machinery: mailboxes, matching, requests.
+
+Each rank owns a :class:`Mailbox`.  A send deposits an envelope in the
+destination's mailbox (buffered/eager semantics — like ``MPI_Send`` for
+small messages in every real implementation); a receive scans for the
+first envelope matching ``(source, tag)`` under MPI's wildcard and
+non-overtaking rules.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import MpiError
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Envelope:
+    """One in-flight message."""
+
+    source: int
+    tag: int
+    payload: bytes
+
+
+@dataclass
+class Status:
+    """Receive status (MPI_Status analog)."""
+
+    source: int
+    tag: int
+    count: int
+
+
+class Mailbox:
+    """Arrival-ordered message store with MPI matching semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._messages: list[Envelope] = []
+        self._closed = False
+
+    def deposit(self, envelope: Envelope) -> None:
+        with self._arrived:
+            if self._closed:
+                raise MpiError("mailbox is closed (world finalized)")
+            self._messages.append(envelope)
+            self._arrived.notify_all()
+
+    def _match_index(self, source: int, tag: int) -> int | None:
+        for index, envelope in enumerate(self._messages):
+            if source not in (ANY_SOURCE, envelope.source):
+                continue
+            if tag not in (ANY_TAG, envelope.tag):
+                continue
+            return index
+        return None
+
+    def collect(self, source: int, tag: int, timeout: float | None) -> Envelope:
+        """Blocking matched receive; raises MpiError on timeout/shutdown."""
+        deadline = None
+        with self._arrived:
+            while True:
+                index = self._match_index(source, tag)
+                if index is not None:
+                    return self._messages.pop(index)
+                if self._closed:
+                    raise MpiError("world finalized while receiving")
+                if timeout is not None:
+                    import time
+
+                    if deadline is None:
+                        deadline = time.monotonic() + timeout
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise MpiError(
+                            f"recv(source={source}, tag={tag}) timed out"
+                        )
+                    self._arrived.wait(remaining)
+                else:
+                    self._arrived.wait()
+
+    def try_collect(self, source: int, tag: int) -> Envelope | None:
+        """Non-blocking matched receive (iprobe + recv)."""
+        with self._arrived:
+            index = self._match_index(source, tag)
+            if index is None:
+                return None
+            return self._messages.pop(index)
+
+    def close(self) -> None:
+        with self._arrived:
+            self._closed = True
+            self._arrived.notify_all()
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._messages)
+
+
+class Request:
+    """Handle to a non-blocking operation (MPI_Request analog).
+
+    ``isend`` requests complete immediately (buffered semantics); ``irecv``
+    requests complete when a matching message is collected by ``wait`` or
+    observed by ``test``.
+    """
+
+    def __init__(
+        self,
+        mailbox: Mailbox | None = None,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        ready: Envelope | None = None,
+    ) -> None:
+        self._mailbox = mailbox
+        self._source = source
+        self._tag = tag
+        self._envelope = ready
+        self._done = ready is not None or mailbox is None
+        self._lock = threading.Lock()
+
+    @classmethod
+    def completed_send(cls) -> "Request":
+        return cls()
+
+    def test(self) -> bool:
+        """True if the operation has completed (non-blocking)."""
+        with self._lock:
+            if self._done:
+                return True
+            envelope = self._mailbox.try_collect(self._source, self._tag)
+            if envelope is None:
+                return False
+            self._envelope = envelope
+            self._done = True
+            return True
+
+    def wait(self, timeout: float | None = None) -> tuple[bytes, Status] | None:
+        """Block until complete; returns (payload, status) for receives."""
+        with self._lock:
+            if not self._done:
+                envelope = self._mailbox.collect(
+                    self._source, self._tag, timeout
+                )
+                self._envelope = envelope
+                self._done = True
+            if self._envelope is None:
+                return None  # send request: nothing to deliver
+            envelope = self._envelope
+            return (
+                envelope.payload,
+                Status(
+                    source=envelope.source,
+                    tag=envelope.tag,
+                    count=len(envelope.payload),
+                ),
+            )
+
+
+def as_payload(data: Any) -> bytes:
+    """Normalize a send buffer to bytes.
+
+    Accepts anything with the buffer protocol (bytes, bytearray,
+    memoryview, array.array, contiguous ndarray).  Rich objects are
+    rejected: MPI moves buffers, not object graphs — that distinction is
+    the paper's whole §2 comparison.
+    """
+    if isinstance(data, bytes):
+        return data
+    try:
+        return bytes(memoryview(data))
+    except TypeError:
+        raise MpiError(
+            f"cannot send {type(data).__qualname__}: MPI sends contiguous "
+            f"buffers; pack structured data with PackBuffer first"
+        ) from None

@@ -1,0 +1,143 @@
+"""Explicit pack/unpack buffers (MPI_Pack / MPI_Unpack).
+
+Paper §2: "MPI requires explicit packing and unpacking of messages (i.e.,
+a data structure residing in a non-continuous memory must be packed into a
+continuous memory area before being sent and must be unpacked in the
+receiver)."  This module is that chore, faithfully: the receiver must
+unpack fields in the same order and with the same datatypes the sender
+packed them — a type tag per element makes violations loud errors instead
+of silent corruption.
+
+This is exactly the code C# remoting made disappear from ParC++'s proxy
+objects (§3.2: "the main simplification of PO objects arises from the
+elimination of code required to pack a method tag and method arguments
+into a MPI message").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import PackError
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """One MPI datatype: a struct format plus a one-byte wire tag."""
+
+    name: str
+    format: str
+    tag: int
+
+    @property
+    def size(self) -> int:
+        return struct.calcsize(self.format)
+
+
+INT = Datatype("MPI_INT", ">i", 1)
+LONG = Datatype("MPI_LONG", ">q", 2)
+DOUBLE = Datatype("MPI_DOUBLE", ">d", 3)
+CHAR = Datatype("MPI_CHAR", ">c", 4)
+
+_BY_TAG = {datatype.tag: datatype for datatype in (INT, LONG, DOUBLE, CHAR)}
+
+_COUNT = struct.Struct(">I")
+
+
+class PackBuffer:
+    """Write side: pack typed elements into one contiguous buffer."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def pack(self, values: Any, datatype: Datatype) -> "PackBuffer":
+        """Append *values* (a scalar or a sequence) as *datatype* elements."""
+        if isinstance(values, (str, bytes)):
+            if datatype is not CHAR:
+                raise PackError(
+                    f"{datatype.name} cannot pack text; use CHAR"
+                )
+            data = values.encode("utf-8") if isinstance(values, str) else values
+            self._parts.append(bytes((datatype.tag,)) + _COUNT.pack(len(data)) + data)
+            return self
+        try:
+            iterator = iter(values)
+        except TypeError:
+            iterator = iter((values,))
+        items = list(iterator)
+        encoder = struct.Struct(datatype.format)
+        try:
+            body = b"".join(encoder.pack(item) for item in items)
+        except struct.error as exc:
+            raise PackError(
+                f"cannot pack {items!r} as {datatype.name}: {exc}"
+            ) from exc
+        self._parts.append(bytes((datatype.tag,)) + _COUNT.pack(len(items)) + body)
+        return self
+
+    def getvalue(self) -> bytes:
+        """The contiguous packed buffer, ready for ``comm.send``."""
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+
+class UnpackBuffer:
+    """Read side: unpack elements in pack order, with type checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def unpack(self, datatype: Datatype, count: int | None = None) -> Any:
+        """Read the next packed run, which must be of *datatype*.
+
+        Returns a scalar when the run holds one element (and *count* is
+        None or 1), else a list.  CHAR runs return ``bytes``.
+        """
+        if self._offset >= len(self._data):
+            raise PackError("unpack past end of buffer")
+        tag = self._data[self._offset]
+        actual = _BY_TAG.get(tag)
+        if actual is None:
+            raise PackError(f"corrupt buffer: unknown datatype tag {tag}")
+        if actual is not datatype:
+            raise PackError(
+                f"type mismatch: buffer holds {actual.name}, "
+                f"caller asked for {datatype.name}"
+            )
+        start = self._offset + 1
+        if start + _COUNT.size > len(self._data):
+            raise PackError("truncated buffer: run header cut short")
+        (stored_count,) = _COUNT.unpack_from(self._data, start)
+        if count is not None and count != stored_count:
+            raise PackError(
+                f"count mismatch: buffer run holds {stored_count} "
+                f"elements, caller asked for {count}"
+            )
+        body_start = start + _COUNT.size
+        if datatype is CHAR:
+            end = body_start + stored_count
+            if end > len(self._data):
+                raise PackError("truncated CHAR run")
+            self._offset = end
+            return self._data[body_start:end]
+        decoder = struct.Struct(datatype.format)
+        end = body_start + decoder.size * stored_count
+        if end > len(self._data):
+            raise PackError(f"truncated {datatype.name} run")
+        values = [
+            decoder.unpack_from(self._data, body_start + index * decoder.size)[0]
+            for index in range(stored_count)
+        ]
+        self._offset = end
+        if stored_count == 1 and count is None:
+            return values[0]
+        return values
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._offset

@@ -1,0 +1,36 @@
+"""java.nio analog: buffer-based, lower-level message passing.
+
+§4 of the paper compares Mono remoting's latency with "the new Java nio
+package ... this Java package is more low level, based on message
+passing."  This package reproduces that level of abstraction:
+
+* :class:`ByteBuffer` — the java.nio buffer with its position/limit/
+  capacity discipline (``flip``/``clear``/``compact``), typed puts/gets;
+* :class:`SocketChannel` / :class:`ServerSocketChannel` /
+  :class:`Selector` — non-blocking socket channels multiplexed by a
+  selector, mirroring the java.nio.channels API shape.
+
+The point of keeping it this low-level is the comparison itself: the nio
+user hand-rolls framing and buffer management that RMI/remoting do
+automatically — less overhead on the wire, more burden in the code.
+"""
+
+from repro.nio.buffer import ByteBuffer
+from repro.nio.channels import (
+    OP_ACCEPT,
+    OP_READ,
+    OP_WRITE,
+    Selector,
+    ServerSocketChannel,
+    SocketChannel,
+)
+
+__all__ = [
+    "ByteBuffer",
+    "OP_ACCEPT",
+    "OP_READ",
+    "OP_WRITE",
+    "Selector",
+    "ServerSocketChannel",
+    "SocketChannel",
+]

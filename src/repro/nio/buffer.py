@@ -1,0 +1,259 @@
+"""ByteBuffer: java.nio's buffer with its state-machine discipline.
+
+Invariant (enforced on every operation)::
+
+    0 <= mark <= position <= limit <= capacity
+
+Relative ``put_*`` operations advance ``position`` while filling; ``flip``
+switches to draining mode (limit = position, position = 0); relative
+``get_*`` operations advance ``position`` while draining; ``clear`` resets
+for refilling; ``compact`` preserves the undrained tail.  Misuse raises
+:class:`~repro.errors.BufferStateError` — the analog of java.nio's
+Buffer{Overflow,Underflow}Exception.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import BufferStateError
+
+_INT = struct.Struct(">i")
+_LONG = struct.Struct(">q")
+_DOUBLE = struct.Struct(">d")
+
+
+class ByteBuffer:
+    """Fixed-capacity binary buffer with position/limit/capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise BufferStateError(f"capacity must be >= 0, got {capacity}")
+        self._data = bytearray(capacity)
+        self._capacity = capacity
+        self._position = 0
+        self._limit = capacity
+        self._mark: int | None = None
+
+    @classmethod
+    def allocate(cls, capacity: int) -> "ByteBuffer":
+        """java.nio.ByteBuffer.allocate."""
+        return cls(capacity)
+
+    @classmethod
+    def wrap(cls, data: bytes) -> "ByteBuffer":
+        """Buffer over a copy of *data*, ready for draining."""
+        buffer = cls(len(data))
+        buffer._data[:] = data
+        buffer._limit = len(data)
+        return buffer
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    @position.setter
+    def position(self, value: int) -> None:
+        if not 0 <= value <= self._limit:
+            raise BufferStateError(
+                f"position {value} outside [0, limit={self._limit}]"
+            )
+        self._position = value
+        if self._mark is not None and self._mark > value:
+            self._mark = None
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @limit.setter
+    def limit(self, value: int) -> None:
+        if not 0 <= value <= self._capacity:
+            raise BufferStateError(
+                f"limit {value} outside [0, capacity={self._capacity}]"
+            )
+        self._limit = value
+        if self._position > value:
+            self._position = value
+        if self._mark is not None and self._mark > value:
+            self._mark = None
+
+    def remaining(self) -> int:
+        return self._limit - self._position
+
+    def has_remaining(self) -> bool:
+        return self._position < self._limit
+
+    # -- mode switches --------------------------------------------------------
+
+    def flip(self) -> "ByteBuffer":
+        """Fill mode -> drain mode."""
+        self._limit = self._position
+        self._position = 0
+        self._mark = None
+        return self
+
+    def clear(self) -> "ByteBuffer":
+        """Reset for refilling (contents untouched, state reset)."""
+        self._position = 0
+        self._limit = self._capacity
+        self._mark = None
+        return self
+
+    def rewind(self) -> "ByteBuffer":
+        """Re-drain from the start."""
+        self._position = 0
+        self._mark = None
+        return self
+
+    def compact(self) -> "ByteBuffer":
+        """Move the undrained tail to the front; switch to fill mode."""
+        tail = self._data[self._position : self._limit]
+        self._data[: len(tail)] = tail
+        self._position = len(tail)
+        self._limit = self._capacity
+        self._mark = None
+        return self
+
+    def mark(self) -> "ByteBuffer":
+        self._mark = self._position
+        return self
+
+    def reset(self) -> "ByteBuffer":
+        if self._mark is None:
+            raise BufferStateError("reset without a mark")
+        self._position = self._mark
+        return self
+
+    # -- relative puts ---------------------------------------------------
+
+    def _claim(self, size: int) -> int:
+        if self.remaining() < size:
+            raise BufferStateError(
+                f"buffer overflow: need {size} bytes, {self.remaining()} "
+                f"remaining"
+            )
+        start = self._position
+        self._position += size
+        return start
+
+    def put(self, data: bytes) -> "ByteBuffer":
+        start = self._claim(len(data))
+        self._data[start : start + len(data)] = data
+        return self
+
+    def put_int(self, value: int) -> "ByteBuffer":
+        start = self._claim(4)
+        _INT.pack_into(self._data, start, value)
+        return self
+
+    def put_long(self, value: int) -> "ByteBuffer":
+        start = self._claim(8)
+        _LONG.pack_into(self._data, start, value)
+        return self
+
+    def put_double(self, value: float) -> "ByteBuffer":
+        start = self._claim(8)
+        _DOUBLE.pack_into(self._data, start, value)
+        return self
+
+    # -- relative gets ---------------------------------------------------
+
+    def _drain(self, size: int) -> int:
+        if self.remaining() < size:
+            raise BufferStateError(
+                f"buffer underflow: need {size} bytes, {self.remaining()} "
+                f"remaining"
+            )
+        start = self._position
+        self._position += size
+        return start
+
+    def get(self, size: int) -> bytes:
+        start = self._drain(size)
+        return bytes(self._data[start : start + size])
+
+    def get_int(self) -> int:
+        start = self._drain(4)
+        return _INT.unpack_from(self._data, start)[0]
+
+    def get_long(self) -> int:
+        start = self._drain(8)
+        return _LONG.unpack_from(self._data, start)[0]
+
+    def get_double(self) -> float:
+        start = self._drain(8)
+        return _DOUBLE.unpack_from(self._data, start)[0]
+
+    # -- absolute access ---------------------------------------------------
+
+    def get_at(self, index: int, size: int = 1) -> bytes:
+        """Absolute read: bytes at [index, index+size), position untouched."""
+        if index < 0 or index + size > self._limit:
+            raise BufferStateError(
+                f"absolute read [{index}, {index + size}) outside "
+                f"limit {self._limit}"
+            )
+        return bytes(self._data[index : index + size])
+
+    def put_at(self, index: int, data: bytes) -> "ByteBuffer":
+        """Absolute write at *index*, position untouched."""
+        if index < 0 or index + len(data) > self._limit:
+            raise BufferStateError(
+                f"absolute write [{index}, {index + len(data)}) outside "
+                f"limit {self._limit}"
+            )
+        self._data[index : index + len(data)] = data
+        return self
+
+    # -- derived buffers ---------------------------------------------------
+
+    def slice(self) -> "ByteBuffer":
+        """New buffer over a copy of [position, limit) (java's slice,
+        except content is copied: Python bytearrays cannot alias safely
+        across independent position/limit state)."""
+        view = ByteBuffer(self.remaining())
+        view._data[:] = self._data[self._position : self._limit]
+        return view
+
+    def duplicate(self) -> "ByteBuffer":
+        """New buffer with the same content, position and limit."""
+        copy = ByteBuffer(self._capacity)
+        copy._data[:] = self._data
+        copy._position = self._position
+        copy._limit = self._limit
+        return copy
+
+    # -- bulk views ------------------------------------------------------
+
+    def readable_view(self) -> memoryview:
+        """View of [position, limit) for socket writes."""
+        return memoryview(self._data)[self._position : self._limit]
+
+    def writable_view(self) -> memoryview:
+        """View of [position, limit) for socket reads."""
+        return memoryview(self._data)[self._position : self._limit]
+
+    def advance(self, count: int) -> None:
+        """Move position forward after an external bulk read/write."""
+        if count < 0 or count > self.remaining():
+            raise BufferStateError(
+                f"cannot advance by {count}; {self.remaining()} remaining"
+            )
+        self._position += count
+
+    def array(self) -> bytes:
+        """Copy of the full backing array (diagnostics)."""
+        return bytes(self._data)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ByteBuffer pos={self._position} lim={self._limit} "
+            f"cap={self._capacity}>"
+        )

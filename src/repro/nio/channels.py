@@ -1,0 +1,235 @@
+"""Non-blocking socket channels and the selector (java.nio.channels).
+
+A thin, faithful mapping of the java.nio API shape onto Python's
+``socket`` and ``selectors`` modules:
+
+* ``ServerSocketChannel.open().bind(addr)`` then ``accept()``;
+* ``SocketChannel.open(addr)``, ``configure_blocking(False)``,
+  ``read(buffer)`` / ``write(buffer)`` against :class:`ByteBuffer`;
+* ``Selector.open()``, ``channel.register(selector, ops)``,
+  ``selector.select(timeout)`` yielding ready :class:`SelectionKey`s.
+
+Framing is the *user's* job here — that is precisely the "more low level"
+property §4 ascribes to nio relative to RMI/remoting, and what the
+latency benchmark's nio driver hand-rolls.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import NioError
+from repro.nio.buffer import ByteBuffer
+
+OP_READ = selectors.EVENT_READ
+OP_WRITE = selectors.EVENT_WRITE
+OP_ACCEPT = selectors.EVENT_READ  # accept readiness is read readiness
+
+
+class SocketChannel:
+    """Stream channel reading/writing through ByteBuffers."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._socket = sock
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._blocking = True
+
+    @classmethod
+    def open(cls, address: tuple[str, int] | None = None) -> "SocketChannel":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        channel = cls(sock)
+        if address is not None:
+            channel.connect(address)
+        return channel
+
+    def connect(self, address: tuple[str, int]) -> None:
+        try:
+            self._socket.connect(address)
+        except OSError as exc:
+            raise NioError(f"connect to {address} failed: {exc}") from exc
+
+    def configure_blocking(self, blocking: bool) -> "SocketChannel":
+        self._socket.setblocking(blocking)
+        self._blocking = blocking
+        return self
+
+    def read(self, buffer: ByteBuffer) -> int:
+        """Read into [position, limit); returns bytes read, -1 at EOF.
+
+        In non-blocking mode returns 0 when no data is available.
+        """
+        view = buffer.writable_view()
+        if not len(view):
+            return 0
+        try:
+            count = self._socket.recv_into(view)
+        except BlockingIOError:
+            return 0
+        except OSError as exc:
+            raise NioError(f"read failed: {exc}") from exc
+        if count == 0:
+            return -1
+        buffer.advance(count)
+        return count
+
+    def write(self, buffer: ByteBuffer) -> int:
+        """Write from [position, limit); returns bytes written."""
+        view = buffer.readable_view()
+        if not len(view):
+            return 0
+        try:
+            count = self._socket.send(view)
+        except BlockingIOError:
+            return 0
+        except OSError as exc:
+            raise NioError(f"write failed: {exc}") from exc
+        buffer.advance(count)
+        return count
+
+    def write_fully(self, buffer: ByteBuffer) -> int:
+        """Drain the buffer completely (blocking-mode convenience)."""
+        total = 0
+        while buffer.has_remaining():
+            count = self.write(buffer)
+            if count == 0 and not self._blocking:
+                raise NioError("write_fully on a non-writable channel")
+            total += count
+        return total
+
+    def read_fully(self, buffer: ByteBuffer) -> int:
+        """Fill the buffer completely; raises NioError on premature EOF."""
+        total = 0
+        while buffer.has_remaining():
+            count = self.read(buffer)
+            if count < 0:
+                raise NioError(
+                    f"EOF after {total} bytes with "
+                    f"{buffer.remaining()} still needed"
+                )
+            total += count
+        return total
+
+    def register(self, selector: "Selector", ops: int, attachment: Any = None) -> "SelectionKey":
+        return selector._register(self, self._socket, ops, attachment)
+
+    def close(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SocketChannel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ServerSocketChannel:
+    """Listening channel producing SocketChannels."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._socket = sock
+
+    @classmethod
+    def open(cls) -> "ServerSocketChannel":
+        return cls(socket.socket(socket.AF_INET, socket.SOCK_STREAM))
+
+    def bind(self, address: tuple[str, int], backlog: int = 16) -> "ServerSocketChannel":
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind(address)
+        self._socket.listen(backlog)
+        return self
+
+    @property
+    def local_address(self) -> tuple[str, int]:
+        return self._socket.getsockname()[:2]
+
+    def configure_blocking(self, blocking: bool) -> "ServerSocketChannel":
+        self._socket.setblocking(blocking)
+        return self
+
+    def accept(self) -> SocketChannel | None:
+        try:
+            conn, _addr = self._socket.accept()
+        except BlockingIOError:
+            return None
+        except OSError as exc:
+            raise NioError(f"accept failed: {exc}") from exc
+        return SocketChannel(conn)
+
+    def register(self, selector: "Selector", ops: int, attachment: Any = None) -> "SelectionKey":
+        return selector._register(self, self._socket, ops, attachment)
+
+    def close(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerSocketChannel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class SelectionKey:
+    """Association between a channel and a selector."""
+
+    channel: Any
+    ops: int
+    attachment: Any
+    ready_ops: int = 0
+
+    def is_readable(self) -> bool:
+        return bool(self.ready_ops & OP_READ)
+
+    def is_writable(self) -> bool:
+        return bool(self.ready_ops & OP_WRITE)
+
+
+class Selector:
+    """Multiplexer over registered channels (java.nio.channels.Selector)."""
+
+    def __init__(self) -> None:
+        self._impl = selectors.DefaultSelector()
+        self._keys: dict[Any, SelectionKey] = {}
+
+    @classmethod
+    def open(cls) -> "Selector":
+        return cls()
+
+    def _register(
+        self, channel: Any, sock: socket.socket, ops: int, attachment: Any
+    ) -> SelectionKey:
+        key = SelectionKey(channel=channel, ops=ops, attachment=attachment)
+        self._impl.register(sock, ops, data=key)
+        self._keys[channel] = key
+        return key
+
+    def unregister(self, channel: Any) -> None:
+        key = self._keys.pop(channel, None)
+        if key is not None:
+            self._impl.unregister(channel._socket)
+
+    def select(self, timeout: float | None = None) -> Iterator[SelectionKey]:
+        """Yield keys whose channels are ready."""
+        for impl_key, ready in self._impl.select(timeout):
+            key: SelectionKey = impl_key.data
+            key.ready_ops = ready
+            yield key
+
+    def close(self) -> None:
+        self._impl.close()
+        self._keys.clear()
+
+    def __enter__(self) -> "Selector":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,62 @@
+"""Calibrated performance models for the platforms measured in the paper.
+
+The paper's numbers were taken on a 2005 Linux cluster (dual Athlon MP
+1800+, 100 Mbit Ethernet) running MPICH 1.2.6, Sun JDK 1.4.2 RMI, and Mono
+1.0.5/1.1.7.  None of that exists here, so — per the reproduction's
+substitution rule — each platform is represented by a small analytic model
+(:class:`PlatformModel`) calibrated against the constants the paper itself
+reports:
+
+* one-way latencies 520 µs (Mono), 273 µs (Java RMI), 100 µs (MPI) — §4;
+* a 100 Mbit wire ceiling (12.5 MB/s) that MPI approaches and remoting
+  stacks stay under — Fig. 8a;
+* an order-of-magnitude bandwidth gap between Mono 1.1.7 and 1.0.5, and a
+  further gap to the Http/SOAP channel — Fig. 8b;
+* sequential compute scale factors: Mono ≈ 1.4× JVM on the ray tracer,
+  MS .Net ≈ 1.1×, Mono ≈ 1.0× on the integer sieve — §4.
+
+The models drive the simulated transports and the discrete-event cluster so
+the benchmarks regenerate the *shape* of every figure deterministically,
+while the protocol code above the transport (formatters, channels,
+dispatch, SCOOPP runtime) is all real.
+"""
+
+from repro.perfmodel.clock import Clock, VirtualClock, WallClock
+from repro.perfmodel.platforms import (
+    JAVA_NIO,
+    JAVA_RMI,
+    MONO_105_TCP,
+    MONO_117_HTTP,
+    MONO_117_TCP,
+    MPI_MPICH,
+    MS_NET,
+    PLATFORMS,
+    PlatformModel,
+    platform_by_name,
+)
+from repro.perfmodel.network import (
+    bandwidth_curve,
+    payload_bandwidth,
+    pingpong_round_trip,
+    transfer_time,
+)
+
+__all__ = [
+    "Clock",
+    "JAVA_NIO",
+    "JAVA_RMI",
+    "MONO_105_TCP",
+    "MONO_117_HTTP",
+    "MONO_117_TCP",
+    "MPI_MPICH",
+    "MS_NET",
+    "PLATFORMS",
+    "PlatformModel",
+    "VirtualClock",
+    "WallClock",
+    "bandwidth_curve",
+    "payload_bandwidth",
+    "pingpong_round_trip",
+    "platform_by_name",
+    "transfer_time",
+]

@@ -1,0 +1,66 @@
+"""Clock abstraction: wall time for real runs, virtual time for simulation.
+
+Everything in the library that needs a timestamp takes a :class:`Clock`, so
+the same code path runs against real sockets (``WallClock``) and inside the
+deterministic discrete-event simulator (``VirtualClock``).
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+
+from repro.errors import SimulationError
+
+
+class Clock(abc.ABC):
+    """Source of monotonically non-decreasing timestamps in seconds."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (origin is clock-specific)."""
+
+
+class WallClock(Clock):
+    """Real monotonic time; used by socket transports and examples."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class VirtualClock(Clock):
+    """Manually advanced clock for deterministic simulation.
+
+    The discrete-event engine owns advancement; components only read.
+    ``advance`` is relative, ``advance_to`` absolute; both refuse to move
+    backwards because a time-travelling clock means the event queue was
+    popped out of order — a simulator bug worth failing loudly on.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by *delta* seconds; returns the new time."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance clock by {delta} (< 0)")
+        with self._lock:
+            self._now += delta
+            return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to *timestamp*; returns the new time."""
+        with self._lock:
+            if timestamp < self._now:
+                raise SimulationError(
+                    f"cannot move clock backwards "
+                    f"({timestamp} < {self._now})"
+                )
+            self._now = timestamp
+            return self._now

@@ -1,0 +1,94 @@
+"""Analytic network-cost curves derived from a :class:`PlatformModel`.
+
+The classic two-parameter (latency/bandwidth) "postal" model: a message of
+``n`` payload bytes costs::
+
+    T(n) = one_way_latency + (n * wire_expansion) / wire_bandwidth
+
+which yields the characteristic log-log bandwidth curve of the paper's
+Fig. 8 — flat latency-bound region for small messages, rising through a
+knee near ``latency * bandwidth`` bytes, saturating at the platform's
+asymptotic bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.perfmodel.platforms import PlatformModel
+
+
+def transfer_time(model: PlatformModel, payload_bytes: float) -> float:
+    """One-way time in seconds to move *payload_bytes* of application data."""
+    if payload_bytes < 0:
+        raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    wire_bytes = payload_bytes * model.wire_expansion
+    return model.one_way_latency_s + wire_bytes / model.wire_bandwidth_Bps
+
+
+def pingpong_round_trip(model: PlatformModel, payload_bytes: float) -> float:
+    """Round-trip time of the paper's ping-pong test (send + echo)."""
+    return 2.0 * transfer_time(model, payload_bytes)
+
+
+def payload_bandwidth(model: PlatformModel, payload_bytes: float) -> float:
+    """Observed application bandwidth in bytes/second at one message size.
+
+    This is what the paper plots in Fig. 8: payload bytes divided by
+    one-way transfer time (each direction of the ping-pong moves the
+    payload once).
+    """
+    if payload_bytes <= 0:
+        raise ValueError("bandwidth needs a positive payload size")
+    return payload_bytes / transfer_time(model, payload_bytes)
+
+
+def bandwidth_curve(
+    model: PlatformModel, sizes: Iterable[float]
+) -> list[tuple[float, float]]:
+    """Return ``(payload_bytes, bandwidth_Bps)`` points for a size sweep."""
+    return [(float(size), payload_bandwidth(model, size)) for size in sizes]
+
+
+def half_power_point(model: PlatformModel) -> float:
+    """Message size (bytes) at which half the asymptotic bandwidth is hit.
+
+    A standard summary statistic of latency/bandwidth models: solves
+    ``payload_bandwidth(n) = wire_bandwidth / (2 * wire_expansion)``.
+    """
+    return (
+        model.one_way_latency_s
+        * model.wire_bandwidth_Bps
+        / model.wire_expansion
+    )
+
+
+def figure8_sizes(points_per_decade: int = 3) -> list[float]:
+    """The paper's Fig. 8 x-axis: 1 B to 1 MB on a log scale."""
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    sizes: list[float] = []
+    size = 1.0
+    top = 1024.0 * 1024.0
+    ratio = 10.0 ** (1.0 / points_per_decade)
+    while size <= top * 1.0001:
+        sizes.append(round(size, 3))
+        size *= ratio
+    if sizes[-1] < top:
+        sizes.append(top)  # always include the paper's 1 MB endpoint
+    return sizes
+
+
+def dominates(
+    faster: Sequence[tuple[float, float]], slower: Sequence[tuple[float, float]]
+) -> bool:
+    """True if curve *faster* is >= *slower* at every common x (figure shape)."""
+    slower_by_x = dict(slower)
+    common = [x for x, _ in faster if x in slower_by_x]
+    if not common:
+        return False
+    return all(
+        bandwidth >= slower_by_x[x]
+        for x, bandwidth in faster
+        if x in slower_by_x
+    )

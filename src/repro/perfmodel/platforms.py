@@ -1,0 +1,183 @@
+"""Platform presets calibrated to the paper's reported constants.
+
+Each :class:`PlatformModel` captures the handful of numbers that determine
+the paper's curves:
+
+``one_way_latency_s``
+    Per-message software+wire latency for a minimal message.  §4 reports
+    520 µs (Mono 1.1.7), 273 µs (Java RMI/JDK 1.4.2), 100 µs (MPI/MPICH).
+    (The paper's sentence lists the three values "respectively" for Mono,
+    Java RMI and MPI; see EXPERIMENTS.md for the reading.)  Java nio is
+    described as "very close to" Mono's latency.
+
+``wire_bandwidth_Bps``
+    Asymptotic achievable byte rate on the wire, including per-byte
+    software costs (serialization, copies).  The 100 Mbit Ethernet ceiling
+    is 12.5 MB/s; MPI approaches it, remoting stacks sit below it
+    (Fig. 8a), Mono 1.0.5 an order of magnitude below 1.1.7, and the Http
+    channel lowest of all (Fig. 8b).
+
+``wire_expansion``
+    Bytes on the wire per payload byte for this platform's default
+    formatter (protocol framing + encoding).  Binary formatters are close
+    to 1; the SOAP channel base64s binary data and wraps everything in
+    XML, giving ≈ 2.4 on typical int-array payloads.
+
+``compute_scale_float`` / ``compute_scale_int``
+    Sequential execution-time multiplier relative to the Sun JVM for
+    floating-point-heavy code (the ray tracer: Mono ≈ 1.4, MS .Net ≈ 1.1)
+    and integer-heavy code (the prime sieve: Mono ≈ 1.0) — §4.
+
+``thread_pool_limit``
+    Maximum concurrently running pool threads per node, or ``None`` for
+    unbounded.  §4 attributes part of ParC#'s Fig. 9 gap to Mono's thread
+    pool "limiting the number of running threads", reducing
+    computation/communication overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+MB = 1024.0 * 1024.0
+
+#: 100 Mbit Ethernet payload ceiling (the cluster interconnect of §4).
+WIRE_CEILING_BPS = 12.5 * MB
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """Analytic cost model of one measured platform configuration."""
+
+    name: str
+    one_way_latency_s: float
+    wire_bandwidth_Bps: float
+    wire_expansion: float = 1.0
+    compute_scale_float: float = 1.0
+    compute_scale_int: float = 1.0
+    thread_pool_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.one_way_latency_s <= 0:
+            raise ValueError("one_way_latency_s must be positive")
+        if self.wire_bandwidth_Bps <= 0:
+            raise ValueError("wire_bandwidth_Bps must be positive")
+        if self.wire_expansion < 1.0:
+            raise ValueError("wire_expansion cannot compress below 1x")
+        if self.thread_pool_limit is not None and self.thread_pool_limit < 1:
+            raise ValueError("thread_pool_limit must be >= 1 or None")
+
+    def with_overrides(self, **kwargs: object) -> "PlatformModel":
+        """Return a copy with some fields replaced (for ablations)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: MPICH 1.2.6 + g++ 3.2.2 (the paper's MPI comparator).  Near-wire
+#: bandwidth, lowest latency, native compute speed.
+MPI_MPICH = PlatformModel(
+    name="MPI (MPICH 1.2.6)",
+    one_way_latency_s=100e-6,
+    wire_bandwidth_Bps=11.2 * MB,
+    wire_expansion=1.02,
+    compute_scale_float=0.85,
+    compute_scale_int=0.85,
+)
+
+#: Sun JDK 1.4.2 RMI.  Mid latency, good large-message bandwidth.
+JAVA_RMI = PlatformModel(
+    name="Java RMI (SDK 1.4.2)",
+    one_way_latency_s=273e-6,
+    wire_bandwidth_Bps=7.8 * MB,
+    wire_expansion=1.15,
+    compute_scale_float=1.0,
+    compute_scale_int=1.0,
+)
+
+#: java.nio (JDK 1.4) — lower-level message passing; §4: latency "very
+#: close" to Mono remoting, bandwidth near RMI's.
+JAVA_NIO = PlatformModel(
+    name="Java nio (SDK 1.4.2)",
+    one_way_latency_s=480e-6,
+    wire_bandwidth_Bps=8.6 * MB,
+    wire_expansion=1.05,
+    compute_scale_float=1.0,
+    compute_scale_int=1.0,
+)
+
+#: Mono 1.1.7, TCP channel + binary formatter — the ParC# platform.
+#: Fig. 8a: lags Java for large messages; §4: 520 µs latency, 1.4×
+#: sequential ray-tracer time, capped thread pool.
+MONO_117_TCP = PlatformModel(
+    name="Mono 1.1.7 (Tcp)",
+    one_way_latency_s=520e-6,
+    wire_bandwidth_Bps=5.2 * MB,
+    wire_expansion=1.12,
+    compute_scale_float=1.4,
+    compute_scale_int=1.0,
+    thread_pool_limit=4,
+)
+
+#: Mono 1.0.5, TCP channel — Fig. 8b shows performance "radically
+#: increased from release 1.0.5": an order of magnitude in bandwidth.
+MONO_105_TCP = PlatformModel(
+    name="Mono 1.0.5 (Tcp)",
+    one_way_latency_s=1900e-6,
+    wire_bandwidth_Bps=0.55 * MB,
+    wire_expansion=1.12,
+    compute_scale_float=1.5,
+    compute_scale_int=1.05,
+    thread_pool_limit=4,
+)
+
+#: Mono 1.1.7, HTTP channel + SOAP formatter — the slowest curve of
+#: Fig. 8b ("the low performance of an Http channel").
+MONO_117_HTTP = PlatformModel(
+    name="Mono 1.1.7 (Http)",
+    one_way_latency_s=3200e-6,
+    wire_bandwidth_Bps=0.42 * MB,
+    wire_expansion=2.4,
+    compute_scale_float=1.4,
+    compute_scale_int=1.0,
+    thread_pool_limit=4,
+)
+
+#: Microsoft .Net on Windows — only its sequential gap is reported (§4:
+#: "only 10% superior" to the JVM on the ray tracer).
+MS_NET = PlatformModel(
+    name="MS .Net 1.1 (Windows)",
+    one_way_latency_s=430e-6,
+    wire_bandwidth_Bps=6.5 * MB,
+    wire_expansion=1.12,
+    compute_scale_float=1.1,
+    compute_scale_int=1.0,
+)
+
+#: Sun JVM baseline for sequential comparisons (scale 1.0 by definition).
+SUN_JVM = PlatformModel(
+    name="Sun JVM (SDK 1.4.2)",
+    one_way_latency_s=273e-6,
+    wire_bandwidth_Bps=7.8 * MB,
+    wire_expansion=1.15,
+    compute_scale_float=1.0,
+    compute_scale_int=1.0,
+)
+
+PLATFORMS: tuple[PlatformModel, ...] = (
+    MPI_MPICH,
+    JAVA_RMI,
+    JAVA_NIO,
+    MONO_117_TCP,
+    MONO_105_TCP,
+    MONO_117_HTTP,
+    MS_NET,
+    SUN_JVM,
+)
+
+
+def platform_by_name(name: str) -> PlatformModel:
+    """Look a preset up by its display name (exact match)."""
+    for model in PLATFORMS:
+        if model.name == name:
+            return model
+    known = ", ".join(repr(model.name) for model in PLATFORMS)
+    raise KeyError(f"unknown platform {name!r}; known: {known}")

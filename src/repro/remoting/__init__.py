@@ -1,0 +1,54 @@
+"""The .Net remoting analog: transparent remote method invocation.
+
+This is the substrate ParC# is built on (paper §2–3).  It reproduces the
+pieces the paper leans on, with the same division of labour:
+
+* :class:`MarshalByRefObject` — base class of remotely callable objects;
+  instances crossing the wire are replaced by an :class:`ObjRef` and
+  materialize as transparent proxies on the other side (Fig. 2's
+  ``DServer : MarshalByRefObject``).
+* :class:`RemotingConfiguration` / :data:`WellKnownObjectMode` — publish a
+  type as a well-known service in ``SINGLETON`` or ``SINGLE_CALL`` mode
+  (the "two alternatives to instantiate objects" of §2).
+* :class:`Activator` — ``get_object(uri)`` returns a proxy without any
+  client-side registration or stub generation ("it is not required to
+  generate proxy and ties, since they are automatically generated").
+* :class:`Delegate` — asynchronous invocation via ``begin_invoke`` /
+  ``end_invoke`` returning an :class:`AsyncResult` (§2: "C# Remoting also
+  includes support for asynchronous method invocation through delegates").
+* :class:`RemotingHost` — one "application domain": an object table, a
+  dispatcher, channels, and lease-based lifetime (§3.2: "object lifetime
+  is managed by the .Net implementation").
+"""
+
+from repro.remoting.objref import MarshalByRefObject, ObjRef
+from repro.remoting.messages import CallMessage, RemoteErrorInfo, ReturnMessage
+from repro.remoting.proxy import RemoteProxy, is_proxy, proxy_uri
+from repro.remoting.delegates import AsyncResult, Delegate, OneWayDelegate
+from repro.remoting.host import (
+    Activator,
+    RemotingConfiguration,
+    RemotingHost,
+    WellKnownObjectMode,
+)
+from repro.remoting.lifetime import Lease, LeaseManager
+
+__all__ = [
+    "Activator",
+    "AsyncResult",
+    "CallMessage",
+    "Delegate",
+    "Lease",
+    "LeaseManager",
+    "MarshalByRefObject",
+    "ObjRef",
+    "OneWayDelegate",
+    "RemoteErrorInfo",
+    "RemoteProxy",
+    "RemotingConfiguration",
+    "RemotingHost",
+    "ReturnMessage",
+    "WellKnownObjectMode",
+    "is_proxy",
+    "proxy_uri",
+]

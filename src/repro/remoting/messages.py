@@ -1,0 +1,76 @@
+"""Wire messages of the remoting protocol.
+
+A remote invocation is two messages: a :class:`CallMessage` (method name +
+argument graph) and a :class:`ReturnMessage` (result or error).  Both are
+plain registered serializable types, so they travel through whichever
+formatter the channel uses — binary on ``tcp://``, SOAP on ``http://`` —
+exactly the .Net channel/formatter split the paper benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serialization import serializable
+
+
+@serializable(name="parc.remoting.Call")
+@dataclass
+class CallMessage:
+    """One remote method invocation request.
+
+    ``one_way`` marks fire-and-forget calls (the transport still returns an
+    acknowledgement frame, but the server dispatches the method on a worker
+    thread and acknowledges immediately) — the mechanism SCOOPP's
+    asynchronous parallel-object calls ride on.
+    """
+
+    uri: str
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    one_way: bool = False
+
+    def __post_init__(self) -> None:
+        # Defensive normalisation: formatters decode sequences faithfully,
+        # but user code may hand us lists.
+        if isinstance(self.args, list):
+            self.args = tuple(self.args)
+
+
+@serializable(name="parc.remoting.ErrorInfo")
+@dataclass
+class RemoteErrorInfo:
+    """Portable description of a server-side exception.
+
+    The exception object itself may not be serializable (and re-raising
+    arbitrary decoded exceptions would be an execution vector), so the
+    client rethrows a :class:`~repro.errors.RemoteInvocationError` carrying
+    this description.
+    """
+
+    type_name: str
+    message: str
+    traceback_text: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, traceback_text: str = "") -> "RemoteErrorInfo":
+        return cls(
+            type_name=type(exc).__qualname__,
+            message=str(exc),
+            traceback_text=traceback_text,
+        )
+
+
+@serializable(name="parc.remoting.Return")
+@dataclass
+class ReturnMessage:
+    """Response to a :class:`CallMessage`: a value or an error, never both."""
+
+    value: Any = None
+    error: RemoteErrorInfo | None = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.error is not None

@@ -1,0 +1,91 @@
+"""Retry helpers for transient remote failures.
+
+Placement-level failover lives in the runtime (a dead node is excluded
+and creation retried elsewhere); this module covers the *call* side: a
+transient transport failure — connection reset, briefly unreachable peer —
+is often worth retrying before surfacing to the application.
+
+Only transport-level errors are retried by default.  Application errors
+(:class:`~repro.errors.RemoteInvocationError`) are never retried: the
+remote method ran and failed, and re-running it is a semantic decision
+only the caller can make.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.errors import ChannelError, ParcError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry: attempts, initial backoff, exponential factor."""
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    retry_on: tuple[type[BaseException], ...] = (ChannelError,)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+
+
+def call_with_retry(
+    fn: Callable[..., T],
+    *args: Any,
+    policy: RetryPolicy | None = None,
+    **kwargs: Any,
+) -> T:
+    """Invoke *fn* with retries per *policy*; re-raises the last error.
+
+    Typical use with a transparent proxy::
+
+        result = call_with_retry(proxy.fetch, key, policy=RetryPolicy(5))
+    """
+    active = policy if policy is not None else RetryPolicy()
+    delay = active.backoff_s
+    last: BaseException | None = None
+    for attempt in range(active.attempts):
+        try:
+            return fn(*args, **kwargs)
+        except active.retry_on as exc:  # type: ignore[misc]
+            last = exc
+            if attempt + 1 < active.attempts and delay > 0:
+                time.sleep(delay)
+                delay *= active.backoff_factor
+    assert last is not None  # attempts >= 1 guarantees an exception here
+    raise last
+
+
+class retrying:
+    """Decorator form: ``@retrying(RetryPolicy(attempts=5))``."""
+
+    def __init__(self, policy: RetryPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+
+    def __call__(self, fn: Callable[..., T]) -> Callable[..., T]:
+        def wrapper(*args: Any, **kwargs: Any) -> T:
+            return call_with_retry(fn, *args, policy=self.policy, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+
+def is_transport_error(error: BaseException) -> bool:
+    """True for failures meaning "the peer may be gone", not "it said no"."""
+    from repro.errors import RemoteInvocationError
+
+    if isinstance(error, RemoteInvocationError):
+        return False
+    return isinstance(error, (ChannelError, ConnectionError)) or (
+        isinstance(error, ParcError) and "connect" in str(error).lower()
+    )

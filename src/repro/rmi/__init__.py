@@ -1,0 +1,54 @@
+"""Java RMI analog: the paper's primary comparison baseline.
+
+Reproduces the RMI programming model with the full ceremony the paper's
+Fig. 1 walks through — deliberately, because the contrast in effort between
+Fig. 1 (Java) and Fig. 2 (C#) is one of the paper's points:
+
+1. server classes implement an interface extending :class:`Remote`, whose
+   methods must be declared with :func:`remote_method` (the analog of
+   ``throws RemoteException``);
+2. server objects are explicitly instantiated and exported
+   (:class:`UnicastRemoteObject`), then registered by name
+   (:func:`Naming.rebind`);
+3. clients look stubs up by name (:func:`Naming.lookup`), supplying the
+   interface (the Java cast);
+4. every remote call can raise the **checked** :class:`RemoteException`;
+5. stubs are *generated* per interface by :func:`rmic` — a real
+   source-to-source generator, like the ``rmic`` utility.
+
+The wire protocol (JRMP analog) rides the same channel layer as the .Net
+remoting analog but with its own message envelope, including per-call class
+annotations — the extra baggage that puts RMI's wire efficiency between
+MPI's and the SOAP channel's in Fig. 8a.
+"""
+
+from repro.errors import (
+    AlreadyBoundError,
+    ExportError,
+    NotBoundError,
+    RemoteException,
+)
+from repro.rmi.interfaces import Remote, remote_method, verify_remote_interface
+from repro.rmi.rmic import RmicError, generate_stub_source, rmic
+from repro.rmi.runtime import RemoteStub, RmiObjRef, RmiRuntime, UnicastRemoteObject
+from repro.rmi.registry import LocateRegistry, Naming, RmiRegistry
+
+__all__ = [
+    "AlreadyBoundError",
+    "ExportError",
+    "LocateRegistry",
+    "Naming",
+    "NotBoundError",
+    "Remote",
+    "RemoteException",
+    "RemoteStub",
+    "RmiObjRef",
+    "RmiRegistry",
+    "RmiRuntime",
+    "RmicError",
+    "UnicastRemoteObject",
+    "generate_stub_source",
+    "remote_method",
+    "rmic",
+    "verify_remote_interface",
+]

@@ -1,0 +1,99 @@
+"""Remote interfaces and the checked-exception discipline.
+
+Java forces two declarations the paper's Fig. 1 highlights (steps ① and ④):
+the interface extends ``Remote``, and every remote method ``throws
+RemoteException``.  Python has neither checked exceptions nor ``throws``
+clauses, so the analog makes the declaration explicit and *verified*:
+methods must be decorated with :func:`remote_method`, and
+:func:`verify_remote_interface` (called by ``rmic``) rejects interfaces
+that skip it — the same "forgot a step, tool says no" experience.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, TypeVar
+
+from repro.errors import RemoteException
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_REMOTE_FLAG = "_rmi_remote_method"
+
+
+class Remote:
+    """Marker base for remote interfaces (java.rmi.Remote).
+
+    An interface is a plain class whose public methods are all decorated
+    with :func:`remote_method`; bodies are conventionally ``raise
+    NotImplementedError`` or docstring-only.
+    """
+
+
+def remote_method(func: F) -> F:
+    """Declare a method as remote (the ``throws RemoteException`` analog).
+
+    The declaration is what :func:`~repro.rmi.rmic.rmic` verifies; calling
+    an undeclared method through a stub is impossible because the stub
+    only generates declared methods.
+    """
+    setattr(func, _REMOTE_FLAG, True)
+    return func
+
+
+def is_remote_method(member: Any) -> bool:
+    return callable(member) and getattr(member, _REMOTE_FLAG, False)
+
+
+def remote_method_names(interface: type) -> list[str]:
+    """Declared remote methods of *interface*, sorted for determinism."""
+    names = [
+        name
+        for name in dir(interface)
+        if not name.startswith("_")
+        and is_remote_method(getattr(interface, name))
+    ]
+    return sorted(names)
+
+
+def method_signature(interface: type, name: str) -> inspect.Signature:
+    """Python signature of a declared remote method (minus ``self``)."""
+    func = getattr(interface, name)
+    signature = inspect.signature(func)
+    parameters = list(signature.parameters.values())
+    if parameters and parameters[0].name == "self":
+        parameters = parameters[1:]
+    return signature.replace(parameters=parameters)
+
+
+def verify_remote_interface(interface: type) -> list[str]:
+    """Validate *interface* per Fig. 1's rules; returns its remote methods.
+
+    Raises :class:`RemoteException` (the checked family) listing every
+    violation at once, mirroring how javac/rmic reports all missing
+    ``throws`` clauses together.
+    """
+    problems: list[str] = []
+    if not (isinstance(interface, type) and issubclass(interface, Remote)):
+        problems.append(
+            f"{interface!r} does not extend Remote (Fig. 1 step 1)"
+        )
+        raise RemoteException("; ".join(problems))
+    declared = remote_method_names(interface)
+    undeclared = [
+        name
+        for name in dir(interface)
+        if not name.startswith("_")
+        and callable(getattr(interface, name))
+        and not is_remote_method(getattr(interface, name))
+    ]
+    for name in undeclared:
+        problems.append(
+            f"method {name!r} is not declared with @remote_method "
+            f"(the 'throws RemoteException' analog, Fig. 1 step 1)"
+        )
+    if not declared and not undeclared:
+        problems.append("interface declares no remote methods")
+    if problems:
+        raise RemoteException("; ".join(problems))
+    return declared

@@ -1,0 +1,183 @@
+"""The RMI name service: registry, LocateRegistry, Naming (Fig. 1 steps 2-3).
+
+"Each server object must be ... registered in a name server to provide
+remote references to it; client classes must contact a name server to
+obtain a local reference to a remote object."  The registry here is itself
+a remote object served by an :class:`~repro.rmi.runtime.RmiRuntime` — the
+bootstrap trick real RMI uses — so ``Naming`` works across processes and
+nodes with no extra machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import AlreadyBoundError, NotBoundError, RemoteException
+from repro.rmi.interfaces import Remote, remote_method
+from repro.rmi.rmic import rmic
+from repro.rmi.runtime import RmiObjRef, RmiRuntime
+
+#: Well-known object id of the registry inside its runtime (Java uses a
+#: fixed object number for the same purpose).
+REGISTRY_OBJECT_ID = "rmi-registry"
+
+
+class IRegistry(Remote):
+    """Remote interface of the name service."""
+
+    @remote_method
+    def bind(self, name: str, objref: RmiObjRef) -> None:
+        """Bind *name*; raises AlreadyBoundError if taken."""
+        raise NotImplementedError
+
+    @remote_method
+    def rebind(self, name: str, objref: RmiObjRef) -> None:
+        """Bind *name*, replacing any existing binding."""
+        raise NotImplementedError
+
+    @remote_method
+    def unbind(self, name: str) -> None:
+        """Remove *name*; raises NotBoundError if absent."""
+        raise NotImplementedError
+
+    @remote_method
+    def lookup(self, name: str) -> RmiObjRef:
+        """Resolve *name*; raises NotBoundError if absent."""
+        raise NotImplementedError
+
+    @remote_method
+    def list_names(self) -> list:
+        """All bound names, sorted."""
+        raise NotImplementedError
+
+
+class RmiRegistry(IRegistry):
+    """In-memory name table (the ``rmiregistry`` process)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bindings: dict[str, RmiObjRef] = {}
+
+    def bind(self, name: str, objref: RmiObjRef) -> None:
+        with self._lock:
+            if name in self._bindings:
+                raise AlreadyBoundError(f"name {name!r} is already bound")
+            self._bindings[name] = objref
+
+    def rebind(self, name: str, objref: RmiObjRef) -> None:
+        with self._lock:
+            self._bindings[name] = objref
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._bindings:
+                raise NotBoundError(f"name {name!r} is not bound")
+            del self._bindings[name]
+
+    def lookup(self, name: str) -> RmiObjRef:
+        with self._lock:
+            objref = self._bindings.get(name)
+        if objref is None:
+            raise NotBoundError(f"name {name!r} is not bound")
+        return objref
+
+    def list_names(self) -> list:
+        with self._lock:
+            return sorted(self._bindings)
+
+
+class LocateRegistry:
+    """Start or reach a registry (java.rmi.registry.LocateRegistry)."""
+
+    @staticmethod
+    def create_registry(
+        authority: str = "127.0.0.1:0",
+    ) -> tuple[RmiRuntime, "IRegistry"]:
+        """Start a registry service; returns its runtime and local object.
+
+        The runtime's :attr:`~repro.rmi.runtime.RmiRuntime.endpoint` is the
+        ``host:port`` clients put in their ``rmi://`` URIs.  Close the
+        runtime to stop the registry.
+        """
+        runtime = RmiRuntime(authority)
+        registry = RmiRegistry()
+        runtime.export(
+            registry, interface=IRegistry, object_id=REGISTRY_OBJECT_ID
+        )
+        return runtime, registry
+
+    @staticmethod
+    def get_registry(endpoint: str) -> IRegistry:
+        """Stub for the registry at ``host:port``."""
+        stub_class = rmic(IRegistry)
+        ref = RmiObjRef(
+            endpoint=endpoint,
+            object_id=REGISTRY_OBJECT_ID,
+            interface_name=f"{IRegistry.__module__}.{IRegistry.__qualname__}",
+        )
+        return stub_class(ref)
+
+
+def _split_rmi_uri(uri: str) -> tuple[str, str]:
+    """``rmi://host:port/Name`` -> (``host:port``, ``Name``)."""
+    prefix = "rmi://"
+    if not uri.startswith(prefix):
+        raise RemoteException(f"RMI URI {uri!r} must start with {prefix!r}")
+    rest = uri[len(prefix):]
+    endpoint, sep, name = rest.partition("/")
+    if not sep or not endpoint or not name:
+        raise RemoteException(
+            f"RMI URI {uri!r} must look like rmi://host:port/Name"
+        )
+    return endpoint, name
+
+
+class Naming:
+    """URL-style facade over the registry (java.rmi.Naming), as in Fig. 1::
+
+        Naming.rebind("rmi://host:1050/DivideServer", dsi)
+        ds = Naming.lookup("rmi://host:1050/DivideServer", IDServer)
+    """
+
+    @staticmethod
+    def bind(uri: str, obj) -> None:  # type: ignore[no-untyped-def]
+        endpoint, name = _split_rmi_uri(uri)
+        LocateRegistry.get_registry(endpoint).bind(name, _objref_of(obj))
+
+    @staticmethod
+    def rebind(uri: str, obj) -> None:  # type: ignore[no-untyped-def]
+        endpoint, name = _split_rmi_uri(uri)
+        LocateRegistry.get_registry(endpoint).rebind(name, _objref_of(obj))
+
+    @staticmethod
+    def unbind(uri: str) -> None:
+        endpoint, name = _split_rmi_uri(uri)
+        LocateRegistry.get_registry(endpoint).unbind(name)
+
+    @staticmethod
+    def lookup(uri: str, interface: type):  # type: ignore[no-untyped-def]
+        """Resolve *uri* to a stub for *interface*.
+
+        The *interface* argument plays the role of the Java cast
+        ``(IDServer) Naming.lookup(...)`` — the client must know the
+        remote interface and have run (or now runs) rmic for it.
+        """
+        endpoint, name = _split_rmi_uri(uri)
+        objref = LocateRegistry.get_registry(endpoint).lookup(name)
+        return rmic(interface)(objref)
+
+    @staticmethod
+    def list_names(uri: str) -> list:
+        endpoint, _sep, _rest = uri[len("rmi://"):].partition("/")
+        return LocateRegistry.get_registry(endpoint).list_names()
+
+
+def _objref_of(obj) -> RmiObjRef:  # type: ignore[no-untyped-def]
+    objref = getattr(obj, "_rmi_objref", None)
+    if objref is None:
+        raise RemoteException(
+            f"{type(obj).__qualname__} is not exported; derive from "
+            f"UnicastRemoteObject or call runtime.export(obj) first "
+            f"(Fig. 1 step 2)"
+        )
+    return objref

@@ -1,0 +1,41 @@
+"""Object-graph serialization: the formatter layer of the remoting stack.
+
+The paper's platform relies on .Net object serialization: "the serialisation
+mechanism can automatically copy the object to a continuous stream that can
+be sent to another virtual machine, which can reconstruct a copy of the
+original object structure on the remote machine" (§1).  This package is that
+mechanism, built from scratch:
+
+* :class:`BinaryFormatter` — compact tagged binary encoding with full
+  object-graph support (shared references and cycles), the analog of the
+  .Net binary formatter used by the TCP channel.
+* :class:`SoapFormatter` — verbose, self-describing textual encoding, the
+  analog of the SOAP formatter used by the HTTP channel (the slow curve of
+  the paper's Fig. 8b).
+* a class **registry** (:func:`serializable`) so that only explicitly
+  registered classes cross the wire — the ``[Serializable]`` attribute of
+  the paper's Fig. 7.  Nothing is ever deserialized into arbitrary code.
+
+Both formatters share the registry and round-trip the same value domain;
+property-based tests assert they agree.
+"""
+
+from repro.serialization.registry import (
+    SerializationRegistry,
+    Surrogate,
+    default_registry,
+    serializable,
+)
+from repro.serialization.binary import BinaryFormatter
+from repro.serialization.soap import SoapFormatter
+from repro.serialization.base import Formatter
+
+__all__ = [
+    "BinaryFormatter",
+    "Formatter",
+    "SerializationRegistry",
+    "SoapFormatter",
+    "Surrogate",
+    "default_registry",
+    "serializable",
+]

@@ -1,0 +1,33 @@
+"""Formatter interface shared by the binary and SOAP encoders."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.serialization.registry import SerializationRegistry, default_registry
+
+
+class Formatter(abc.ABC):
+    """Encodes/decodes an object graph to/from ``bytes``.
+
+    A formatter is the pluggable serialization half of a channel, exactly as
+    in .Net remoting where the TCP channel defaults to the binary formatter
+    and the HTTP channel to the SOAP formatter (the two curves of the
+    paper's Fig. 8b).  Formatters are stateless between calls and safe to
+    share across threads.
+    """
+
+    #: MIME-style label carried in channel headers.
+    content_type: str = "application/octet-stream"
+
+    def __init__(self, registry: SerializationRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else default_registry
+
+    @abc.abstractmethod
+    def dumps(self, obj: Any) -> bytes:
+        """Encode *obj* (an arbitrary supported object graph) to bytes."""
+
+    @abc.abstractmethod
+    def loads(self, data: bytes) -> Any:
+        """Decode bytes produced by :meth:`dumps` back into an object graph."""

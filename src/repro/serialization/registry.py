@@ -1,0 +1,305 @@
+"""Class registry for serializable user types.
+
+The .Net formatter only serializes classes marked ``[Serializable]`` (paper
+Fig. 7 marks the aggregated-parameters struct that way).  The analog here is
+an explicit registry: a class is registered under a stable wire name, and
+the formatters encode instances as ``(wire name, field dict)``.  Decoding
+looks the wire name up and rebuilds the instance *without running user
+constructors* (``__new__`` + field assignment), which mirrors how real
+formatters bypass constructors and keeps deserialization free of arbitrary
+code execution.
+
+Classes may customize their wire representation with two optional hooks,
+the analog of ``ISerializable``:
+
+* ``__getstate__(self) -> dict`` — produce the field dict;
+* ``__setstate__(self, state: dict) -> None`` — restore from it.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import threading
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.errors import SerializationError, UnknownTypeError
+
+T = TypeVar("T", bound=type)
+
+
+class Surrogate(abc.ABC):
+    """Pluggable wire representation for a family of types.
+
+    The analog of .Net's serialization surrogates, and the hook that makes
+    remoting work: when a ``MarshalByRefObject`` appears anywhere in an
+    object graph, a surrogate replaces it on the wire with an ``ObjRef``
+    and the decoder materializes a transparent proxy in its place (see
+    :mod:`repro.remoting.objref`).  Surrogates are consulted *before* the
+    plain registered-class path, in registration order.
+    """
+
+    #: Wire name the surrogate's encoded form travels under.
+    wire_name: str
+
+    @abc.abstractmethod
+    def applies_to(self, obj: Any) -> bool:
+        """True if this surrogate should encode *obj* (isinstance-style)."""
+
+    @abc.abstractmethod
+    def encode(self, obj: Any) -> dict[str, Any]:
+        """Produce the wire field dict for *obj*."""
+
+    @abc.abstractmethod
+    def decode(self, state: dict[str, Any]) -> Any:
+        """Rebuild a value (not necessarily of the original type)."""
+
+
+class SerializationRegistry:
+    """Thread-safe bidirectional map between classes and wire names.
+
+    A registry instance is the unit of trust: a formatter constructed with a
+    registry will encode/decode exactly the classes registered in it.  The
+    module-level :data:`default_registry` is what ``@serializable`` uses and
+    what formatters default to.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_name: dict[str, type] = {}
+        self._by_class: dict[type, str] = {}
+        self._surrogates: list[Surrogate] = []
+        self._surrogates_by_name: dict[str, Surrogate] = {}
+
+    def register(self, cls: type, wire_name: str | None = None) -> type:
+        """Register *cls* under *wire_name* (default: qualified class name).
+
+        Registration is idempotent for the same (class, name) pair; mapping
+        the same name to a different class raises
+        :class:`~repro.errors.SerializationError` — silently rebinding a
+        wire name would let one endpoint decode another's payloads into an
+        unexpected type.
+        """
+        name = wire_name if wire_name is not None else _default_wire_name(cls)
+        with self._lock:
+            existing = self._by_name.get(name)
+            if existing is not None and existing is not cls:
+                raise SerializationError(
+                    f"wire name {name!r} is already registered "
+                    f"to {existing.__qualname__}"
+                )
+            self._by_name[name] = cls
+            self._by_class[cls] = name
+        return cls
+
+    def wire_name_of(self, cls: type) -> str:
+        """Return the wire name of a registered class.
+
+        Raises :class:`~repro.errors.UnknownTypeError` for unregistered
+        classes — the error a user sees when they forget ``@serializable``.
+        """
+        try:
+            return self._by_class[cls]
+        except KeyError:
+            raise UnknownTypeError(
+                f"{cls.__qualname__} is not registered for serialization; "
+                f"decorate it with @serializable"
+            ) from None
+
+    def class_of(self, wire_name: str) -> type:
+        """Return the class registered under *wire_name*."""
+        try:
+            return self._by_name[wire_name]
+        except KeyError:
+            raise UnknownTypeError(
+                f"no class registered under wire name {wire_name!r}"
+            ) from None
+
+    def is_registered(self, cls: type) -> bool:
+        return cls in self._by_class
+
+    def __contains__(self, cls: type) -> bool:
+        return self.is_registered(cls)
+
+    def __iter__(self) -> Iterator[tuple[str, type]]:
+        with self._lock:
+            return iter(list(self._by_name.items()))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    # -- surrogates ----------------------------------------------------------
+
+    def register_surrogate(self, surrogate: Surrogate) -> Surrogate:
+        """Install *surrogate*; its wire name must be unique (idempotent
+        for the same instance)."""
+        with self._lock:
+            existing = self._surrogates_by_name.get(surrogate.wire_name)
+            if existing is surrogate:
+                return surrogate
+            if existing is not None:
+                raise SerializationError(
+                    f"a surrogate for wire name {surrogate.wire_name!r} "
+                    f"is already registered"
+                )
+            if surrogate.wire_name in self._by_name:
+                raise SerializationError(
+                    f"wire name {surrogate.wire_name!r} is taken by a "
+                    f"registered class"
+                )
+            self._surrogates.append(surrogate)
+            self._surrogates_by_name[surrogate.wire_name] = surrogate
+        return surrogate
+
+    def surrogate_for(self, obj: Any) -> Surrogate | None:
+        """First registered surrogate that applies to *obj*, if any."""
+        for surrogate in self._surrogates:
+            if surrogate.applies_to(obj):
+                return surrogate
+        return None
+
+    def surrogate_by_name(self, wire_name: str) -> Surrogate | None:
+        return self._surrogates_by_name.get(wire_name)
+
+    # -- state extraction ---------------------------------------------------
+
+    def state_of(self, obj: Any) -> dict[str, Any]:
+        """Extract the wire field dict of a registered instance."""
+        getstate = getattr(obj, "__getstate__", None)
+        if callable(getstate):
+            state = getstate()
+            if state is None:
+                # object.__getstate__ returns None for empty instances
+                state = {}
+            if isinstance(state, tuple) and len(state) == 2:
+                # object.__getstate__ (3.11+) returns (dict, slots) for
+                # classes with __slots__; merge the two namespaces.
+                dict_state, slots_state = state
+                merged = dict(dict_state or {})
+                merged.update(slots_state or {})
+                state = merged
+            if not isinstance(state, dict):
+                raise SerializationError(
+                    f"{type(obj).__qualname__}.__getstate__ must return a "
+                    f"dict, got {type(state).__qualname__}"
+                )
+            return state
+        if dataclasses.is_dataclass(obj):
+            # Shallow field extraction: nested values are encoded by the
+            # formatter's own recursion, so dataclasses.asdict (deep copy)
+            # would both waste work and break shared references.
+            return {
+                f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)
+            }
+        try:
+            return dict(vars(obj))
+        except TypeError:
+            raise SerializationError(
+                f"{type(obj).__qualname__} has no __dict__ and no "
+                f"__getstate__; cannot extract wire state"
+            ) from None
+
+    def new_instance(self, wire_name: str) -> Any:
+        """Allocate an empty instance of the class behind *wire_name*.
+
+        The constructor is deliberately not called: the wire state fully
+        determines the object, and running ``__init__`` on attacker-supplied
+        field values would be an execution vector.
+        """
+        cls = self.class_of(wire_name)
+        return cls.__new__(cls)
+
+    def restore_state(self, obj: Any, state: dict[str, Any]) -> None:
+        """Install a decoded field dict on a freshly allocated instance.
+
+        Schema evolution is supported in three ways, checked in order:
+
+        1. an explicit ``__setstate__`` owns everything;
+        2. a ``__parc_upgrade__(state) -> state`` classmethod may migrate
+           old wire states (rename fields, recompute values) before
+           installation;
+        3. fields *missing* from the wire state are filled from dataclass
+           defaults and from a ``_parc_field_defaults`` class dict, so
+           old peers can talk to new code; fields the class cannot hold
+           (``__slots__`` without the name) are skipped, so new peers can
+           talk to old code.
+        """
+        setstate = getattr(obj, "__setstate__", None)
+        if callable(setstate):
+            setstate(state)
+            return
+        upgrade = getattr(type(obj), "__parc_upgrade__", None)
+        if callable(upgrade):
+            state = upgrade(state)
+            if not isinstance(state, dict):
+                raise SerializationError(
+                    f"{type(obj).__qualname__}.__parc_upgrade__ must "
+                    f"return a dict"
+                )
+        for field_name, default in self._field_defaults(type(obj)).items():
+            if field_name not in state:
+                state[field_name] = default()
+        for key, value in state.items():
+            try:
+                object.__setattr__(obj, key, value)
+            except AttributeError:
+                # __slots__ class without this field: a newer peer sent a
+                # field we do not know; forward compatibility drops it.
+                continue
+
+    @staticmethod
+    def _field_defaults(cls: type) -> dict[str, Callable[[], Any]]:
+        """Zero-argument factories for every defaultable field of *cls*."""
+        defaults: dict[str, Callable[[], Any]] = {}
+        if dataclasses.is_dataclass(cls):
+            for field in dataclasses.fields(cls):
+                if field.default is not dataclasses.MISSING:
+                    value = field.default
+                    defaults[field.name] = lambda value=value: value
+                elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                    defaults[field.name] = field.default_factory  # type: ignore[assignment]
+        explicit = getattr(cls, "_parc_field_defaults", None)
+        if isinstance(explicit, dict):
+            for name, value in explicit.items():
+                if callable(value):
+                    defaults[name] = value
+                else:
+                    defaults[name] = lambda value=value: value
+        return defaults
+
+
+def _default_wire_name(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+#: The process-wide registry used by ``@serializable`` and, by default, by
+#: every formatter.
+default_registry = SerializationRegistry()
+
+
+def serializable(
+    cls: T | None = None, *, name: str | None = None
+) -> T | Callable[[T], T]:
+    """Class decorator marking a type as allowed on the wire.
+
+    The analog of C#'s ``[Serializable]`` (paper Fig. 7)::
+
+        @serializable
+        @dataclass
+        class ParamsProcess:
+            num: list[int]
+
+    An explicit wire name decouples the protocol from the Python module
+    layout::
+
+        @serializable(name="parc.PrimeBatch")
+        class PrimeBatch: ...
+    """
+
+    def decorate(klass: T) -> T:
+        default_registry.register(klass, name)
+        return klass
+
+    if cls is None:
+        return decorate
+    return decorate(cls)

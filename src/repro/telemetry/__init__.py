@@ -1,0 +1,34 @@
+"""Telemetry: execution tracing and metrics for the runtime.
+
+Production-quality runtimes need observability; the paper's RTS exposed
+load figures between object managers, and this package generalizes that:
+
+* :class:`Tracer` — thread-safe span/instant recorder with Chrome-trace
+  JSON export (load the file in ``chrome://tracing`` / Perfetto to see
+  the farm's timeline).  Install one with :func:`set_global_tracer` and
+  every implementation-object execution records a span automatically.
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` /
+  :class:`MetricsRegistry` — minimal metrics with a text snapshot.
+"""
+
+from repro.telemetry.tracer import (
+    Tracer,
+    get_global_tracer,
+    set_global_tracer,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "get_global_tracer",
+    "set_global_tracer",
+]

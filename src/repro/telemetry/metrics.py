@@ -1,0 +1,185 @@
+"""Minimal metrics: counters, gauges, fixed-bucket histograms.
+
+Enough for runtime dashboards and tests without external dependencies.
+All types are thread-safe; a :class:`MetricsRegistry` groups them and
+renders a deterministic text snapshot (sorted by name).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Sequence
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Arbitrary settable value."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, float("inf")
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count (Prometheus-style)."""
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help_text: str = "",
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be sorted and non-empty")
+        if buckets[-1] != float("inf"):
+            buckets = tuple(buckets) + (float("inf"),)
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing quantile *q* (0..1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            target = q * self._count
+            cumulative = 0
+            for bound, count in zip(self.buckets, self._counts):
+                cumulative += count
+                if cumulative >= target:
+                    return bound
+            return self.buckets[-1]
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        with self._lock:
+            return list(zip(self.buckets, self._counts))
+
+
+class MetricsRegistry:
+    """Named collection of metrics with text rendering."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_make(name, lambda: Counter(name, help_text), Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_make(name, lambda: Gauge(name, help_text), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help_text: str = "",
+    ) -> Histogram:
+        return self._get_or_make(
+            name, lambda: Histogram(name, buckets, help_text), Histogram
+        )
+
+    def _get_or_make(self, name, factory, expected_type):  # type: ignore[no-untyped-def]
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, expected_type):
+                raise ValueError(
+                    f"metric {name!r} already exists as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name → value view (histograms expose count/sum/mean)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        values: dict[str, float] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Histogram):
+                values[f"{name}_count"] = metric.count
+                values[f"{name}_sum"] = metric.total
+                values[f"{name}_mean"] = metric.mean
+            else:
+                values[name] = metric.value
+        return values
+
+    def render(self) -> str:
+        """Deterministic text dump (tests, logs)."""
+        lines = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, float) and not value.is_integer():
+                lines.append(f"{name} {value:.6g}")
+            else:
+                lines.append(f"{name} {int(value)}")
+        return "\n".join(lines)

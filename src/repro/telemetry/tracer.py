@@ -1,0 +1,168 @@
+"""Span tracing with Chrome-trace export.
+
+Events follow the Trace Event Format's complete-event shape (``"ph": "X"``
+with microsecond timestamps/durations), which both ``chrome://tracing``
+and Perfetto load directly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event (complete span or instant)."""
+
+    name: str
+    category: str
+    start_us: float
+    duration_us: float  # 0 for instants
+    thread_name: str
+    args: dict[str, Any] = field(default_factory=dict)
+    phase: str = "X"
+
+    def to_chrome(self, thread_ids: dict[str, int]) -> dict[str, Any]:
+        tid = thread_ids.setdefault(self.thread_name, len(thread_ids) + 1)
+        event: dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.phase,
+            "ts": round(self.start_us, 3),
+            "pid": 1,
+            "tid": tid,
+            "args": self.args,
+        }
+        if self.phase == "X":
+            event["dur"] = round(self.duration_us, 3)
+        return event
+
+
+class Tracer:
+    """Thread-safe event recorder.
+
+    Bounded: beyond *capacity* events the oldest are dropped (a tracer
+    left on during a long run must not exhaust memory); the drop count is
+    reported in the export metadata.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: list[TraceEvent] = []
+        self._dropped = 0
+        self._origin = time.perf_counter()
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._origin) * 1e6
+
+    def _record(self, event: TraceEvent) -> None:
+        with self._lock:
+            if len(self._events) >= self.capacity:
+                self._events.pop(0)
+                self._dropped += 1
+            self._events.append(event)
+
+    @contextlib.contextmanager
+    def span(
+        self, category: str, name: str, **args: Any
+    ) -> Iterator[None]:
+        """Record the enclosed block as a complete event."""
+        start = self._now_us()
+        try:
+            yield
+        finally:
+            self._record(
+                TraceEvent(
+                    name=name,
+                    category=category,
+                    start_us=start,
+                    duration_us=self._now_us() - start,
+                    thread_name=threading.current_thread().name,
+                    args=dict(args),
+                )
+            )
+
+    def instant(self, category: str, name: str, **args: Any) -> None:
+        """Record a zero-duration marker."""
+        self._record(
+            TraceEvent(
+                name=name,
+                category=category,
+                start_us=self._now_us(),
+                duration_us=0.0,
+                thread_name=threading.current_thread().name,
+                args=dict(args),
+                phase="i",
+            )
+        )
+
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Trace Event Format document (load in chrome://tracing)."""
+        thread_ids: dict[str, int] = {}
+        with self._lock:
+            events = [event.to_chrome(thread_ids) for event in self._events]
+            dropped = self._dropped
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "pyparc", "droppedEvents": dropped},
+        }
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the Chrome trace to *path*; returns the path."""
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_chrome_trace(), indent=None), encoding="utf-8"
+        )
+        return target
+
+    def span_durations(self, category: str | None = None) -> list[float]:
+        """Durations in seconds of recorded complete events (for stats)."""
+        return [
+            event.duration_us / 1e6
+            for event in self.events()
+            if event.phase == "X"
+            and (category is None or event.category == category)
+        ]
+
+
+_global_lock = threading.Lock()
+_global_tracer: Tracer | None = None
+
+
+def set_global_tracer(tracer: Tracer | None) -> None:
+    """Install (or clear, with None) the process-wide tracer.
+
+    While installed, implementation objects record a span per executed
+    method (category ``io``), and trace-aware subsystems may add more.
+    """
+    global _global_tracer
+    with _global_lock:
+        _global_tracer = tracer
+
+
+def get_global_tracer() -> Tracer | None:
+    return _global_tracer

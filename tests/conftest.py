@@ -1,0 +1,53 @@
+"""Shared fixtures for the PyParC test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core as parc
+from repro.core import AdaptiveGrainController, GrainPolicy
+
+
+@pytest.fixture
+def runtime():
+    """A 3-node loopback runtime with light aggregation; always torn down."""
+    rt = parc.init(nodes=3, grain=GrainPolicy(max_calls=4))
+    try:
+        yield rt
+    finally:
+        parc.shutdown()
+
+
+@pytest.fixture
+def plain_runtime():
+    """A 2-node runtime with no aggregation (max_calls=1)."""
+    rt = parc.init(nodes=2, grain=GrainPolicy(max_calls=1))
+    try:
+        yield rt
+    finally:
+        parc.shutdown()
+
+
+@pytest.fixture
+def adaptive_runtime():
+    """A 3-node runtime driven by the adaptive grain controller."""
+    controller = AdaptiveGrainController(
+        overhead_s=500e-6, min_samples=4, max_calls_cap=32
+    )
+    rt = parc.init(nodes=3, grain=controller)
+    try:
+        yield rt, controller
+    finally:
+        parc.shutdown()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_runtime():
+    """Guarantee no test leaves a global runtime behind."""
+    yield
+    try:
+        parc.current_runtime()
+    except Exception:
+        return
+    parc.shutdown()
+    pytest.fail("test leaked a live ParC runtime; use the fixtures")

@@ -1,0 +1,75 @@
+"""Every shipped example must run to completion (subprocess smoke tests).
+
+The examples are deliverables; these tests keep them green as the library
+evolves.  Each runs with reduced problem sizes where the script accepts
+arguments.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", [], 120),
+    ("divide_server.py", [], 120),
+    ("prime_pipeline.py", ["80"], 180),
+    ("grain_adaptation.py", [], 180),
+    ("raytracer_farm.py", ["24", "24"], 300),
+    ("mandelbrot_preprocessed.py", ["40", "12"], 180),
+    ("jgf_kernels.py", [], 300),
+    ("skeletons.py", [], 180),
+    ("multiprocess_farm.py", ["20000", "2"], 300),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args,timeout", CASES, ids=[case[0] for case in CASES]
+)
+def test_example_runs(script, args, timeout, tmp_path):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example missing: {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=tmp_path,  # examples must not depend on the repo cwd
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip()  # every example narrates what it did
+
+
+def test_traced_farm_writes_valid_trace(tmp_path):
+    output = tmp_path / "trace.json"
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES_DIR / "traced_farm.py"),
+            str(output),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    import json
+
+    document = json.loads(output.read_text())
+    assert document["traceEvents"]
+
+
+def test_examples_directory_complete():
+    """Every example on disk is exercised by this module."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {case[0] for case in CASES} | {"traced_farm.py"}
+    assert on_disk == covered, on_disk ^ covered

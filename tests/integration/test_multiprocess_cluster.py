@@ -1,0 +1,102 @@
+"""Integration tests: worker nodes as separate OS processes over TCP.
+
+These exercise the full distribution story — spawn, boot-code module
+imports, cross-process placement, real-socket serialization, nested
+creation inside a worker process, and clean shutdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core as parc
+from repro.apps.primes import PrimeServer, sieve
+from repro.cluster.proc import grain_from_spec, grain_to_spec
+from repro.core import AdaptiveGrainController, GrainPolicy
+from repro.errors import ScooppError
+
+
+WORKER_MODULES = ("repro.apps.primes",)
+
+
+@pytest.fixture
+def process_runtime():
+    rt = parc.init(
+        nodes=1,
+        channel="tcp",
+        grain=GrainPolicy(max_calls=4),
+        worker_processes=2,
+        worker_modules=WORKER_MODULES,
+    )
+    try:
+        yield rt
+    finally:
+        parc.shutdown()
+
+
+class TestGrainSpecs:
+    def test_static_roundtrip(self):
+        policy = GrainPolicy(agglomerate=True, max_calls=7)
+        rebuilt = grain_from_spec(grain_to_spec(policy))
+        assert rebuilt == policy
+
+    def test_adaptive_roundtrip(self):
+        controller = AdaptiveGrainController(
+            overhead_s=2e-3, pack_factor=3.0, max_calls_cap=99
+        )
+        rebuilt = grain_from_spec(grain_to_spec(controller))
+        assert isinstance(rebuilt, AdaptiveGrainController)
+        assert rebuilt.overhead_s == 2e-3
+        assert rebuilt.max_calls_cap == 99
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ScooppError):
+            grain_from_spec(("mystery", {}))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ScooppError):
+            grain_to_spec(object())  # type: ignore[arg-type]
+
+
+class TestClusterValidation:
+    def test_process_workers_need_tcp(self):
+        with pytest.raises(ScooppError, match="TCP"):
+            parc.init(nodes=1, channel="loopback", worker_processes=1)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ScooppError):
+            parc.init(nodes=1, channel="tcp", worker_processes=-1)
+
+
+class TestProcessCluster:
+    def test_objects_placed_across_processes(self, process_runtime):
+        servers = [parc.new(PrimeServer) for _ in range(3)]
+        stats = process_runtime.stats()
+        assert len(stats) == 3  # 1 local + 2 process nodes
+        assert [node["ios"] for node in stats] == [1, 1, 1]
+        for server in servers:
+            server.parc_release()
+
+    def test_cross_process_calls_correct(self, process_runtime):
+        servers = [parc.new(PrimeServer) for _ in range(3)]
+        for index, server in enumerate(servers):
+            start = 2 + index * 100
+            server.process(list(range(start, start + 100)))
+        total = sum(server.count() for server in servers)
+        assert total == len(sieve(301))
+        for server in servers:
+            server.parc_release()
+
+    def test_aggregated_async_calls_cross_processes(self, process_runtime):
+        server = parc.new(PrimeServer)
+        for start in range(2, 202, 10):
+            server.process(list(range(start, start + 10)))  # aggregates
+        assert server.count() == len(sieve(201))
+        assert server.found()[:4] == [2, 3, 5, 7]
+        server.parc_release()
+
+    def test_total_ios_counts_remote_nodes(self, process_runtime):
+        servers = [parc.new(PrimeServer) for _ in range(3)]
+        assert process_runtime.cluster.total_ios() == 3
+        for server in servers:
+            server.parc_release()

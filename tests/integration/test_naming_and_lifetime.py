@@ -1,0 +1,166 @@
+"""Integration tests: the SCOOPP name service and lease sweeping."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.core as parc
+from repro.channels import LoopbackChannel
+from repro.channels.services import ChannelServices
+from repro.core import GrainPolicy
+from repro.errors import RemotingError, ScooppError
+from repro.perfmodel import VirtualClock
+from repro.remoting import MarshalByRefObject, RemotingHost
+
+
+@parc.parallel(
+    name="naming.Board", async_methods=["post"], sync_methods=["posts"]
+)
+class Board:
+    def __init__(self, topic="general"):
+        self.topic = topic
+        self.entries = []
+
+    def post(self, text):
+        self.entries.append(text)
+
+    def posts(self):
+        return list(self.entries)
+
+
+@parc.parallel(name="naming.Author", async_methods=[], sync_methods=["publish"])
+class Author:
+    def publish(self, text):
+        """Looks the board up *from inside a parallel method*."""
+        board = parc.lookup("board")
+        board.post(text)
+        board.parc_wait()
+        return True
+
+
+class TestNameService:
+    def test_bind_lookup_roundtrip(self, runtime):
+        board = parc.new(Board, "news")
+        parc.bind("board", board)
+        found = parc.lookup("board")
+        found.post("hello")
+        found.parc_wait()
+        assert board.posts() == ["hello"]  # the very same IO
+        parc.unbind("board")
+        board.parc_release()
+
+    def test_bind_twice_rejected_rebind_allowed(self, runtime):
+        first = parc.new(Board)
+        second = parc.new(Board)
+        parc.bind("dup", first)
+        with pytest.raises(Exception, match="already bound"):
+            parc.bind("dup", second)
+        parc.rebind("dup", second)
+        parc.unbind("dup")
+        first.parc_release()
+        second.parc_release()
+
+    def test_lookup_missing(self, runtime):
+        with pytest.raises(Exception, match="not bound"):
+            parc.lookup("ghost")
+
+    def test_unbind_missing(self, runtime):
+        with pytest.raises(Exception, match="not bound"):
+            parc.unbind("ghost")
+
+    def test_names_listing(self, runtime):
+        a = parc.new(Board)
+        b = parc.new(Board)
+        parc.bind("zeta", a)
+        parc.bind("alpha", b)
+        assert parc.names() == ["alpha", "zeta"]
+        parc.unbind("zeta")
+        parc.unbind("alpha")
+        a.parc_release()
+        b.parc_release()
+
+    def test_only_pos_bindable(self, runtime):
+        with pytest.raises(ScooppError, match="parallel objects"):
+            parc.bind("x", object())
+
+    def test_lookup_from_inside_parallel_method(self, runtime):
+        board = parc.new(Board)
+        parc.bind("board", board)
+        author = parc.new(Author)
+        assert author.publish("from a worker") is True
+        assert board.posts() == ["from a worker"]
+        parc.unbind("board")
+        author.parc_release()
+        board.parc_release()
+
+    def test_agglomerated_po_promoted_on_bind(self):
+        parc.init(nodes=2, grain=GrainPolicy(agglomerate=True))
+        try:
+            board = parc.new(Board)
+            assert board.parc_is_local
+            parc.bind("local-board", board)
+            assert not board.parc_is_local  # promoted by the crossing
+            found = parc.lookup("local-board")
+            found.post("promoted")
+            found.parc_wait()
+            assert board.posts() == ["promoted"]
+        finally:
+            parc.shutdown()
+
+    def test_names_are_per_runtime(self):
+        parc.init(nodes=2)
+        try:
+            board = parc.new(Board)
+            parc.bind("ephemeral", board)
+        finally:
+            parc.shutdown()
+        parc.init(nodes=2)
+        try:
+            assert parc.names() == []
+        finally:
+            parc.shutdown()
+
+
+class TestLeaseSweeper:
+    def test_background_sweeper_collects(self):
+        clock = VirtualClock()
+        services = ChannelServices()
+        services.register_channel(LoopbackChannel())
+        host = RemotingHost(name="sweep-host", services=services, clock=clock)
+        host.listen(LoopbackChannel(), "auto")
+        try:
+
+            class Ephemeral(MarshalByRefObject):
+                def ping(self):
+                    return "pong"
+
+            ephemeral = Ephemeral()
+            host.objref_for(ephemeral)  # implicit publish, finite lease
+            path = ephemeral._parc_path
+            host.start_lease_sweeper(interval_s=0.02)
+            host.start_lease_sweeper(interval_s=0.02)  # idempotent
+            clock.advance(10_000.0)  # lease long expired in virtual time
+            deadline = time.time() + 5
+            while path in host.published_paths() and time.time() < deadline:
+                time.sleep(0.01)
+            assert path not in host.published_paths()
+        finally:
+            host.close()
+
+    def test_sweeper_validation(self):
+        services = ChannelServices()
+        host = RemotingHost(name="sv", services=services)
+        try:
+            with pytest.raises(RemotingError):
+                host.start_lease_sweeper(interval_s=0)
+        finally:
+            host.close()
+
+    def test_sweeper_on_closed_host_rejected(self):
+        services = ChannelServices()
+        host = RemotingHost(name="sc", services=services)
+        host.close()
+        with pytest.raises(RemotingError):
+            host.start_lease_sweeper()

@@ -1,0 +1,182 @@
+"""Integration tests for the Farm and Pipeline skeletons."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core as parc
+from repro.core import Farm, Pipeline
+from repro.errors import ScooppError
+
+
+@parc.parallel(
+    name="patterns.Tally",
+    async_methods=["add", "reset"],
+    sync_methods=["total", "double"],
+)
+class Tally:
+    def __init__(self, start=0):
+        self.value = start
+
+    def add(self, amount):
+        self.value += amount
+
+    def reset(self):
+        self.value = 0
+
+    def total(self):
+        return self.value
+
+    def double(self, x):
+        return x * 2
+
+
+@parc.parallel(
+    name="patterns.Stage",
+    async_methods=["feed", "set_next"],
+    sync_methods=["seen"],
+)
+class Stage:
+    """Pipeline stage: tags items and forwards them."""
+
+    def __init__(self, tag):
+        self.tag = tag
+        self.items = []
+        self.next_stage = None
+
+    def set_next(self, stage):
+        self.next_stage = stage
+
+    def feed(self, item):
+        tagged = f"{item}|{self.tag}"
+        self.items.append(tagged)
+        if self.next_stage is not None:
+            self.next_stage.feed(tagged)
+
+    def seen(self):
+        return list(self.items)
+
+
+class TestFarm:
+    def test_scatter_and_collect(self, runtime):
+        with Farm(Tally, workers=3) as farm:
+            assert len(farm) == 3
+            dispatched = farm.scatter("add", range(1, 31))
+            assert dispatched == 30
+            totals = farm.collect("total")
+            assert sum(totals) == sum(range(1, 31))
+            assert len(totals) == 3
+
+    def test_broadcast(self, runtime):
+        with Farm(Tally, workers=3, start=5) as farm:
+            farm.broadcast("add", 10)
+            assert farm.collect("total") == [15, 15, 15]
+            farm.broadcast("reset")
+            assert farm.collect("total") == [0, 0, 0]
+
+    def test_map_preserves_order(self, runtime):
+        with Farm(Tally, workers=4) as farm:
+            assert farm.map("double", list(range(10))) == [
+                x * 2 for x in range(10)
+            ]
+
+    def test_map_empty(self, runtime):
+        with Farm(Tally, workers=2) as farm:
+            assert farm.map("double", []) == []
+
+    def test_wait_barrier(self, runtime):
+        with Farm(Tally, workers=2) as farm:
+            farm.scatter("add", [1] * 20)
+            farm.wait()
+            assert sum(farm.collect("total")) == 20
+
+    def test_constructor_args_forwarded(self, runtime):
+        with Farm(Tally, workers=2, start=100) as farm:
+            assert farm.collect("total") == [100, 100]
+
+    def test_closed_farm_rejects_use(self, runtime):
+        farm = Farm(Tally, workers=1)
+        farm.close()
+        farm.close()  # idempotent
+        with pytest.raises(ScooppError, match="closed"):
+            farm.scatter("add", [1])
+
+    def test_validation(self, runtime):
+        with pytest.raises(ScooppError):
+            Farm(Tally, workers=0)
+
+
+class TestPipeline:
+    def test_items_flow_through_all_stages(self, runtime):
+        with Pipeline([(Stage, ("a",)), (Stage, ("b",)), (Stage, ("c",))]) as pipe:
+            assert len(pipe) == 3
+            pipe.feed_all(["x", "y"])
+            tail_items = pipe.call_last("seen")
+            assert tail_items == ["x|a|b|c", "y|a|b|c"]
+
+    def test_intermediate_stages_see_partial_tags(self, runtime):
+        with Pipeline([(Stage, ("first",)), (Stage, ("second",))]) as pipe:
+            pipe.feed("item")
+            pipe.drain()
+            assert pipe.head.seen() == ["item|first"]
+            assert pipe.tail.seen() == ["item|first|second"]
+
+    def test_single_stage(self, runtime):
+        with Pipeline([(Stage, ("only",))]) as pipe:
+            pipe.feed(1)
+            assert pipe.call_last("seen") == ["1|only"]
+
+    def test_order_preserved_through_chain(self, runtime):
+        with Pipeline([(Stage, ("s",)), (Stage, ("t",))]) as pipe:
+            pipe.feed_all(range(25))
+            tail_items = pipe.call_last("seen")
+            assert tail_items == [f"{i}|s|t" for i in range(25)]
+
+    def test_empty_stage_list_rejected(self, runtime):
+        with pytest.raises(ScooppError):
+            Pipeline([])
+
+    def test_closed_pipeline_rejects_use(self, runtime):
+        pipe = Pipeline([(Stage, ("x",))])
+        pipe.close()
+        with pytest.raises(ScooppError, match="closed"):
+            pipe.feed(1)
+
+    def test_prime_sieve_as_pipeline_pattern(self, runtime):
+        """The paper's running example, rebuilt on the skeleton."""
+
+        @parc.parallel(
+            name="patterns.Sieve",
+            async_methods=["feed", "set_next"],
+            sync_methods=["survivors"],
+        )
+        class SieveStage:
+            def __init__(self, prime):
+                self.prime = prime
+                self.next_stage = None
+                self.overflow = []
+
+            def set_next(self, stage):
+                self.next_stage = stage
+
+            def feed(self, n):
+                if n % self.prime == 0:
+                    return
+                if self.next_stage is not None:
+                    self.next_stage.feed(n)
+                else:
+                    self.overflow.append(n)
+
+            def survivors(self):
+                return list(self.overflow)
+
+        with Pipeline(
+            [(SieveStage, (2,)), (SieveStage, (3,)), (SieveStage, (5,))]
+        ) as pipe:
+            pipe.feed_all(range(2, 50))
+            survivors = pipe.call_last("survivors")
+            expected = [
+                n for n in range(2, 50)
+                if n % 2 and n % 3 and n % 5
+            ]
+            assert survivors == expected

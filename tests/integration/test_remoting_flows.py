@@ -1,0 +1,205 @@
+"""Integration tests: remoting flows across channels and hosts."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.channels import HttpChannel, LoopbackChannel, TcpChannel
+from repro.channels.services import ChannelServices
+from repro.remoting import (
+    Activator,
+    Delegate,
+    MarshalByRefObject,
+    RemotingConfiguration,
+    RemotingHost,
+    WellKnownObjectMode,
+)
+from repro.remoting.host import reset_default_host
+from repro.remoting.proxy import is_proxy
+
+
+class Storage(MarshalByRefObject):
+    def __init__(self):
+        self.data = {}
+        self.lock = threading.Lock()
+
+    def put(self, key, value):
+        with self.lock:
+            self.data[key] = value
+        return key
+
+    def get(self, key):
+        with self.lock:
+            return self.data.get(key)
+
+    def keys(self):
+        with self.lock:
+            return sorted(self.data)
+
+
+class CallbackSink(MarshalByRefObject):
+    def __init__(self):
+        self.received = []
+
+    def notify(self, event):
+        self.received.append(event)
+        return len(self.received)
+
+
+class Publisher(MarshalByRefObject):
+    def __init__(self):
+        self.subscribers = []
+
+    def subscribe(self, sink):
+        """Receives a proxy to a client-side object (callback pattern)."""
+        self.subscribers.append(sink)
+
+    def publish(self, event):
+        return [sink.notify(event) for sink in self.subscribers]
+
+
+@pytest.fixture(params=["tcp", "http", "loopback"])
+def connected_pair(request):
+    """A server host and a client host connected over one channel kind."""
+    channel_classes = {
+        "tcp": TcpChannel,
+        "http": HttpChannel,
+        "loopback": LoopbackChannel,
+    }
+    channel_class = channel_classes[request.param]
+    authority = "auto" if request.param == "loopback" else "127.0.0.1:0"
+    server_services = ChannelServices()
+    server = RemotingHost(name=f"server-{request.param}", services=server_services)
+    binding = server.listen(channel_class(), authority)
+    client_services = ChannelServices()
+    client_channel = channel_class()
+    client_services.register_channel(client_channel)
+    client = RemotingHost(name=f"client-{request.param}", services=client_services)
+    base_uri = f"{client_channel.scheme}://{binding.authority}"
+    yield server, client, base_uri
+    client.close()
+    server.close()
+    client_channel.close()
+
+
+class TestCrossHostFlows:
+    def test_state_roundtrip(self, connected_pair):
+        server, client, base = connected_pair
+        server.register_well_known(Storage, "storage")
+        storage = client.get_object(f"{base}/storage")
+        assert storage.put("k", {"nested": [1, 2]}) == "k"
+        assert storage.get("k") == {"nested": [1, 2]}
+        assert storage.keys() == ["k"]
+
+    def test_concurrent_clients_single_server_object(self, connected_pair):
+        server, client, base = connected_pair
+        server.register_well_known(Storage, "shared")
+        errors = []
+
+        def worker(worker_id):
+            try:
+                proxy = client.get_object(f"{base}/shared")
+                for round_no in range(5):
+                    key = f"{worker_id}:{round_no}"
+                    proxy.put(key, round_no)
+                    assert proxy.get(key) == round_no
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        storage = client.get_object(f"{base}/shared")
+        assert len(storage.keys()) == 30
+
+    def test_client_callbacks(self, connected_pair):
+        server, client, base = connected_pair
+        if base.startswith("loopback"):
+            pytest.skip("callback needs a listening client; loopback "
+                        "client hosts share the process registry anyway")
+        # The client must listen to receive callbacks.
+        channel_class = TcpChannel if base.startswith("tcp") else HttpChannel
+        client_binding = client.listen(channel_class(), "127.0.0.1:0")
+        assert client_binding.authority
+        server.register_well_known(Publisher, "publisher")
+        publisher = client.get_object(f"{base}/publisher")
+        sink = CallbackSink()
+        publisher.subscribe(sink)  # marshals sink by reference
+        counts = publisher.publish("event-1")
+        assert counts == [1]
+        assert sink.received == ["event-1"]
+
+    def test_async_delegate_over_wire(self, connected_pair):
+        server, client, base = connected_pair
+        server.register_well_known(Storage, "async-storage")
+        storage = client.get_object(f"{base}/async-storage")
+        delegate = Delegate(storage.put)
+        results = [delegate.begin_invoke(f"k{i}", i) for i in range(10)]
+        keys = sorted(delegate.end_invoke(result) for result in results)
+        assert keys == sorted(f"k{i}" for i in range(10))
+        assert storage.keys() == sorted(f"k{i}" for i in range(10))
+
+
+class TestMultiChannelHost:
+    def test_same_object_reachable_over_tcp_and_http(self):
+        services = ChannelServices()
+        host = RemotingHost(name="dual", services=services)
+        tcp_binding = host.listen(TcpChannel(), "127.0.0.1:0")
+        http_binding = host.listen(HttpChannel(), "127.0.0.1:0")
+        host.register_well_known(Storage, "dual-storage")
+        client_services = ChannelServices()
+        client_services.register_channel(TcpChannel())
+        client_services.register_channel(HttpChannel())
+        client = RemotingHost(name="dual-client", services=client_services)
+        try:
+            over_tcp = client.get_object(
+                f"tcp://{tcp_binding.authority}/dual-storage"
+            )
+            over_http = client.get_object(
+                f"http://{http_binding.authority}/dual-storage"
+            )
+            over_tcp.put("via", "tcp")
+            assert over_http.get("via") == "tcp"  # same singleton
+        finally:
+            client.close()
+            host.close()
+
+    def test_objref_advertises_all_channels(self):
+        services = ChannelServices()
+        host = RemotingHost(name="multi", services=services)
+        host.listen(TcpChannel(), "127.0.0.1:0")
+        host.listen(HttpChannel(), "127.0.0.1:0")
+        try:
+            ref = host.publish(Storage(), "multi-storage")
+            schemes = {uri.split("://")[0] for uri in ref.uris}
+            assert schemes == {"tcp", "http"}
+        finally:
+            host.close()
+
+
+class TestStaticFacades:
+    def test_fig2_static_api(self):
+        reset_default_host()
+        try:
+            from repro.remoting.host import default_host
+
+            host = default_host()
+            binding = host.listen(TcpChannel(), "127.0.0.1:0")
+            RemotingConfiguration.register_well_known_service_type(
+                Storage, "facade-storage", WellKnownObjectMode.SINGLETON
+            )
+            proxy = Activator.get_object(
+                f"tcp://{binding.authority}/facade-storage"
+            )
+            # Same-process shortcut may hand back the live object.
+            target = proxy if not is_proxy(proxy) else proxy
+            assert target.put("a", 1) == "a"
+        finally:
+            reset_default_host()

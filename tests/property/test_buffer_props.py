@@ -1,0 +1,102 @@
+"""Property-based tests: ByteBuffer invariants under arbitrary op sequences."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import BufferStateError
+from repro.nio import ByteBuffer
+
+
+class TestSimpleProperties:
+    @given(st.binary(max_size=128))
+    @settings(max_examples=100, deadline=None)
+    def test_put_flip_get_identity(self, data):
+        buffer = ByteBuffer.allocate(len(data))
+        buffer.put(data).flip()
+        assert buffer.get(len(data)) == data
+
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_partial_drain_then_compact(self, data, drain_count):
+        buffer = ByteBuffer.allocate(max(len(data), 1))
+        buffer.put(data).flip()
+        drained = min(drain_count, len(data))
+        buffer.get(drained)
+        buffer.compact()
+        buffer.flip()
+        assert buffer.get(len(data) - drained) == data[drained:]
+
+    @given(st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1), max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_int_sequence_roundtrip(self, numbers):
+        buffer = ByteBuffer.allocate(4 * len(numbers))
+        for number in numbers:
+            buffer.put_int(number)
+        buffer.flip()
+        assert [buffer.get_int() for _ in numbers] == numbers
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_wrap_then_rewind_is_idempotent(self, data):
+        buffer = ByteBuffer.wrap(data)
+        first = buffer.get(len(data))
+        buffer.rewind()
+        assert buffer.get(len(data)) == first == data
+
+
+class BufferMachine(RuleBasedStateMachine):
+    """Random op sequences can never violate 0<=pos<=lim<=cap."""
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = ByteBuffer.allocate(32)
+
+    @rule(data=st.binary(max_size=16))
+    def put(self, data):
+        try:
+            self.buffer.put(data)
+        except BufferStateError:
+            pass  # overflow is legal to *attempt*
+
+    @rule(size=st.integers(min_value=0, max_value=16))
+    def get(self, size):
+        try:
+            self.buffer.get(size)
+        except BufferStateError:
+            pass
+
+    @rule()
+    def flip(self):
+        self.buffer.flip()
+
+    @rule()
+    def clear(self):
+        self.buffer.clear()
+
+    @rule()
+    def compact(self):
+        self.buffer.compact()
+
+    @rule()
+    def rewind(self):
+        self.buffer.rewind()
+
+    @rule()
+    def mark_and_maybe_reset(self):
+        self.buffer.mark()
+        self.buffer.reset()
+
+    @invariant()
+    def state_invariant(self):
+        assert 0 <= self.buffer.position <= self.buffer.limit <= self.buffer.capacity
+
+    @invariant()
+    def remaining_consistent(self):
+        assert self.buffer.remaining() == self.buffer.limit - self.buffer.position
+        assert self.buffer.has_remaining() == (self.buffer.remaining() > 0)
+
+
+TestBufferMachine = BufferMachine.TestCase

@@ -1,0 +1,111 @@
+"""Fuzz robustness: malformed wire input must fail loudly, never crash.
+
+A remoting endpoint decodes attacker-controllable bytes; the contract is
+that any malformed input raises a library error
+(:class:`~repro.errors.ParcError` subclass), never an unhandled
+``IndexError``/``UnicodeDecodeError``/``MemoryError``-style surprise, and
+never executes user code.
+"""
+
+from __future__ import annotations
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParcError
+from repro.mpi import INT, UnpackBuffer
+from repro.serialization import BinaryFormatter, SoapFormatter
+
+binary = BinaryFormatter()
+soap = SoapFormatter()
+
+
+class TestBinaryFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300, deadline=None)
+    @example(b"")
+    @example(b"O")
+    @example(b"L\xff\xff\xff\xff\x0f")
+    @example(b"R\x00")
+    def test_random_bytes_never_crash(self, data):
+        try:
+            binary.loads(data)
+        except ParcError:
+            pass  # the only acceptable failure mode
+
+    @given(st.binary(max_size=128), st.integers(min_value=0, max_value=120))
+    @settings(max_examples=200, deadline=None)
+    def test_truncated_valid_payloads(self, raw, cut):
+        valid = binary.dumps(["seed", raw, {"k": 1}])
+        mutated = valid[: min(cut, len(valid))]
+        if mutated == valid:
+            return
+        try:
+            binary.loads(mutated)
+        except ParcError:
+            pass
+
+    @given(
+        st.binary(max_size=128),
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bitflipped_valid_payloads(self, raw, position, replacement):
+        valid = bytearray(binary.dumps([raw, [1, 2.5, None]]))
+        if not valid:
+            return
+        valid[position % len(valid)] = replacement
+        try:
+            binary.loads(bytes(valid))
+        except ParcError:
+            pass
+
+
+class TestSoapFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=200, deadline=None)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            soap.loads(data)
+        except ParcError:
+            pass
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    @example('<v t="list" n="9999999">')
+    @example('<v t="obj" c="os.system" n="0"></v>')
+    def test_random_text_in_envelope_never_crashes(self, body):
+        payload = (
+            '<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/'
+            f'envelope/"><soap:Body>{body}</soap:Body></soap:Envelope>'
+        ).encode("utf-8")
+        try:
+            soap.loads(payload)
+        except ParcError:
+            pass
+
+    def test_unregistered_class_name_never_instantiates(self):
+        """Decoding must not import/execute by name (no pickle behaviour)."""
+        payload = (
+            '<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/'
+            'envelope/"><soap:Body><v t="obj" c="subprocess.Popen" n="0">'
+            "</v></soap:Body></soap:Envelope>"
+        ).encode()
+        try:
+            soap.loads(payload)
+            raise AssertionError("should have rejected unknown class")
+        except ParcError as exc:
+            assert "subprocess.Popen" in str(exc)
+
+
+class TestUnpackFuzz:
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_random_pack_buffers(self, data):
+        try:
+            unpacker = UnpackBuffer(data)
+            while unpacker.remaining:
+                unpacker.unpack(INT)
+        except ParcError:
+            pass

@@ -1,0 +1,151 @@
+"""Property-based tests for the JGF kernels (cipher laws, SOR, MC)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.jgf.crypt import (
+    _mul,
+    _mul_inverse,
+    expand_key,
+    idea_decrypt,
+    idea_encrypt,
+    invert_key,
+)
+from repro.apps.jgf.montecarlo import simulate_path
+from repro.apps.jgf.sor import make_grid, sor, sor_checksum
+from repro.apps.jgf.sparsematmult import random_sparse_matrix, sparse_matmult
+
+user_keys = st.lists(
+    st.integers(min_value=0, max_value=0xFFFF), min_size=8, max_size=8
+)
+blocks = st.binary(min_size=8, max_size=8 * 16).filter(
+    lambda data: len(data) % 8 == 0
+)
+idea_words = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestIdeaAlgebra:
+    @given(idea_words)
+    @settings(max_examples=300, deadline=None)
+    def test_mul_inverse_law(self, x):
+        assert _mul(x, _mul_inverse(x)) == 1
+
+    @given(idea_words, idea_words)
+    @settings(max_examples=300, deadline=None)
+    def test_mul_commutative(self, a, b):
+        assert _mul(a, b) == _mul(b, a)
+
+    @given(idea_words, idea_words, idea_words)
+    @settings(max_examples=200, deadline=None)
+    def test_mul_associative(self, a, b, c):
+        assert _mul(_mul(a, b), c) == _mul(a, _mul(b, c))
+
+    @given(idea_words)
+    @settings(max_examples=100, deadline=None)
+    def test_identity_element(self, x):
+        assert _mul(x, 1) == x
+
+
+class TestIdeaCipherProperties:
+    @given(user_keys, blocks)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_any_key_any_data(self, user_key, data):
+        key = expand_key(user_key)
+        assert idea_decrypt(idea_encrypt(data, key), key) == data
+
+    @given(user_keys)
+    @settings(max_examples=50, deadline=None)
+    def test_double_inversion_is_identity(self, user_key):
+        key = expand_key(user_key)
+        assert invert_key(invert_key(key)) == key
+
+    @given(user_keys, blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_encryption_is_permutation(self, user_key, data):
+        key = expand_key(user_key)
+        ciphertext = idea_encrypt(data, key)
+        assert len(ciphertext) == len(data)
+        # Injectivity on the tested block: decrypt is a left inverse.
+        assert idea_decrypt(ciphertext, key) == data
+
+
+class TestSorProperties:
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_boundary_invariant(self, size, iterations, seed):
+        grid = make_grid(size, seed=seed)
+        top, bottom = list(grid[0]), list(grid[-1])
+        sor(grid, iterations)
+        assert grid[0] == top
+        assert grid[-1] == bottom
+
+    @given(st.integers(min_value=3, max_value=10), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_iterations_is_identity(self, size, seed):
+        grid = make_grid(size, seed=seed)
+        reference = [list(row) for row in grid]
+        sor(grid, 0)
+        assert grid == reference
+
+    @given(st.integers(min_value=3, max_value=9), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_checksum_finite(self, size, iterations):
+        import math
+
+        grid = make_grid(size)
+        sor(grid, iterations)
+        assert math.isfinite(sor_checksum(grid))
+
+
+class TestSparseProperties:
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_dimension(self, size, nnz, seed):
+        nnz = min(nnz, size)
+        matrix = random_sparse_matrix(size, nnz, seed=seed)
+        result = sparse_matmult(matrix, [1.0] * size)
+        assert len(result) == size
+
+    @given(st.integers(min_value=2, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_vector_fixed_point(self, size):
+        matrix = random_sparse_matrix(size, min(3, size))
+        assert sparse_matmult(matrix, [0.0] * size) == [0.0] * size
+
+    @given(st.integers(min_value=2, max_value=15), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_result_normalized(self, size, seed):
+        matrix = random_sparse_matrix(size, min(3, size), seed=seed)
+        result = sparse_matmult(matrix, [1.0] * size, iterations=2)
+        assert max(abs(value) for value in result) <= 1.0 + 1e-12
+
+
+class TestMonteCarloProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_path_deterministic_in_index(self, index, steps, seed):
+        args = (index, steps, 100.0, 0.0005, 0.012, seed)
+        assert simulate_path(*args) == simulate_path(*args)
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_return_above_minus_one(self, index, steps):
+        value = simulate_path(index, steps, 100.0, 0.0, 0.02)
+        assert value > -1.0

@@ -1,0 +1,95 @@
+"""Property-based tests: MPI matching semantics under random schedules."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ANY_TAG, SUM, run_mpi
+from repro.mpi.p2p import Envelope, Mailbox
+
+messages = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # source
+        st.integers(min_value=0, max_value=3),  # tag
+        st.binary(max_size=8),
+    ),
+    max_size=30,
+)
+
+
+class TestMailboxProperties:
+    @given(messages)
+    @settings(max_examples=150, deadline=None)
+    def test_collect_all_preserves_per_pair_order(self, schedule):
+        mailbox = Mailbox()
+        for source, tag, payload in schedule:
+            mailbox.deposit(Envelope(source=source, tag=tag, payload=payload))
+        # Drain fully matching (source, tag) exactly; per-(source, tag)
+        # order must be deposit order.
+        from collections import defaultdict
+
+        expected = defaultdict(list)
+        for source, tag, payload in schedule:
+            expected[(source, tag)].append(payload)
+        received = defaultdict(list)
+        for source, tag, _payload in schedule:
+            envelope = mailbox.collect(source, tag, timeout=1)
+            received[(source, tag)].append(envelope.payload)
+        # Each (source, tag) stream was consumed exactly once, in order...
+        for key, payloads in expected.items():
+            assert received[key] == payloads
+        # ...and nothing remains.
+        assert mailbox.pending() == 0
+
+    @given(messages)
+    @settings(max_examples=100, deadline=None)
+    def test_wildcard_drain_sees_arrival_order(self, schedule):
+        mailbox = Mailbox()
+        for source, tag, payload in schedule:
+            mailbox.deposit(Envelope(source=source, tag=tag, payload=payload))
+        drained = [
+            mailbox.collect(-1, ANY_TAG, timeout=1) for _ in schedule
+        ]
+        assert [
+            (envelope.source, envelope.tag, envelope.payload)
+            for envelope in drained
+        ] == schedule
+
+    @given(messages, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_selective_receive_never_steals(self, schedule, chosen_tag):
+        mailbox = Mailbox()
+        for source, tag, payload in schedule:
+            mailbox.deposit(Envelope(source=source, tag=tag, payload=payload))
+        matching = [p for s, t, p in schedule if t == chosen_tag]
+        for expected_payload in matching:
+            envelope = mailbox.collect(-1, chosen_tag, timeout=1)
+            assert envelope.payload == expected_payload
+        others = len(schedule) - len(matching)
+        assert mailbox.pending() == others
+
+
+class TestCollectiveProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.lists(st.integers(min_value=-100, max_value=100), min_size=6, max_size=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_allreduce_sum_equals_python_sum(self, size, values):
+        def main(comm):
+            return comm.allreduce(values[comm.rank], SUM)
+
+        expected = sum(values[:size])
+        assert run_mpi(size, main) == [expected] * size
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_bcast_any_root(self, size, root_seed):
+        root = root_seed % size
+
+        def main(comm):
+            value = ("payload", root) if comm.rank == root else None
+            return comm.bcast(value, root=root)
+
+        assert run_mpi(size, main) == [("payload", root)] * size

@@ -1,0 +1,79 @@
+"""Property-based tests: pack/unpack buffers and the prime workloads."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.primes import is_prime, sieve
+from repro.mpi import CHAR, DOUBLE, INT, LONG, PackBuffer, UnpackBuffer
+
+int32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+int64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+runs = st.lists(
+    st.one_of(
+        st.tuples(st.just(INT), st.lists(int32, min_size=1, max_size=8)),
+        st.tuples(st.just(LONG), st.lists(int64, min_size=1, max_size=8)),
+        st.tuples(
+            st.just(DOUBLE),
+            st.lists(
+                st.floats(allow_nan=False, allow_infinity=False),
+                min_size=1,
+                max_size=8,
+            ),
+        ),
+        st.tuples(st.just(CHAR), st.binary(min_size=1, max_size=16)),
+    ),
+    max_size=8,
+)
+
+
+class TestPackProperties:
+    @given(runs)
+    @settings(max_examples=200, deadline=None)
+    def test_pack_unpack_in_order(self, typed_runs):
+        packer = PackBuffer()
+        for datatype, payload in typed_runs:
+            packer.pack(payload, datatype)
+        unpacker = UnpackBuffer(packer.getvalue())
+        for datatype, payload in typed_runs:
+            if datatype is CHAR:
+                assert unpacker.unpack(CHAR) == payload
+            else:
+                count = len(payload)
+                result = unpacker.unpack(datatype, count)
+                if count == 1:
+                    result = [result] if not isinstance(result, list) else result
+                assert result == payload
+        assert unpacker.remaining == 0
+
+    @given(st.lists(int32, min_size=1, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_packed_size_is_linear(self, payload):
+        packer = PackBuffer().pack(payload, INT)
+        assert len(packer) == 1 + 4 + 4 * len(payload)
+
+
+class TestPrimeProperties:
+    @given(st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=100, deadline=None)
+    def test_sieve_agrees_with_trial_division(self, limit):
+        assert sieve(limit) == [n for n in range(2, limit + 1) if is_prime(n)]
+
+    @given(st.integers(min_value=2, max_value=1000))
+    @settings(max_examples=100, deadline=None)
+    def test_sieve_monotone_in_limit(self, limit):
+        shorter = sieve(limit - 1)
+        longer = sieve(limit)
+        assert longer[: len(shorter)] == shorter
+        assert len(longer) - len(shorter) in (0, 1)
+
+    @given(st.integers(min_value=2, max_value=5000))
+    @settings(max_examples=100, deadline=None)
+    def test_prime_factorization_closure(self, n):
+        if is_prime(n):
+            for divisor in range(2, min(n, 100)):
+                assert n % divisor != 0 or divisor == n
+        else:
+            assert any(n % p == 0 for p in sieve(int(n**0.5) + 1)) or n < 2

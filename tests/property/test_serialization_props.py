@@ -1,0 +1,148 @@
+"""Property-based tests: both formatters over the full value domain."""
+
+from __future__ import annotations
+
+import array
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serialization import BinaryFormatter, SoapFormatter
+
+binary = BinaryFormatter()
+soap = SoapFormatter()
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),  # NaN breaks ==; tested separately
+    st.text(),
+    st.binary(max_size=64),
+    st.complex_numbers(allow_nan=False, allow_infinity=True),
+)
+
+hashable_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+
+def containers(children):
+    return st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(hashable_values, children, max_size=6),
+        st.tuples(children, children),
+        st.sets(hashable_values, max_size=6),
+        st.frozensets(hashable_values, max_size=6),
+    )
+
+
+values = st.recursive(scalars, containers, max_leaves=25)
+
+int_arrays = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1), max_size=200
+).map(lambda items: array.array("i", items))
+
+
+class TestBinaryProperties:
+    @given(values)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, value):
+        assert binary.loads(binary.dumps(value)) == value
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_deterministic(self, value):
+        assert binary.dumps(value) == binary.dumps(value)
+
+    @given(int_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_int_array_roundtrip(self, payload):
+        result = binary.loads(binary.dumps(payload))
+        assert result == payload
+        assert result.typecode == payload.typecode
+
+    @given(int_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_int_array_overhead_bounded(self, payload):
+        """Binary encoding of int arrays is near-raw (the MPI contrast)."""
+        encoded = binary.dumps(payload)
+        raw = len(payload.tobytes())
+        assert len(encoded) <= raw + 16
+
+
+class TestSoapProperties:
+    @given(values)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, value):
+        assert soap.loads(soap.dumps(value)) == value
+
+    @given(st.text())
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_roundtrips(self, text):
+        assert soap.loads(soap.dumps(text)) == text
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_output_is_valid_utf8_markup(self, value):
+        encoded = soap.dumps(value)
+        text = encoded.decode("utf-8")
+        assert text.count("<v") == text.count("</v") + text.count("/>")
+
+
+class TestFormattersAgree:
+    @given(values)
+    @settings(max_examples=150, deadline=None)
+    def test_same_value_both_ways(self, value):
+        assert binary.loads(binary.dumps(value)) == soap.loads(soap.dumps(value))
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    @settings(max_examples=100, deadline=None)
+    def test_floats_including_nan(self, value):
+        for formatter in (binary, soap):
+            result = formatter.loads(formatter.dumps(value))
+            if math.isnan(value):
+                assert math.isnan(result)
+            else:
+                assert result == value
+
+    @given(values)
+    @settings(max_examples=100, deadline=None)
+    def test_soap_never_smaller_than_binary_by_much(self, value):
+        """SOAP is the verbose encoding — it should essentially never win."""
+        assert len(soap.dumps(value)) + 8 >= len(binary.dumps(value))
+
+
+class TestSharedStructure:
+    @given(st.lists(st.integers(), min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_shared_list_identity_preserved(self, items):
+        shared = list(items)
+        graph = [shared, shared, [shared]]
+        for formatter in (binary, soap):
+            result = formatter.loads(formatter.dumps(graph))
+            assert result[0] is result[1]
+            assert result[2][0] is result[0]
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_deep_cycle_roundtrips(self, depth):
+        root: list = []
+        node = root
+        for _ in range(depth):
+            child: list = []
+            node.append(child)
+            node = child
+        node.append(root)  # close the loop
+        for formatter in (binary, soap):
+            result = formatter.loads(formatter.dumps(root))
+            probe = result
+            for _ in range(depth):
+                probe = probe[0]
+            assert probe[0] is result

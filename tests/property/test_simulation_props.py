@@ -1,0 +1,97 @@
+"""Property-based tests: farm simulator and network model laws."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.benchlib.farmsim import simulate_farm
+from repro.perfmodel import PlatformModel
+from repro.perfmodel.network import payload_bandwidth, transfer_time
+
+models = st.builds(
+    PlatformModel,
+    name=st.just("prop"),
+    one_way_latency_s=st.floats(min_value=1e-6, max_value=0.1),
+    wire_bandwidth_Bps=st.floats(min_value=1e3, max_value=1e9),
+    wire_expansion=st.floats(min_value=1.0, max_value=4.0),
+    compute_scale_float=st.floats(min_value=0.5, max_value=3.0),
+)
+
+chunk_lists = st.lists(
+    st.floats(min_value=1e-4, max_value=2.0), min_size=1, max_size=30
+)
+
+
+class TestNetworkModelLaws:
+    @given(models, st.floats(min_value=0, max_value=1e8))
+    @settings(max_examples=200, deadline=None)
+    def test_transfer_time_at_least_latency(self, model, size):
+        assert transfer_time(model, size) >= model.one_way_latency_s
+
+    @given(
+        models,
+        st.floats(min_value=1, max_value=1e7),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bandwidth_monotone_in_size(self, model, size, factor):
+        assert payload_bandwidth(model, size * factor) >= payload_bandwidth(
+            model, size
+        ) * 0.999999
+
+    @given(models, st.floats(min_value=1, max_value=1e8))
+    @settings(max_examples=200, deadline=None)
+    def test_bandwidth_below_asymptote(self, model, size):
+        asymptote = model.wire_bandwidth_Bps / model.wire_expansion
+        assert payload_bandwidth(model, size) <= asymptote * 1.000001
+
+
+class TestFarmSimulatorLaws:
+    @given(models, chunk_lists, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_makespan_at_least_critical_path(self, model, chunks, workers):
+        result = simulate_farm(workers, chunks, model, 100.0, 1000.0)
+        longest_chunk = max(chunks) * model.compute_scale_float
+        assert result.makespan_s >= longest_chunk
+
+    @given(models, chunk_lists, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_makespan_at_least_average_share(self, model, chunks, workers):
+        result = simulate_farm(workers, chunks, model, 100.0, 1000.0)
+        total_work = sum(chunks) * model.compute_scale_float
+        assert result.makespan_s >= total_work / workers * 0.999999
+
+    @given(models, chunk_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_adding_a_worker_never_hurts(self, model, chunks):
+        assume(model.thread_pool_limit is None)
+        times = [
+            simulate_farm(workers, chunks, model, 100.0, 1000.0).makespan_s
+            for workers in (1, 2, 4)
+        ]
+        assert times[0] >= times[1] - 1e-9
+        assert times[1] >= times[2] - 1e-9
+
+    @given(models, chunk_lists, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_busy_time_conserved(self, model, chunks, workers):
+        result = simulate_farm(workers, chunks, model, 100.0, 1000.0)
+        total_busy = sum(result.per_worker_busy_s)
+        expected = sum(chunks) * model.compute_scale_float
+        assert abs(total_busy - expected) < 1e-6
+
+    @given(models, chunk_lists, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_efficiency_in_unit_interval(self, model, chunks, workers):
+        result = simulate_farm(workers, chunks, model, 100.0, 1000.0)
+        assert 0.0 < result.efficiency <= 1.0 + 1e-9
+
+    @given(models, chunk_lists, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_pool_cap_never_helps(self, model, chunks, cap):
+        free = simulate_farm(8, chunks, model, 100.0, 1000.0).makespan_s
+        capped = simulate_farm(
+            8, chunks, model, 100.0, 1000.0, pool_limit=cap
+        ).makespan_s
+        assert capped >= free - 1e-9

@@ -1,0 +1,146 @@
+"""Unit tests for channel sink chains (compression, tracing)."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.channels import (
+    CompressionSink,
+    LoopbackChannel,
+    MeteredChannel,
+    SinkChannel,
+    TcpChannel,
+    TraceSink,
+)
+from repro.channels.sinks import COMPRESSION_HEADER, COMPRESSION_VALUE
+from repro.errors import ChannelError
+
+
+def echo_handler(path, body, headers):
+    return body[::-1]
+
+
+class TestCompressionSink:
+    def test_small_bodies_pass_through(self):
+        sink = CompressionSink(threshold=100)
+        headers: dict[str, str] = {}
+        body = b"tiny"
+        assert sink.outbound(body, headers) == body
+        assert COMPRESSION_HEADER not in headers
+
+    def test_large_compressible_bodies_shrink(self):
+        sink = CompressionSink(threshold=64)
+        headers: dict[str, str] = {}
+        body = b"abcdefgh" * 1024
+        compressed = sink.outbound(body, headers)
+        assert len(compressed) < len(body) // 4
+        assert headers[COMPRESSION_HEADER] == COMPRESSION_VALUE
+        assert sink.inbound(compressed, headers) == body
+
+    def test_incompressible_bodies_left_alone(self):
+        import random
+
+        rng = random.Random(1)
+        body = bytes(rng.randrange(256) for _ in range(4096))
+        body = zlib.compress(body)  # now truly incompressible
+        sink = CompressionSink(threshold=64)
+        headers: dict[str, str] = {}
+        assert sink.outbound(body, headers) == body
+        assert COMPRESSION_HEADER not in headers
+
+    def test_corrupt_body_reported(self):
+        sink = CompressionSink()
+        with pytest.raises(ChannelError, match="corrupt"):
+            sink.inbound(b"not zlib", {COMPRESSION_HEADER: COMPRESSION_VALUE})
+
+    def test_unmarked_body_not_decompressed(self):
+        sink = CompressionSink()
+        assert sink.inbound(b"raw", {}) == b"raw"
+
+    def test_validation(self):
+        with pytest.raises(ChannelError):
+            CompressionSink(level=10)
+        with pytest.raises(ChannelError):
+            CompressionSink(threshold=-1)
+
+
+class TestSinkChannel:
+    @pytest.mark.parametrize("channel_kind", ["loopback", "tcp"])
+    def test_end_to_end_with_compression(self, channel_kind):
+        if channel_kind == "loopback":
+            inner = LoopbackChannel()
+            authority = "auto"
+        else:
+            inner = TcpChannel()
+            authority = "127.0.0.1:0"
+        channel = SinkChannel(inner, [CompressionSink(threshold=64)])
+        binding = channel.listen(authority, echo_handler)
+        try:
+            body = b"0123456789abcdef" * 512  # 8 KB, compressible
+            result = channel.call(binding.authority, "p", body)
+            assert result == body[::-1]
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_wire_bytes_actually_smaller(self):
+        meter_channel = MeteredChannel(LoopbackChannel())
+        channel = SinkChannel(meter_channel, [CompressionSink(threshold=64)])
+        binding = channel.listen("auto", echo_handler)
+        try:
+            body = b"abcd" * 4096  # 16 KB of redundancy
+            channel.call(binding.authority, "p", body)
+            assert meter_channel.meter.request_bytes < len(body) // 8
+        finally:
+            binding.close()
+
+    def test_empty_chain_is_identity(self):
+        channel = SinkChannel(LoopbackChannel(), [])
+        binding = channel.listen("auto", echo_handler)
+        try:
+            assert channel.call(binding.authority, "p", b"xy") == b"yx"
+        finally:
+            binding.close()
+
+    def test_trace_sink_records_both_directions(self):
+        trace = TraceSink()
+        channel = SinkChannel(LoopbackChannel(), [trace])
+        binding = channel.listen("auto", echo_handler)
+        try:
+            channel.call(binding.authority, "p", b"12345")
+            directions = [direction for direction, _b, _a in trace.events]
+            assert directions.count("out") == 2  # request + response
+            assert directions.count("in") == 2
+            trace.reset()
+            assert trace.events == []
+        finally:
+            binding.close()
+
+    def test_remoting_stack_over_compressed_channel(self):
+        """The whole remoting layer works through a sink chain."""
+        from repro.channels.services import ChannelServices
+        from repro.remoting import MarshalByRefObject, RemotingHost
+
+        class Store(MarshalByRefObject):
+            def save(self, blob):
+                return len(blob)
+
+        sink_chain = [CompressionSink(threshold=64)]
+        server_services = ChannelServices()
+        server = RemotingHost(name="sink-server", services=server_services)
+        binding = server.listen(
+            SinkChannel(TcpChannel(), sink_chain), "127.0.0.1:0"
+        )
+        server.publish(Store(), "store")
+        client_services = ChannelServices()
+        client_channel = SinkChannel(TcpChannel(), sink_chain)
+        client_services.register_channel(client_channel)
+        client = RemotingHost(name="sink-client", services=client_services)
+        try:
+            store = client.get_object(f"tcp://{binding.authority}/store")
+            assert store.save(list(range(500)) * 4) == 2000
+        finally:
+            client.close()
+            server.close()

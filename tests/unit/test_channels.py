@@ -1,0 +1,371 @@
+"""Unit tests for framing, URI parsing, channel registry, and channels."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.channels import (
+    ChannelMeter,
+    HttpChannel,
+    LoopbackChannel,
+    MeteredChannel,
+    TcpChannel,
+    parse_uri,
+)
+from repro.channels.framing import MAGIC, encode_frame, read_frame, write_frame
+from repro.channels.http import build_request, build_response, read_http_message
+from repro.channels.services import ChannelServices
+from repro.channels.tcp import parse_host_port
+from repro.errors import (
+    AddressError,
+    ChannelClosedError,
+    ChannelError,
+    WireFormatError,
+)
+
+
+class TestFraming:
+    def test_frame_roundtrip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame(left, b"payload", flags=3)
+            flags, payload = read_frame(right)
+            assert flags == 3
+            assert payload == b"payload"
+        finally:
+            left.close()
+            right.close()
+
+    def test_empty_payload(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame(left, b"")
+            _flags, payload = read_frame(right)
+            assert payload == b""
+        finally:
+            left.close()
+            right.close()
+
+    def test_frame_has_magic_prefix(self):
+        assert encode_frame(b"x").startswith(MAGIC)
+
+    def test_bad_magic_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"XX\x00\x00\x00\x00\x01a")
+            with pytest.raises(WireFormatError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame_reported(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame(b"hello")
+            left.sendall(frame[:4])
+            left.close()
+            with pytest.raises(ChannelClosedError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_oversize_frame_rejected_at_encode(self):
+        from repro.channels.framing import MAX_FRAME
+
+        with pytest.raises(WireFormatError):
+            encode_frame(b"x" * (MAX_FRAME + 1))
+
+
+class TestUriParsing:
+    def test_parse_ok(self):
+        uri = parse_uri("tcp://10.0.0.1:4711/some/path")
+        assert uri.scheme == "tcp"
+        assert uri.authority == "10.0.0.1:4711"
+        assert uri.path == "some/path"
+        assert str(uri) == "tcp://10.0.0.1:4711/some/path"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "no-scheme", "tcp://", "tcp:///path", "tcp://host", "://x/y"],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(AddressError):
+            parse_uri(bad)
+
+    def test_parse_host_port(self):
+        assert parse_host_port("127.0.0.1:80") == ("127.0.0.1", 80)
+        assert parse_host_port(":0") == ("127.0.0.1", 0)
+
+    @pytest.mark.parametrize("bad", ["nohost", "h:not-a-port", "h:70000"])
+    def test_parse_host_port_errors(self, bad):
+        with pytest.raises(AddressError):
+            parse_host_port(bad)
+
+
+class TestChannelServices:
+    def test_register_and_resolve(self):
+        services = ChannelServices()
+        channel = LoopbackChannel()
+        services.register_channel(channel)
+        assert services.channel_for("loopback") is channel
+        resolved, parsed = services.channel_for_uri("loopback://x/y")
+        assert resolved is channel
+        assert parsed.path == "y"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ChannelError, match="scheme"):
+            ChannelServices().channel_for("gopher")
+
+    def test_duplicate_scheme_rejected(self):
+        services = ChannelServices()
+        services.register_channel(LoopbackChannel())
+        with pytest.raises(ChannelError):
+            services.register_channel(LoopbackChannel())
+
+    def test_same_instance_idempotent(self):
+        services = ChannelServices()
+        channel = LoopbackChannel()
+        services.register_channel(channel)
+        services.register_channel(channel)
+
+    def test_unregister(self):
+        services = ChannelServices()
+        services.register_channel(LoopbackChannel())
+        services.unregister_channel("loopback")
+        with pytest.raises(ChannelError):
+            services.channel_for("loopback")
+
+
+def echo_handler(path, body, headers):
+    prefix = headers.get("prefix", "")
+    return f"{prefix}{path}:".encode() + body
+
+
+@pytest.fixture(params=["loopback", "tcp", "http"])
+def channel_and_binding(request):
+    if request.param == "loopback":
+        channel = LoopbackChannel()
+        binding = channel.listen("auto", echo_handler)
+    elif request.param == "tcp":
+        channel = TcpChannel()
+        binding = channel.listen("127.0.0.1:0", echo_handler)
+    else:
+        channel = HttpChannel()
+        binding = channel.listen("127.0.0.1:0", echo_handler)
+    yield channel, binding
+    binding.close()
+    channel.close()
+
+
+class TestChannelsCommonBehaviour:
+    def test_echo(self, channel_and_binding):
+        channel, binding = channel_and_binding
+        result = channel.call(binding.authority, "obj/1", b"body")
+        assert result == b"obj/1:body"
+
+    def test_headers_delivered(self, channel_and_binding):
+        channel, binding = channel_and_binding
+        result = channel.call(
+            binding.authority, "p", b"", headers={"prefix": ">>"}
+        )
+        assert result == b">>p:"
+
+    def test_empty_body(self, channel_and_binding):
+        channel, binding = channel_and_binding
+        assert channel.call(binding.authority, "p", b"") == b"p:"
+
+    def test_large_body(self, channel_and_binding):
+        channel, binding = channel_and_binding
+        body = bytes(range(256)) * 1024  # 256 KB
+        result = channel.call(binding.authority, "big", body)
+        assert result == b"big:" + body
+
+    def test_sequential_reuse(self, channel_and_binding):
+        channel, binding = channel_and_binding
+        for index in range(20):
+            assert channel.call(
+                binding.authority, "n", str(index).encode()
+            ) == f"n:{index}".encode()
+
+    def test_handler_error_propagates(self, channel_and_binding):
+        channel, binding = channel_and_binding
+
+        def bad_handler(path, body, headers):
+            raise ValueError("handler exploded")
+
+        if channel.scheme == "loopback":
+            inner = LoopbackChannel()
+            bad = inner.listen("auto", bad_handler)
+        else:
+            inner = type(channel)()
+            bad = inner.listen("127.0.0.1:0", bad_handler)
+        try:
+            with pytest.raises(ChannelError, match="handler exploded"):
+                channel.call(bad.authority, "x", b"")
+        finally:
+            bad.close()
+            if inner is not channel:
+                inner.close()
+
+    def test_concurrent_clients(self, channel_and_binding):
+        channel, binding = channel_and_binding
+        errors = []
+
+        def worker(index):
+            try:
+                for round_no in range(5):
+                    body = f"{index}-{round_no}".encode()
+                    assert channel.call(binding.authority, "c", body) == b"c:" + body
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestLoopbackSpecifics:
+    def test_unbound_authority(self):
+        channel = LoopbackChannel()
+        with pytest.raises(ChannelClosedError):
+            channel.call("nobody-home", "p", b"")
+
+    def test_duplicate_authority_rejected(self):
+        channel = LoopbackChannel()
+        binding = channel.listen("dup-test-x", echo_handler)
+        try:
+            with pytest.raises(AddressError):
+                channel.listen("dup-test-x", echo_handler)
+        finally:
+            binding.close()
+
+    def test_authority_reusable_after_close(self):
+        channel = LoopbackChannel()
+        binding = channel.listen("reuse-test-x", echo_handler)
+        binding.close()
+        binding2 = channel.listen("reuse-test-x", echo_handler)
+        binding2.close()
+
+    def test_body_is_copied(self):
+        captured = {}
+
+        def capture(path, body, headers):
+            captured["body"] = body
+            return b""
+
+        channel = LoopbackChannel()
+        binding = channel.listen("copy-test-x", capture)
+        try:
+            original = bytearray(b"abc")
+            channel.call("copy-test-x", "p", bytes(original))
+            assert captured["body"] == b"abc"
+        finally:
+            binding.close()
+
+
+class TestTcpSpecifics:
+    def test_connect_refused(self):
+        channel = TcpChannel()
+        with pytest.raises(ChannelError):
+            channel.call("127.0.0.1:1", "p", b"")  # port 1: nothing listens
+
+    def test_closed_channel_rejects_calls(self):
+        channel = TcpChannel()
+        binding = channel.listen("127.0.0.1:0", echo_handler)
+        channel.close()
+        try:
+            with pytest.raises(ChannelClosedError):
+                channel.call(binding.authority, "p", b"")
+        finally:
+            binding.close()
+
+    def test_binding_reports_real_port(self):
+        channel = TcpChannel()
+        binding = channel.listen("127.0.0.1:0", echo_handler)
+        try:
+            host, port = parse_host_port(binding.authority)
+            assert port > 0
+        finally:
+            binding.close()
+            channel.close()
+
+
+class TestHttpCodec:
+    def test_request_shape(self):
+        request = build_request("h:1", "obj/uri", {"k": "v"}, b"body")
+        text = request.decode("iso-8859-1")
+        assert text.startswith("POST /obj/uri HTTP/1.1\r\n")
+        assert "Content-Length: 4" in text
+        assert "x-parc-k: v" in text
+        assert text.endswith("\r\n\r\nbody")
+
+    def test_response_shape(self):
+        response = build_response(200, "OK", b"abc")
+        text = response.decode("iso-8859-1")
+        assert text.startswith("HTTP/1.1 200 OK\r\n")
+        assert text.endswith("\r\n\r\nabc")
+
+    def test_read_http_message_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(build_response(500, "Oops", b"err"))
+            start, headers, body = read_http_message(right)
+            assert start == "HTTP/1.1 500 Oops"
+            assert headers["content-length"] == "3"
+            assert body == b"err"
+        finally:
+            left.close()
+            right.close()
+
+    def test_http_error_status_raises(self):
+        channel = HttpChannel()
+
+        def failing(path, body, headers):
+            raise RuntimeError("boom")
+
+        binding = channel.listen("127.0.0.1:0", failing)
+        try:
+            with pytest.raises(ChannelError, match="HTTP 500"):
+                channel.call(binding.authority, "x", b"")
+        finally:
+            binding.close()
+            channel.close()
+
+
+class TestMeter:
+    def test_counts_calls_and_bytes(self):
+        inner = LoopbackChannel()
+        metered = MeteredChannel(inner)
+        binding = metered.listen("meter-test-x", echo_handler)
+        try:
+            metered.call("meter-test-x", "p", b"12345")
+            metered.call("meter-test-x", "p", b"67")
+            assert metered.meter.calls == 2
+            assert metered.meter.request_bytes == 7
+            assert metered.meter.response_bytes == len(b"p:12345") + len(b"p:67")
+            assert metered.meter.total_bytes > 0
+            metered.meter.reset()
+            assert metered.meter.calls == 0
+        finally:
+            binding.close()
+
+    def test_shared_meter(self):
+        meter = ChannelMeter()
+        first = MeteredChannel(LoopbackChannel(), meter)
+        second = MeteredChannel(LoopbackChannel(), meter)
+        binding = first.listen("meter-shared-x", echo_handler)
+        try:
+            first.call("meter-shared-x", "p", b"a")
+            second.call("meter-shared-x", "p", b"b")
+            assert meter.calls == 2
+        finally:
+            binding.close()

@@ -1,0 +1,102 @@
+"""Contract tests: the exception hierarchy and public package exports."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_parc_error(self):
+        exception_types = [
+            obj
+            for obj in vars(errors).values()
+            if isinstance(obj, type) and issubclass(obj, BaseException)
+        ]
+        assert len(exception_types) > 20
+        for exception_type in exception_types:
+            assert issubclass(exception_type, errors.ParcError), exception_type
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [
+            (errors.UnknownTypeError, errors.SerializationError),
+            (errors.WireFormatError, errors.SerializationError),
+            (errors.ChannelClosedError, errors.ChannelError),
+            (errors.AddressError, errors.ChannelError),
+            (errors.UnknownObjectError, errors.RemotingError),
+            (errors.ActivationError, errors.RemotingError),
+            (errors.RemoteInvocationError, errors.RemotingError),
+            (errors.NotBoundError, errors.RemoteException),
+            (errors.AlreadyBoundError, errors.RemoteException),
+            (errors.ExportError, errors.RemoteException),
+            (errors.RankError, errors.MpiError),
+            (errors.TruncationError, errors.MpiError),
+            (errors.PackError, errors.MpiError),
+            (errors.BufferStateError, errors.NioError),
+            (errors.NotRunningError, errors.ScooppError),
+            (errors.PlacementError, errors.ScooppError),
+            (errors.PreprocessError, errors.ScooppError),
+            (errors.GrainError, errors.ScooppError),
+        ],
+    )
+    def test_branch_structure(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_checked_and_unchecked_families_disjoint(self):
+        # RMI's checked RemoteException must NOT be a RemotingError:
+        # catching one family can never swallow the other.
+        assert not issubclass(errors.RemoteException, errors.RemotingError)
+        assert not issubclass(errors.RemotingError, errors.RemoteException)
+
+    def test_remote_invocation_error_carries_traceback(self):
+        error = errors.RemoteInvocationError("failed", remote_traceback="tb")
+        assert error.remote_traceback == "tb"
+
+    def test_remote_exception_carries_cause(self):
+        cause = ValueError("root")
+        error = errors.RemoteException("wrapped", cause=cause)
+        assert error.cause is cause
+
+
+class TestPublicExports:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.core",
+            "repro.cluster",
+            "repro.remoting",
+            "repro.rmi",
+            "repro.mpi",
+            "repro.nio",
+            "repro.channels",
+            "repro.serialization",
+            "repro.perfmodel",
+            "repro.benchlib",
+            "repro.telemetry",
+            "repro.apps.raytracer",
+            "repro.apps.primes",
+            "repro.apps.jgf",
+        ],
+    )
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_core_facade_has_model_entry_points(self):
+        import repro.core as parc
+
+        for name in ("parallel", "init", "shutdown", "new", "Farm",
+                     "Pipeline", "bind", "lookup"):
+            assert callable(getattr(parc, name)), name

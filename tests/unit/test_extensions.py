@@ -1,0 +1,277 @@
+"""Unit tests for the extension surface: CAO, PO delegates, extra MPI
+collectives, absolute/derived ByteBuffer ops, and the CLIs."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+import repro.core as parc
+from repro.channels import LoopbackChannel
+from repro.channels.services import ChannelServices
+from repro.errors import (
+    BufferStateError,
+    MpiError,
+    RemoteInvocationError,
+    RemotingError,
+    ScooppError,
+)
+from repro.mpi import SUM, run_mpi
+from repro.nio import ByteBuffer
+from repro.remoting import MarshalByRefObject, RemotingHost
+
+
+class Session(MarshalByRefObject):
+    """Client-activated stateful object."""
+
+    def __init__(self, user, start=0):
+        self.user = user
+        self.counter = start
+
+    def bump(self):
+        self.counter += 1
+        return self.counter
+
+    def whoami(self):
+        return self.user
+
+
+@pytest.fixture
+def cao_pair():
+    server_services = ChannelServices()
+    server = RemotingHost(name="cao-server", services=server_services)
+    binding = server.listen(LoopbackChannel(), "auto")
+    type_name = server.register_activated(Session)
+    client_services = ChannelServices()
+    client_services.register_channel(LoopbackChannel())
+    client = RemotingHost(name="cao-client", services=client_services)
+    base_uri = f"loopback://{binding.authority}"
+    yield server, client, base_uri, type_name
+    client.close()
+    server.close()
+
+
+class TestClientActivatedObjects:
+    def test_each_activation_is_private(self, cao_pair):
+        _server, client, base, type_name = cao_pair
+        alice = client.create_instance(base, type_name, "alice")
+        bob = client.create_instance(base, type_name, "bob", start=100)
+        assert alice.whoami() == "alice"
+        assert bob.whoami() == "bob"
+        assert alice.bump() == 1
+        assert bob.bump() == 101
+        assert alice.bump() == 2  # state is per activation
+
+    def test_kwargs_reach_constructor(self, cao_pair):
+        _server, client, base, type_name = cao_pair
+        session = client.create_instance(base, type_name, "kw", start=7)
+        assert session.bump() == 8
+
+    def test_unregistered_type_rejected(self, cao_pair):
+        _server, client, base, _type_name = cao_pair
+        with pytest.raises(RemoteInvocationError, match="not registered"):
+            client.create_instance(base, "ghost.Type")
+
+    def test_constructor_failure_reported(self, cao_pair):
+        server, client, base, _ = cao_pair
+
+        class Fussy(MarshalByRefObject):
+            def __init__(self):
+                raise ValueError("no thanks")
+
+            def x(self):
+                return 1
+
+        name = server.register_activated(Fussy, "test.Fussy")
+        with pytest.raises(RemoteInvocationError, match="activation"):
+            client.create_instance(base, name)
+
+    def test_non_mbr_rejected(self, cao_pair):
+        server, _client, _base, _name = cao_pair
+
+        class Plain:
+            pass
+
+        with pytest.raises(RemotingError):
+            server.register_activated(Plain)
+
+    def test_type_name_collision_rejected(self, cao_pair):
+        server, _client, _base, _name = cao_pair
+
+        class Other(MarshalByRefObject):
+            pass
+
+        with pytest.raises(RemotingError, match="already registered"):
+            server.register_activated(Other, type_name=f"{Session.__module__}.{Session.__qualname__}")
+
+    def test_reregistering_same_class_ok(self, cao_pair):
+        server, _client, _base, name = cao_pair
+        assert server.register_activated(Session) == name
+
+
+@parc.parallel(
+    name="ext.Summer", async_methods=["add"], sync_methods=["total"]
+)
+class Summer:
+    def __init__(self):
+        self.value = 0
+
+    def add(self, x):
+        self.value += x
+
+    def total(self):
+        return self.value
+
+
+class TestPoDelegates:
+    def test_background_sync_call(self, plain_runtime):
+        summer = parc.new(Summer)
+        for value in (1, 2, 3):
+            summer.add(value)
+        delegate = summer.parc_delegate("total")
+        handle = delegate.begin_invoke()
+        assert delegate.end_invoke(handle) == 6
+        summer.parc_release()
+
+    def test_unknown_method_rejected(self, plain_runtime):
+        summer = parc.new(Summer)
+        with pytest.raises(ScooppError, match="no parallel method"):
+            summer.parc_delegate("missing")
+        summer.parc_release()
+
+    def test_multiple_outstanding_delegates(self, plain_runtime):
+        summer = parc.new(Summer)
+        summer.add(5)
+        delegate = summer.parc_delegate("total")
+        handles = [delegate.begin_invoke() for _ in range(4)]
+        assert [delegate.end_invoke(h) for h in handles] == [5, 5, 5, 5]
+        summer.parc_release()
+
+
+class TestExtraCollectives:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5])
+    def test_allgather(self, size):
+        results = run_mpi(size, lambda comm: comm.allgather(comm.rank * 2))
+        expected = [rank * 2 for rank in range(size)]
+        assert results == [expected] * size
+
+    @pytest.mark.parametrize("size", [1, 2, 4])
+    def test_alltoall(self, size):
+        def main(comm):
+            outgoing = [f"{comm.rank}->{dest}" for dest in range(comm.size)]
+            return comm.alltoall(outgoing)
+
+        results = run_mpi(size, main)
+        for rank, received in enumerate(results):
+            assert received == [f"{src}->{rank}" for src in range(size)]
+
+    def test_alltoall_wrong_length(self):
+        def main(comm):
+            try:
+                comm.alltoall([1])
+            except MpiError:
+                return "caught"
+
+        assert run_mpi(2, main) == ["caught", "caught"]
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 6])
+    def test_scan_prefix_sums(self, size):
+        results = run_mpi(size, lambda comm: comm.scan(comm.rank + 1, SUM))
+        assert results == [
+            sum(range(1, rank + 2)) for rank in range(size)
+        ]
+
+    def test_sendrecv_ring_exchange(self):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            payload, status = comm.sendrecv(
+                bytes([comm.rank]), dest=right, source=left, send_tag=5
+            )
+            return (payload[0], status.source)
+
+        results = run_mpi(4, main)
+        assert results == [(3, 3), (0, 0), (1, 1), (2, 2)]
+
+
+class TestBufferExtensions:
+    def test_absolute_get_put(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put(b"abcdefgh")
+        assert buffer.get_at(2, 3) == b"cde"
+        buffer.put_at(0, b"XY")
+        assert buffer.get_at(0, 2) == b"XY"
+        assert buffer.position == 8  # absolute ops leave position alone
+
+    def test_absolute_bounds(self):
+        buffer = ByteBuffer.wrap(b"abc")
+        with pytest.raises(BufferStateError):
+            buffer.get_at(2, 5)
+        with pytest.raises(BufferStateError):
+            buffer.put_at(-1, b"x")
+
+    def test_slice_covers_remaining(self):
+        buffer = ByteBuffer.wrap(b"abcdef")
+        buffer.get(2)
+        view = buffer.slice()
+        assert view.capacity == 4
+        assert view.get(4) == b"cdef"
+
+    def test_duplicate_preserves_state(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put(b"xyz")
+        copy = buffer.duplicate()
+        assert copy.position == 3
+        assert copy.capacity == 8
+        copy.flip()
+        assert copy.get(3) == b"xyz"
+        assert buffer.position == 3  # original untouched
+
+
+class TestCommandLineTools:
+    def test_report_cli(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.benchlib.report", "latency"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "520" in result.stdout
+
+    def test_report_cli_unknown(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.benchlib.report", "fig99"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 2
+
+    def test_preprocess_cli(self, tmp_path):
+        source = tmp_path / "app.py"
+        source.write_text(
+            "from repro.core import parallel\n\n"
+            "@parallel\nclass W:\n    def go(self):\n        pass\n",
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.core.preprocess", str(source)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert (tmp_path / "app_parc.py").exists()
+
+    def test_preprocess_cli_usage(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.core.preprocess"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 2
+        assert "usage" in result.stderr

@@ -1,0 +1,204 @@
+"""Unit tests for the implementation-object container (active objects)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.impl import ImplementationObject
+from repro.errors import ScooppError
+
+
+class Recorder:
+    def __init__(self):
+        self.log = []
+        self.lock = threading.Lock()
+
+    def record(self, value):
+        with self.lock:
+            self.log.append(value)
+
+    def slow(self, value, delay=0.01):
+        time.sleep(delay)
+        self.record(value)
+
+    def get_log(self):
+        with self.lock:
+            return list(self.log)
+
+    def boom(self):
+        raise ValueError("exploding method")
+
+
+@pytest.fixture
+def impl():
+    container = ImplementationObject(Recorder(), "test.Recorder")
+    yield container
+    container.dispose()
+
+
+class TestOrdering:
+    def test_fifo_order_async(self, impl):
+        for index in range(50):
+            impl.enqueue("record", (index,))
+        impl.drain()
+        assert impl.invoke("get_log") == list(range(50))
+
+    def test_batch_runs_in_order(self, impl):
+        impl.enqueue_batch("record", [((index,), {}) for index in range(10)])
+        impl.drain()
+        assert impl.invoke("get_log") == list(range(10))
+
+    def test_sync_after_async_sees_everything(self, impl):
+        for index in range(5):
+            impl.enqueue("record", (index,))
+        # No drain: the sync call queues behind pending tasks.
+        assert impl.invoke("get_log") == list(range(5))
+
+    def test_interleaved_batches_and_singles(self, impl):
+        impl.enqueue("record", ("a",))
+        impl.enqueue_batch("record", [(("b",), {}), (("c",), {})])
+        impl.enqueue("record", ("d",))
+        assert impl.invoke("get_log") == ["a", "b", "c", "d"]
+
+    def test_serial_execution_no_races(self):
+        class Unsafe:
+            def __init__(self):
+                self.counter = 0
+
+            def bump(self):
+                snapshot = self.counter
+                time.sleep(0.0005)
+                self.counter = snapshot + 1
+
+            def value(self):
+                return self.counter
+
+        container = ImplementationObject(Unsafe(), "test.Unsafe")
+        try:
+            for _ in range(20):
+                container.enqueue("bump")
+            assert container.invoke("value") == 20
+        finally:
+            container.dispose()
+
+
+class TestSyncInvocation:
+    def test_result_returned(self, impl):
+        impl.enqueue("record", (1,))
+        assert impl.invoke("get_log") == [1]
+
+    def test_error_raised_to_caller(self, impl):
+        with pytest.raises(ValueError, match="exploding"):
+            impl.invoke("boom")
+
+    def test_kwargs(self, impl):
+        impl.invoke("slow", ("x",), {"delay": 0.0})
+        assert impl.invoke("get_log") == ["x"]
+
+
+class TestAsyncFailures:
+    def test_async_failure_recorded_not_raised(self, impl):
+        impl.enqueue("boom")
+        impl.drain()
+        failures = impl.async_failures()
+        assert len(failures) == 1
+        assert failures[0][0] == "boom"
+        assert "exploding" in failures[0][1]
+
+    def test_failure_does_not_stop_worker(self, impl):
+        impl.enqueue("boom")
+        impl.enqueue("record", ("after",))
+        assert impl.invoke("get_log") == ["after"]
+
+    def test_failure_log_bounded(self, impl):
+        for _ in range(40):
+            impl.enqueue("boom")
+        impl.drain()
+        assert len(impl.async_failures()) <= 32
+
+
+class TestLifecycle:
+    def test_drain_waits_for_all_work(self, impl):
+        for index in range(5):
+            impl.enqueue("slow", (index,), {"delay": 0.005})
+        impl.drain()
+        assert impl.stats()["queued"] == 0
+        assert len(impl.invoke("get_log")) == 5
+
+    def test_dispose_then_enqueue_rejected(self):
+        container = ImplementationObject(Recorder(), "test.Recorder")
+        container.dispose()
+        with pytest.raises(ScooppError, match="disposed"):
+            container.enqueue("record", (1,))
+
+    def test_dispose_completes_pending_work(self):
+        recorder = Recorder()
+        container = ImplementationObject(recorder, "test.Recorder")
+        for index in range(10):
+            container.enqueue("slow", (index,), {"delay": 0.002})
+        container.dispose()
+        assert recorder.get_log() == list(range(10))
+
+    def test_stats_shape(self, impl):
+        impl.enqueue("record", (1,))
+        impl.drain()
+        stats = impl.stats()
+        assert stats["class_name"] == "test.Recorder"
+        assert stats["processed"] >= 1
+        assert stats["busy_s"] >= 0.0
+        assert stats["async_failures"] == 0
+
+    def test_queue_length_counts_active(self, impl):
+        release = threading.Event()
+
+        class Slow:
+            def wait(self):
+                release.wait(5)
+
+        container = ImplementationObject(Slow(), "test.Slow")
+        try:
+            container.enqueue("wait")
+            deadline = time.time() + 5
+            while container.queue_length == 0 and time.time() < deadline:
+                time.sleep(0.001)
+            assert container.queue_length >= 1
+            release.set()
+            container.drain()
+            assert container.queue_length == 0
+        finally:
+            release.set()
+            container.dispose()
+
+
+class TestExecutionCallback:
+    def test_callback_receives_class_and_duration(self):
+        seen = []
+
+        def on_execution(class_name, elapsed):
+            seen.append((class_name, elapsed))
+
+        container = ImplementationObject(
+            Recorder(), "test.Recorder", on_execution=on_execution
+        )
+        try:
+            container.invoke("record", (1,))
+            assert seen
+            assert seen[0][0] == "test.Recorder"
+            assert seen[0][1] >= 0.0
+        finally:
+            container.dispose()
+
+    def test_callback_errors_do_not_break_work(self):
+        def broken_callback(class_name, elapsed):
+            raise RuntimeError("stats backend down")
+
+        container = ImplementationObject(
+            Recorder(), "test.Recorder", on_execution=broken_callback
+        )
+        try:
+            assert container.invoke("get_log") == []
+        finally:
+            container.dispose()

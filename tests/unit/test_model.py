@@ -1,0 +1,222 @@
+"""Unit tests for parallel-class declaration and method classification."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.core.model import (
+    MethodKind,
+    ParallelClassTable,
+    classify_method,
+    infer_method_kinds,
+    parallel,
+    parallel_class_table,
+    public_methods,
+)
+from repro.errors import PreprocessError, ScooppError
+
+
+class TestClassification:
+    def test_annotation_none_is_async(self):
+        def method(self) -> None:
+            return None
+
+        assert classify_method(method) is MethodKind.ASYNC
+
+    def test_annotation_value_is_sync(self):
+        def method(self) -> int:
+            return 1
+
+        assert classify_method(method) is MethodKind.SYNC
+
+    def test_string_annotation_none(self):
+        def method(self) -> "None":
+            pass
+
+        assert classify_method(method) is MethodKind.ASYNC
+
+    def test_ast_detects_bare_return(self):
+        # Defined via exec'd source that inspect can't see -> SYNC default;
+        # so build from a real module-level function instead.
+        assert classify_method(_no_value_return) is MethodKind.ASYNC
+
+    def test_ast_detects_value_return(self):
+        assert classify_method(_value_return) is MethodKind.SYNC
+
+    def test_nested_function_returns_ignored(self):
+        assert classify_method(_nested_return) is MethodKind.ASYNC
+
+    def test_conditional_return_none_is_async(self):
+        assert classify_method(_return_none_literal) is MethodKind.ASYNC
+
+    def test_yield_means_sync(self):
+        assert classify_method(_generator_method) is MethodKind.SYNC
+
+    def test_unavailable_source_defaults_sync(self):
+        namespace: dict = {}
+        exec(  # noqa: S102 - deliberately sourceless function
+            textwrap.dedent(
+                """
+                def ghost(self):
+                    pass
+                """
+            ),
+            namespace,
+        )
+        assert classify_method(namespace["ghost"]) is MethodKind.SYNC
+
+
+def _no_value_return(self):
+    if self:
+        return
+    print("side effect")
+
+
+def _value_return(self):
+    if self:
+        return 42
+    return None
+
+
+def _nested_return(self):
+    def helper():
+        return 99
+
+    helper()
+
+
+def _return_none_literal(self):
+    return None
+
+
+def _generator_method(self):
+    yield 1
+
+
+class TestInference:
+    def test_overrides_win(self):
+        class Target:
+            def looks_sync(self):
+                return 1
+
+            def looks_async(self):
+                pass
+
+        kinds = infer_method_kinds(
+            Target, async_methods=["looks_sync"], sync_methods=["looks_async"]
+        )
+        assert kinds["looks_sync"] is MethodKind.ASYNC
+        assert kinds["looks_async"] is MethodKind.SYNC
+
+    def test_conflicting_overrides_rejected(self):
+        class Target:
+            def m(self):
+                pass
+
+        with pytest.raises(PreprocessError, match="both"):
+            infer_method_kinds(Target, async_methods=["m"], sync_methods=["m"])
+
+    def test_unknown_override_rejected(self):
+        class Target:
+            def m(self):
+                pass
+
+        with pytest.raises(PreprocessError, match="missing"):
+            infer_method_kinds(Target, async_methods=["ghost"])
+
+    def test_private_and_static_excluded(self):
+        class Target:
+            def visible(self):
+                pass
+
+            def _hidden(self):
+                pass
+
+            @staticmethod
+            def helper():
+                pass
+
+            @classmethod
+            def maker(cls):
+                pass
+
+        assert public_methods(Target) == ["visible"]
+
+
+class TestParallelDecorator:
+    def test_registers_in_table(self):
+        @parallel(name="test.model.Registered")
+        class Registered:
+            def go(self) -> None:
+                pass
+
+        info = parallel_class_table.by_name("test.model.Registered")
+        assert info.cls is Registered
+        assert info.async_methods == ["go"]
+        assert Registered._parc_parallel_info is info
+
+    def test_lookup_by_class(self):
+        @parallel(name="test.model.ByClass")
+        class ByClass:
+            def value(self) -> int:
+                return 1
+
+        info = parallel_class_table.by_class(ByClass)
+        assert info.sync_methods == ["value"]
+
+    def test_unknown_lookups(self):
+        table = ParallelClassTable()
+        with pytest.raises(ScooppError, match="@parallel"):
+            table.by_name("missing.Class")
+
+        class NotParallel:
+            pass
+
+        with pytest.raises(ScooppError):
+            table.by_class(NotParallel)
+
+    def test_name_collision_rejected(self):
+        table = ParallelClassTable()
+
+        class A:
+            pass
+
+        class B:
+            pass
+
+        from repro.core.model import ParallelClassInfo
+
+        table.add(ParallelClassInfo(cls=A, wire_name="dup.Name"))
+        with pytest.raises(ScooppError):
+            table.add(ParallelClassInfo(cls=B, wire_name="dup.Name"))
+
+    def test_same_class_reregistration_ok(self):
+        table = ParallelClassTable()
+
+        class C:
+            pass
+
+        from repro.core.model import ParallelClassInfo
+
+        info = ParallelClassInfo(cls=C, wire_name="dup.C")
+        table.add(info)
+        table.add(ParallelClassInfo(cls=C, wire_name="dup.C"))
+        assert table.names() == ["dup.C"]
+
+    def test_info_method_lists_sorted(self):
+        @parallel(name="test.model.Sorted")
+        class Sorted:
+            def zebra(self) -> None:
+                pass
+
+            def alpha(self) -> None:
+                pass
+
+            def get(self) -> int:
+                return 0
+
+        info = parallel_class_table.by_name("test.model.Sorted")
+        assert info.async_methods == ["alpha", "zebra"]
+        assert info.sync_methods == ["get"]

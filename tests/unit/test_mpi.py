@@ -1,0 +1,204 @@
+"""Unit tests for the MPI analog: p2p, matching rules, requests, launcher."""
+
+from __future__ import annotations
+
+import array
+import time
+
+import pytest
+
+from repro.errors import MpiError, RankError
+from repro.mpi import ANY_SOURCE, ANY_TAG, World, run_mpi
+from repro.mpi.p2p import Envelope, Mailbox, as_payload
+
+
+class TestMailboxMatching:
+    def test_fifo_per_source_and_tag(self):
+        mailbox = Mailbox()
+        for index in range(3):
+            mailbox.deposit(Envelope(source=0, tag=5, payload=bytes([index])))
+        received = [
+            mailbox.collect(0, 5, timeout=1).payload[0] for _ in range(3)
+        ]
+        assert received == [0, 1, 2]
+
+    def test_tag_selectivity(self):
+        mailbox = Mailbox()
+        mailbox.deposit(Envelope(source=0, tag=1, payload=b"one"))
+        mailbox.deposit(Envelope(source=0, tag=2, payload=b"two"))
+        assert mailbox.collect(0, 2, timeout=1).payload == b"two"
+        assert mailbox.collect(0, 1, timeout=1).payload == b"one"
+
+    def test_any_source_any_tag(self):
+        mailbox = Mailbox()
+        mailbox.deposit(Envelope(source=3, tag=9, payload=b"x"))
+        envelope = mailbox.collect(ANY_SOURCE, ANY_TAG, timeout=1)
+        assert (envelope.source, envelope.tag) == (3, 9)
+
+    def test_source_selectivity(self):
+        mailbox = Mailbox()
+        mailbox.deposit(Envelope(source=1, tag=0, payload=b"from1"))
+        mailbox.deposit(Envelope(source=2, tag=0, payload=b"from2"))
+        assert mailbox.collect(2, ANY_TAG, timeout=1).payload == b"from2"
+
+    def test_timeout(self):
+        mailbox = Mailbox()
+        started = time.perf_counter()
+        with pytest.raises(MpiError, match="timed out"):
+            mailbox.collect(0, 0, timeout=0.05)
+        assert time.perf_counter() - started < 2.0
+
+    def test_try_collect_nonblocking(self):
+        mailbox = Mailbox()
+        assert mailbox.try_collect(0, 0) is None
+        mailbox.deposit(Envelope(source=0, tag=0, payload=b"now"))
+        assert mailbox.try_collect(0, 0).payload == b"now"
+
+    def test_closed_mailbox(self):
+        mailbox = Mailbox()
+        mailbox.close()
+        with pytest.raises(MpiError):
+            mailbox.deposit(Envelope(source=0, tag=0, payload=b""))
+        with pytest.raises(MpiError):
+            mailbox.collect(0, 0, timeout=None)
+
+
+class TestPayloadNormalization:
+    def test_bytes_pass_through(self):
+        assert as_payload(b"raw") == b"raw"
+
+    def test_buffer_protocol_types(self):
+        assert as_payload(bytearray(b"ba")) == b"ba"
+        assert as_payload(memoryview(b"mv")) == b"mv"
+        assert as_payload(array.array("i", [1])) == array.array("i", [1]).tobytes()
+
+    def test_numpy_arrays(self):
+        import numpy as np
+
+        data = np.arange(4, dtype=np.int32)
+        assert as_payload(data) == data.tobytes()
+
+    @pytest.mark.parametrize("bad", [{"a": 1}, [1, 2], "text", 42, None])
+    def test_rich_objects_rejected(self, bad):
+        with pytest.raises(MpiError, match="PackBuffer"):
+            as_payload(bad)
+
+
+class TestWorld:
+    def test_size_validation(self):
+        with pytest.raises(MpiError):
+            World(0)
+
+    def test_rank_validation(self):
+        world = World(2)
+        with pytest.raises(RankError):
+            world.comm(2)
+        with pytest.raises(RankError):
+            world.comm(-1)
+
+    def test_user_tag_range_enforced(self):
+        world = World(2)
+        comm = world.comm(0)
+        with pytest.raises(MpiError, match="user tags"):
+            comm.send(b"", dest=1, tag=1 << 30)
+        with pytest.raises(MpiError):
+            comm.send(b"", dest=1, tag=-1)
+
+
+class TestPointToPoint:
+    def test_send_recv_status(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"hello", dest=1, tag=4)
+                return None
+            payload, status = comm.recv(source=0, tag=4)
+            assert status.source == 0
+            assert status.tag == 4
+            assert status.count == 5
+            return payload
+
+        assert run_mpi(2, main)[1] == b"hello"
+
+    def test_non_overtaking_between_pair(self):
+        def main(comm):
+            if comm.rank == 0:
+                for index in range(20):
+                    comm.send(bytes([index]), dest=1, tag=7)
+                return None
+            return [comm.recv(source=0, tag=7)[0][0] for _ in range(20)]
+
+        assert run_mpi(2, main)[1] == list(range(20))
+
+    def test_isend_irecv(self):
+        def main(comm):
+            if comm.rank == 0:
+                requests = [
+                    comm.isend(bytes([index]), dest=1, tag=index)
+                    for index in range(5)
+                ]
+                for request in requests:
+                    assert request.test()
+                    request.wait()
+                return None
+            requests = [comm.irecv(source=0, tag=index) for index in range(5)]
+            return [request.wait(timeout=5)[0][0] for request in requests]
+
+        assert run_mpi(2, main)[1] == list(range(5))
+
+    def test_irecv_test_polling(self):
+        def main(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+                comm.send(b"late", dest=1, tag=0)
+                return None
+            request = comm.irecv(source=0, tag=0)
+            polled = request.test()  # may be False: message not sent yet
+            payload, _status = request.wait(timeout=5)
+            assert request.test()  # now definitely true
+            return (polled, payload)
+
+        _polled, payload = run_mpi(2, main)[1]
+        assert payload == b"late"
+
+    def test_iprobe(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"x", dest=1, tag=3)
+                return None
+            deadline = time.time() + 5
+            while not comm.iprobe(source=0, tag=3):
+                assert time.time() < deadline
+                time.sleep(0.001)
+            assert not comm.iprobe(source=0, tag=99)
+            comm.recv(source=0, tag=3)
+            return True
+
+        assert run_mpi(2, main)[1] is True
+
+
+class TestLauncher:
+    def test_results_ordered_by_rank(self):
+        results = run_mpi(4, lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_failure_propagates_lowest_rank(self):
+        def main(comm):
+            if comm.rank in (1, 2):
+                raise ValueError(f"rank {comm.rank} bad")
+            # Other ranks block; finalize must wake them.
+            try:
+                comm.recv(source=ANY_SOURCE, tag=0)
+            except MpiError:
+                pass
+
+        with pytest.raises(MpiError, match="rank 1 failed"):
+            run_mpi(3, main)
+
+    def test_single_rank_world(self):
+        assert run_mpi(1, lambda comm: comm.size) == [1]
+
+    def test_extra_args_forwarded(self):
+        def main(comm, base, step=1):
+            return base + comm.rank * step
+
+        assert run_mpi(2, main, 100, step=5) == [100, 105]

@@ -1,0 +1,171 @@
+"""Unit tests for MPI collectives and reduction operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import MAX, MIN, PROD, SUM, run_mpi
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+class TestOps:
+    def test_scalar_ops(self):
+        assert SUM.combine(2, 3) == 5
+        assert PROD.combine(2, 3) == 6
+        assert MAX.combine(2, 3) == 3
+        assert MIN.combine(2, 3) == 2
+
+    def test_elementwise_ops(self):
+        assert SUM.combine([1, 2], [3, 4]) == [4, 6]
+        assert MAX.combine([1, 9], [5, 2]) == [5, 9]
+
+    def test_length_mismatch(self):
+        with pytest.raises(MpiError):
+            SUM.combine([1], [1, 2])
+
+    def test_sequence_scalar_mix_rejected(self):
+        with pytest.raises(MpiError):
+            SUM.combine([1], 2)
+
+    def test_strings_treated_as_scalars(self):
+        assert SUM.combine("ab", "cd") == "abcd"
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestBcast:
+    def test_from_rank_zero(self, size):
+        def main(comm):
+            value = {"data": [1, 2, 3]} if comm.rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        results = run_mpi(size, main)
+        assert all(result == {"data": [1, 2, 3]} for result in results)
+
+    def test_from_last_rank(self, size):
+        root = size - 1
+
+        def main(comm):
+            value = "payload" if comm.rank == root else None
+            return comm.bcast(value, root=root)
+
+        assert run_mpi(size, main) == ["payload"] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestReduce:
+    def test_sum_to_root(self, size):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, SUM, root=0)
+
+        results = run_mpi(size, main)
+        assert results[0] == size * (size + 1) // 2
+        assert all(result is None for result in results[1:])
+
+    def test_allreduce_max(self, size):
+        def main(comm):
+            return comm.allreduce(comm.rank, MAX)
+
+        assert run_mpi(size, main) == [size - 1] * size
+
+    def test_elementwise_allreduce(self, size):
+        def main(comm):
+            return comm.allreduce([comm.rank, -comm.rank], SUM)
+
+        total = sum(range(size))
+        assert run_mpi(size, main) == [[total, -total]] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestGatherScatter:
+    def test_gather(self, size):
+        def main(comm):
+            return comm.gather(f"r{comm.rank}", root=0)
+
+        results = run_mpi(size, main)
+        assert results[0] == [f"r{index}" for index in range(size)]
+        assert all(result is None for result in results[1:])
+
+    def test_scatter(self, size):
+        def main(comm):
+            values = None
+            if comm.rank == 0:
+                values = [index * 2 for index in range(comm.size)]
+            return comm.scatter(values, root=0)
+
+        assert run_mpi(size, main) == [index * 2 for index in range(size)]
+
+    def test_scatter_wrong_length_rejected(self, size):
+        def main(comm):
+            if comm.rank == 0:
+                try:
+                    comm.scatter([1] * (comm.size + 1), root=0)
+                except MpiError:
+                    # Unblock peers waiting for their shard.
+                    for rank in range(1, comm.size):
+                        comm._send_obj(None, rank, 1 << 24 | 1)
+                    return "caught"
+            else:
+                comm._recv_obj(0, 1 << 24 | 1)
+            return None
+
+        assert run_mpi(size, main)[0] == "caught"
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_barrier_completes(self, size):
+        def main(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(run_mpi(size, main))
+
+    def test_barrier_orders_phases(self):
+        log: list[str] = []
+        import threading
+
+        lock = threading.Lock()
+
+        def main(comm):
+            with lock:
+                log.append(f"pre-{comm.rank}")
+            comm.barrier()
+            with lock:
+                log.append(f"post-{comm.rank}")
+
+        run_mpi(3, main)
+        first_post = min(
+            index for index, entry in enumerate(log) if entry.startswith("post")
+        )
+        pre_entries = [entry for entry in log[:first_post] if entry.startswith("pre")]
+        assert len(pre_entries) == 3  # every pre before any post
+
+
+class TestSequencesOfCollectives:
+    def test_back_to_back_collectives_do_not_cross(self):
+        def main(comm):
+            first = comm.bcast(comm.rank if comm.rank == 0 else None, root=0)
+            second = comm.bcast(comm.rank if comm.rank == 1 else None, root=1)
+            total = comm.allreduce(1, SUM)
+            return (first, second, total)
+
+        results = run_mpi(4, main)
+        assert all(result == (0, 1, 4) for result in results)
+
+    def test_pipeline_of_mixed_collectives(self):
+        def main(comm):
+            comm.barrier()
+            share = comm.scatter(
+                list(range(comm.size)) if comm.rank == 0 else None, root=0
+            )
+            doubled = comm.allreduce(share, SUM)
+            gathered = comm.gather(doubled, root=0)
+            comm.barrier()
+            return gathered
+
+        results = run_mpi(4, main)
+        expected_total = sum(range(4))
+        assert results[0] == [expected_total] * 4

@@ -1,0 +1,120 @@
+"""Unit tests for explicit pack/unpack buffers (MPI_Pack analog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PackError
+from repro.mpi import CHAR, DOUBLE, INT, LONG, PackBuffer, UnpackBuffer
+
+
+class TestPackRoundtrips:
+    def test_scalar_int(self):
+        buffer = PackBuffer().pack(42, INT)
+        assert UnpackBuffer(buffer.getvalue()).unpack(INT) == 42
+
+    def test_int_list(self):
+        buffer = PackBuffer().pack([1, -2, 3], INT)
+        assert UnpackBuffer(buffer.getvalue()).unpack(INT, 3) == [1, -2, 3]
+
+    def test_long_range(self):
+        value = 2**40
+        buffer = PackBuffer().pack(value, LONG)
+        assert UnpackBuffer(buffer.getvalue()).unpack(LONG) == value
+
+    def test_double(self):
+        buffer = PackBuffer().pack([1.5, -2.25], DOUBLE)
+        assert UnpackBuffer(buffer.getvalue()).unpack(DOUBLE, 2) == [1.5, -2.25]
+
+    def test_text_as_char(self):
+        buffer = PackBuffer().pack("héllo", CHAR)
+        assert UnpackBuffer(buffer.getvalue()).unpack(CHAR) == "héllo".encode()
+
+    def test_bytes_as_char(self):
+        buffer = PackBuffer().pack(b"\x00\xff", CHAR)
+        assert UnpackBuffer(buffer.getvalue()).unpack(CHAR) == b"\x00\xff"
+
+    def test_mixed_sequence_in_order(self):
+        buffer = (
+            PackBuffer()
+            .pack([7, 8], INT)
+            .pack(3.5, DOUBLE)
+            .pack("tag", CHAR)
+        )
+        unpacker = UnpackBuffer(buffer.getvalue())
+        assert unpacker.unpack(INT, 2) == [7, 8]
+        assert unpacker.unpack(DOUBLE) == 3.5
+        assert unpacker.unpack(CHAR) == b"tag"
+        assert unpacker.remaining == 0
+
+    def test_len_counts_bytes(self):
+        buffer = PackBuffer().pack([1, 2], INT)
+        assert len(buffer) == len(buffer.getvalue())
+
+
+class TestPackErrors:
+    def test_int_overflow(self):
+        with pytest.raises(PackError):
+            PackBuffer().pack(2**40, INT)
+
+    def test_wrong_type_in_sequence(self):
+        with pytest.raises(PackError):
+            PackBuffer().pack([1, "x"], INT)
+
+    def test_text_needs_char(self):
+        with pytest.raises(PackError, match="CHAR"):
+            PackBuffer().pack("text", INT)
+
+
+class TestUnpackErrors:
+    def test_type_mismatch(self):
+        data = PackBuffer().pack(1, INT).getvalue()
+        with pytest.raises(PackError, match="type mismatch"):
+            UnpackBuffer(data).unpack(DOUBLE)
+
+    def test_count_mismatch(self):
+        data = PackBuffer().pack([1, 2, 3], INT).getvalue()
+        with pytest.raises(PackError, match="count mismatch"):
+            UnpackBuffer(data).unpack(INT, 2)
+
+    def test_unpack_past_end(self):
+        data = PackBuffer().pack(1, INT).getvalue()
+        unpacker = UnpackBuffer(data)
+        unpacker.unpack(INT)
+        with pytest.raises(PackError, match="past end"):
+            unpacker.unpack(INT)
+
+    def test_corrupt_tag(self):
+        with pytest.raises(PackError, match="unknown datatype"):
+            UnpackBuffer(b"\x99\x00\x00\x00\x01\x00").unpack(INT)
+
+    def test_truncated_run(self):
+        data = PackBuffer().pack([1, 2, 3], INT).getvalue()
+        with pytest.raises(PackError, match="truncated"):
+            UnpackBuffer(data[:-2]).unpack(INT, 3)
+
+
+class TestEndToEnd:
+    def test_pack_travels_through_send_recv(self):
+        from repro.mpi import run_mpi
+
+        def main(comm):
+            if comm.rank == 0:
+                buffer = (
+                    PackBuffer()
+                    .pack([10, 20], INT)
+                    .pack(2.5, DOUBLE)
+                    .pack("id:7", CHAR)
+                )
+                comm.send(buffer.getvalue(), dest=1, tag=0)
+                return None
+            payload, _status = comm.recv(source=0, tag=0)
+            unpacker = UnpackBuffer(payload)
+            return (
+                unpacker.unpack(INT, 2),
+                unpacker.unpack(DOUBLE),
+                unpacker.unpack(CHAR),
+            )
+
+        result = run_mpi(2, main)[1]
+        assert result == ([10, 20], 2.5, b"id:7")

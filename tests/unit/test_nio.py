@@ -1,0 +1,263 @@
+"""Unit tests for the java.nio analog: ByteBuffer discipline + channels."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import BufferStateError, NioError
+from repro.nio import (
+    ByteBuffer,
+    Selector,
+    ServerSocketChannel,
+    SocketChannel,
+)
+
+
+class TestBufferStateMachine:
+    def test_fresh_buffer(self):
+        buffer = ByteBuffer.allocate(16)
+        assert buffer.capacity == 16
+        assert buffer.position == 0
+        assert buffer.limit == 16
+        assert buffer.remaining() == 16
+
+    def test_negative_capacity(self):
+        with pytest.raises(BufferStateError):
+            ByteBuffer.allocate(-1)
+
+    def test_put_advances_position(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put(b"abc")
+        assert buffer.position == 3
+
+    def test_flip_switches_to_drain(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put(b"abc").flip()
+        assert buffer.position == 0
+        assert buffer.limit == 3
+        assert buffer.get(3) == b"abc"
+        assert not buffer.has_remaining()
+
+    def test_clear_resets(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put(b"abc").flip()
+        buffer.get(1)
+        buffer.clear()
+        assert buffer.position == 0
+        assert buffer.limit == 8
+
+    def test_rewind_redrains(self):
+        buffer = ByteBuffer.wrap(b"xyz")
+        assert buffer.get(3) == b"xyz"
+        buffer.rewind()
+        assert buffer.get(3) == b"xyz"
+
+    def test_compact_preserves_tail(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put(b"abcdef").flip()
+        buffer.get(2)
+        buffer.compact()
+        buffer.flip()
+        assert buffer.get(4) == b"cdef"
+
+    def test_mark_reset(self):
+        buffer = ByteBuffer.wrap(b"abcd")
+        buffer.get(1)
+        buffer.mark()
+        buffer.get(2)
+        buffer.reset()
+        assert buffer.get(2) == b"bc"
+
+    def test_reset_without_mark(self):
+        with pytest.raises(BufferStateError):
+            ByteBuffer.allocate(4).reset()
+
+    def test_mark_discarded_when_position_moves_before_it(self):
+        buffer = ByteBuffer.wrap(b"abcd")
+        buffer.get(2)
+        buffer.mark()
+        buffer.position = 1
+        with pytest.raises(BufferStateError):
+            buffer.reset()
+
+    def test_overflow(self):
+        with pytest.raises(BufferStateError, match="overflow"):
+            ByteBuffer.allocate(2).put(b"abc")
+
+    def test_underflow(self):
+        buffer = ByteBuffer.wrap(b"a")
+        with pytest.raises(BufferStateError, match="underflow"):
+            buffer.get(2)
+
+    def test_position_setter_bounds(self):
+        buffer = ByteBuffer.allocate(4)
+        with pytest.raises(BufferStateError):
+            buffer.position = 5
+        buffer.position = 4
+        assert buffer.position == 4
+
+    def test_limit_setter_clamps_position(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put(b"abcdef")
+        buffer.limit = 3
+        assert buffer.position == 3
+
+    def test_limit_beyond_capacity(self):
+        with pytest.raises(BufferStateError):
+            ByteBuffer.allocate(4).limit = 5
+
+
+class TestTypedAccess:
+    def test_int_roundtrip(self):
+        buffer = ByteBuffer.allocate(4)
+        buffer.put_int(-123456).flip()
+        assert buffer.get_int() == -123456
+
+    def test_long_roundtrip(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put_long(2**40).flip()
+        assert buffer.get_long() == 2**40
+
+    def test_double_roundtrip(self):
+        buffer = ByteBuffer.allocate(8)
+        buffer.put_double(3.14159).flip()
+        assert buffer.get_double() == 3.14159
+
+    def test_mixed_sequence(self):
+        buffer = ByteBuffer.allocate(32)
+        buffer.put_int(1).put_double(2.5).put(b"xy").flip()
+        assert buffer.get_int() == 1
+        assert buffer.get_double() == 2.5
+        assert buffer.get(2) == b"xy"
+
+    def test_wrap_is_copy(self):
+        source = bytearray(b"abc")
+        buffer = ByteBuffer.wrap(bytes(source))
+        source[0] = ord("z")
+        assert buffer.get(1) == b"a"
+
+    def test_advance_validation(self):
+        buffer = ByteBuffer.allocate(4)
+        with pytest.raises(BufferStateError):
+            buffer.advance(5)
+        with pytest.raises(BufferStateError):
+            buffer.advance(-1)
+
+
+class TestSocketChannels:
+    def test_echo_with_manual_framing(self):
+        server = ServerSocketChannel.open().bind(("127.0.0.1", 0))
+        done = threading.Event()
+
+        def serve() -> None:
+            channel = server.accept()
+            try:
+                header = ByteBuffer.allocate(4)
+                channel.read_fully(header)
+                header.flip()
+                size = header.get_int()
+                body = ByteBuffer.allocate(size)
+                channel.read_fully(body)
+                body.flip()
+                data = body.get(size)
+                out = ByteBuffer.allocate(4 + size)
+                out.put_int(size).put(data.upper()).flip()
+                channel.write_fully(out)
+            finally:
+                channel.close()
+                done.set()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        client = SocketChannel.open(server.local_address)
+        try:
+            message = b"framed by hand"
+            out = ByteBuffer.allocate(4 + len(message))
+            out.put_int(len(message)).put(message).flip()
+            client.write_fully(out)
+            header = ByteBuffer.allocate(4)
+            client.read_fully(header)
+            header.flip()
+            size = header.get_int()
+            body = ByteBuffer.allocate(size)
+            client.read_fully(body)
+            body.flip()
+            assert body.get(size) == message.upper()
+        finally:
+            client.close()
+            assert done.wait(5)
+            server.close()
+
+    def test_read_returns_minus_one_at_eof(self):
+        server = ServerSocketChannel.open().bind(("127.0.0.1", 0))
+
+        def close_immediately() -> None:
+            server.accept().close()
+
+        thread = threading.Thread(target=close_immediately, daemon=True)
+        thread.start()
+        client = SocketChannel.open(server.local_address)
+        try:
+            buffer = ByteBuffer.allocate(4)
+            thread.join(5)
+            assert client.read(buffer) == -1
+        finally:
+            client.close()
+            server.close()
+
+    def test_read_fully_premature_eof(self):
+        server = ServerSocketChannel.open().bind(("127.0.0.1", 0))
+
+        def send_partial() -> None:
+            channel = server.accept()
+            partial = ByteBuffer.wrap(b"ab")
+            channel.write_fully(partial)
+            channel.close()
+
+        thread = threading.Thread(target=send_partial, daemon=True)
+        thread.start()
+        client = SocketChannel.open(server.local_address)
+        try:
+            buffer = ByteBuffer.allocate(10)
+            with pytest.raises(NioError, match="EOF"):
+                client.read_fully(buffer)
+        finally:
+            client.close()
+            server.close()
+            thread.join(5)
+
+    def test_connect_failure(self):
+        with pytest.raises(NioError):
+            SocketChannel.open(("127.0.0.1", 1))
+
+
+class TestSelector:
+    def test_accept_and_read_readiness(self):
+        server = ServerSocketChannel.open().bind(("127.0.0.1", 0))
+        server.configure_blocking(False)
+        selector = Selector.open()
+        server.register(selector, __import__("selectors").EVENT_READ, "server")
+        client = SocketChannel.open(server.local_address)
+        try:
+            keys = list(selector.select(timeout=5))
+            assert len(keys) == 1
+            assert keys[0].attachment == "server"
+            assert keys[0].is_readable()
+            accepted = keys[0].channel.accept()
+            accepted.configure_blocking(False)
+            accepted.register(
+                selector, __import__("selectors").EVENT_READ, "conn"
+            )
+            client.write_fully(ByteBuffer.wrap(b"ping"))
+            ready = {key.attachment for key in selector.select(timeout=5)}
+            assert "conn" in ready
+            buffer = ByteBuffer.allocate(4)
+            assert accepted.read(buffer) == 4
+            selector.unregister(accepted)
+            accepted.close()
+        finally:
+            client.close()
+            selector.close()
+            server.close()

@@ -1,0 +1,190 @@
+"""Unit tests for clocks, platform models, and network curves.
+
+The ordering assertions here ARE the paper's qualitative claims: if a
+calibration edit ever breaks "MPI < RMI < Mono latency" or "Mono 1.1.7 ≫
+1.0.5 bandwidth", these tests fail before any benchmark runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perfmodel import (
+    JAVA_NIO,
+    JAVA_RMI,
+    MONO_105_TCP,
+    MONO_117_HTTP,
+    MONO_117_TCP,
+    MPI_MPICH,
+    MS_NET,
+    PLATFORMS,
+    PlatformModel,
+    VirtualClock,
+    WallClock,
+    bandwidth_curve,
+    payload_bandwidth,
+    pingpong_round_trip,
+    platform_by_name,
+    transfer_time,
+)
+from repro.perfmodel.network import dominates, figure8_sizes, half_power_point
+from repro.perfmodel.platforms import SUN_JVM, WIRE_CEILING_BPS
+
+
+class TestClocks:
+    def test_wall_clock_monotonic(self):
+        clock = WallClock()
+        assert clock.now() <= clock.now()
+
+    def test_virtual_clock_advance(self):
+        clock = VirtualClock(start=10.0)
+        assert clock.now() == 10.0
+        assert clock.advance(5.0) == 15.0
+        assert clock.advance_to(20.0) == 20.0
+
+    def test_virtual_clock_rejects_backwards(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance(-1.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+
+class TestModelValidation:
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            PlatformModel(name="x", one_way_latency_s=0, wire_bandwidth_Bps=1)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            PlatformModel(name="x", one_way_latency_s=1, wire_bandwidth_Bps=0)
+
+    def test_bad_expansion(self):
+        with pytest.raises(ValueError):
+            PlatformModel(
+                name="x",
+                one_way_latency_s=1,
+                wire_bandwidth_Bps=1,
+                wire_expansion=0.5,
+            )
+
+    def test_bad_pool(self):
+        with pytest.raises(ValueError):
+            PlatformModel(
+                name="x",
+                one_way_latency_s=1,
+                wire_bandwidth_Bps=1,
+                thread_pool_limit=0,
+            )
+
+    def test_with_overrides(self):
+        tweaked = MONO_117_TCP.with_overrides(thread_pool_limit=None)
+        assert tweaked.thread_pool_limit is None
+        assert tweaked.one_way_latency_s == MONO_117_TCP.one_way_latency_s
+
+    def test_lookup_by_name(self):
+        assert platform_by_name("Mono 1.1.7 (Tcp)") is MONO_117_TCP
+        with pytest.raises(KeyError):
+            platform_by_name("Mono 9.9")
+
+
+class TestPaperCalibration:
+    """Assertions lifted directly from §4's reported numbers."""
+
+    def test_latency_ordering(self):
+        assert (
+            MPI_MPICH.one_way_latency_s
+            < JAVA_RMI.one_way_latency_s
+            < MONO_117_TCP.one_way_latency_s
+        )
+
+    def test_latency_values_match_paper(self):
+        assert MPI_MPICH.one_way_latency_s == pytest.approx(100e-6)
+        assert JAVA_RMI.one_way_latency_s == pytest.approx(273e-6)
+        assert MONO_117_TCP.one_way_latency_s == pytest.approx(520e-6)
+
+    def test_nio_latency_close_to_mono(self):
+        ratio = JAVA_NIO.one_way_latency_s / MONO_117_TCP.one_way_latency_s
+        assert 0.7 < ratio < 1.1  # "very close to the Java nio package"
+
+    def test_bandwidth_ordering_fig8a(self):
+        assert (
+            MPI_MPICH.wire_bandwidth_Bps
+            > JAVA_RMI.wire_bandwidth_Bps
+            > MONO_117_TCP.wire_bandwidth_Bps
+        )
+
+    def test_mono_release_gap_fig8b(self):
+        ratio = MONO_117_TCP.wire_bandwidth_Bps / MONO_105_TCP.wire_bandwidth_Bps
+        assert ratio > 5  # "radically increased from release 1.0.5"
+
+    def test_http_channel_slowest_fig8b(self):
+        assert MONO_117_HTTP.wire_bandwidth_Bps < MONO_105_TCP.wire_bandwidth_Bps
+
+    def test_sequential_gaps(self):
+        assert MONO_117_TCP.compute_scale_float == pytest.approx(1.4)  # +40%
+        assert MS_NET.compute_scale_float == pytest.approx(1.1)  # +10%
+        assert SUN_JVM.compute_scale_float == 1.0
+        assert MONO_117_TCP.compute_scale_int == pytest.approx(1.0)  # sieve
+
+    def test_nothing_exceeds_wire_ceiling(self):
+        for model in PLATFORMS:
+            assert model.wire_bandwidth_Bps <= WIRE_CEILING_BPS
+
+    def test_mono_pool_is_capped(self):
+        assert MONO_117_TCP.thread_pool_limit is not None
+        assert JAVA_RMI.thread_pool_limit is None
+
+
+class TestNetworkCurves:
+    def test_transfer_time_components(self):
+        model = PlatformModel(
+            name="t", one_way_latency_s=1.0, wire_bandwidth_Bps=100.0
+        )
+        assert transfer_time(model, 0) == pytest.approx(1.0)
+        assert transfer_time(model, 100) == pytest.approx(2.0)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(MPI_MPICH, -1)
+        with pytest.raises(ValueError):
+            payload_bandwidth(MPI_MPICH, 0)
+
+    def test_pingpong_is_double(self):
+        assert pingpong_round_trip(JAVA_RMI, 1000) == pytest.approx(
+            2 * transfer_time(JAVA_RMI, 1000)
+        )
+
+    def test_bandwidth_monotonic_in_size(self):
+        sizes = figure8_sizes(3)
+        curve = bandwidth_curve(MONO_117_TCP, sizes)
+        bandwidths = [bandwidth for _size, bandwidth in curve]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_bandwidth_saturates_below_asymptote(self):
+        top = payload_bandwidth(MPI_MPICH, 100 * 1024 * 1024)
+        assert top < MPI_MPICH.wire_bandwidth_Bps
+        assert top > 0.9 * MPI_MPICH.wire_bandwidth_Bps / MPI_MPICH.wire_expansion
+
+    def test_half_power_point(self):
+        model = PlatformModel(
+            name="h", one_way_latency_s=0.001, wire_bandwidth_Bps=1e6
+        )
+        size = half_power_point(model)
+        half = payload_bandwidth(model, size)
+        assert half == pytest.approx(model.wire_bandwidth_Bps / 2, rel=0.01)
+
+    def test_figure8_sizes_span(self):
+        sizes = figure8_sizes(2)
+        assert sizes[0] == 1.0
+        assert sizes[-1] >= 1024 * 1024
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+    def test_dominates(self):
+        sizes = figure8_sizes(2)
+        fast = bandwidth_curve(MPI_MPICH, sizes)
+        slow = bandwidth_curve(MONO_117_TCP, sizes)
+        assert dominates(fast, slow)
+        assert not dominates(slow, fast)

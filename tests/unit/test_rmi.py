@@ -1,0 +1,308 @@
+"""Unit tests for the Java RMI analog: interfaces, rmic, runtime, registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AlreadyBoundError,
+    ExportError,
+    NotBoundError,
+    RemoteException,
+)
+from repro.rmi import (
+    LocateRegistry,
+    Naming,
+    Remote,
+    RmicError,
+    RmiRuntime,
+    UnicastRemoteObject,
+    generate_stub_source,
+    remote_method,
+    rmic,
+    verify_remote_interface,
+)
+from repro.rmi.interfaces import method_signature, remote_method_names
+
+
+class ICalc(Remote):
+    @remote_method
+    def add(self, a, b):
+        """Add two numbers."""
+        raise NotImplementedError
+
+    @remote_method
+    def scale(self, values, factor=2, *extra, unit="x", **options):
+        """Exercise every parameter kind."""
+        raise NotImplementedError
+
+
+class Calc(UnicastRemoteObject, ICalc):
+    def add(self, a, b):
+        return a + b
+
+    def scale(self, values, factor=2, *extra, unit="x", **options):
+        return {
+            "scaled": [v * factor for v in values],
+            "extra": list(extra),
+            "unit": unit,
+            "options": options,
+        }
+
+
+@pytest.fixture
+def runtime():
+    rt = RmiRuntime()
+    yield rt
+    rt.close()
+
+
+@pytest.fixture
+def registry_endpoint():
+    registry_runtime, _registry = LocateRegistry.create_registry()
+    yield registry_runtime.endpoint
+    registry_runtime.close()
+
+
+class TestInterfaceVerification:
+    def test_valid_interface(self):
+        assert verify_remote_interface(ICalc) == ["add", "scale"]
+
+    def test_non_remote_rejected(self):
+        class NotRemote:
+            def x(self):
+                pass
+
+        with pytest.raises(RemoteException, match="does not extend Remote"):
+            verify_remote_interface(NotRemote)
+
+    def test_undeclared_method_rejected(self):
+        class Sloppy(Remote):
+            def forgot(self):
+                pass
+
+        with pytest.raises(RemoteException, match="@remote_method"):
+            verify_remote_interface(Sloppy)
+
+    def test_empty_interface_rejected(self):
+        class Empty(Remote):
+            pass
+
+        with pytest.raises(RemoteException, match="no remote methods"):
+            verify_remote_interface(Empty)
+
+    def test_method_names_sorted(self):
+        assert remote_method_names(ICalc) == ["add", "scale"]
+
+    def test_signature_strips_self(self):
+        signature = method_signature(ICalc, "add")
+        assert list(signature.parameters) == ["a", "b"]
+
+
+class TestRmic:
+    def test_source_mentions_interface(self):
+        source = generate_stub_source(ICalc)
+        assert "class ICalc_Stub(RemoteStub):" in source
+        assert "def add(self, a, b):" in source
+        assert "RemoteException" in source
+
+    def test_source_handles_every_parameter_kind(self):
+        source = generate_stub_source(ICalc)
+        assert "def scale(self, values, factor=2, *extra, unit='x', **options):" in source
+
+    def test_stub_class_cached(self):
+        assert rmic(ICalc) is rmic(ICalc)
+
+    def test_stub_records_interface(self):
+        assert rmic(ICalc)._rmi_interface is ICalc
+
+    def test_bad_interface_rejected(self):
+        class Bad(Remote):
+            def oops(self):
+                pass
+
+        with pytest.raises(RmicError):
+            rmic(Bad)
+
+    def test_unrepresentable_default_rejected(self):
+        class Odd(Remote):
+            @remote_method
+            def weird(self, x=object()):
+                pass
+
+        with pytest.raises(RmicError, match="default"):
+            generate_stub_source(Odd)
+
+    def test_generated_source_compiles_standalone(self):
+        source = generate_stub_source(ICalc)
+        compile(source, "<test>", "exec")
+
+
+class TestRuntimeExport:
+    def test_export_assigns_objref(self, runtime):
+        calc = Calc.__new__(Calc)  # avoid default-runtime export
+        ref = runtime.export(calc)
+        assert ref.endpoint == runtime.endpoint
+        assert ref.interface_name.endswith("ICalc")
+        assert calc._rmi_objref == ref
+
+    def test_duplicate_object_id_rejected(self, runtime):
+        first = Calc.__new__(Calc)
+        second = Calc.__new__(Calc)
+        runtime.export(first, object_id="fixed")
+        with pytest.raises(ExportError):
+            runtime.export(second, object_id="fixed")
+
+    def test_unexport(self, runtime):
+        calc = Calc.__new__(Calc)
+        ref = runtime.export(calc)
+        runtime.unexport(calc)
+        assert ref.object_id not in runtime.exported_ids()
+
+    def test_no_interface_rejected(self, runtime):
+        class NoInterface:
+            pass
+
+        with pytest.raises(ExportError, match="no Remote interface"):
+            runtime.export(NoInterface())
+
+    def test_ambiguous_interfaces_rejected(self, runtime):
+        class IOther(Remote):
+            @remote_method
+            def other(self):
+                pass
+
+        class Both(ICalc, IOther):
+            def add(self, a, b):
+                return 0
+
+            def scale(self, values, factor=2, *extra, unit="x", **options):
+                return None
+
+            def other(self):
+                return None
+
+        with pytest.raises(ExportError, match="multiple Remote interfaces"):
+            runtime.export(Both())
+
+    def test_explicit_interface_resolves_ambiguity(self, runtime):
+        class IOther(Remote):
+            @remote_method
+            def other(self):
+                pass
+
+        class Both2(ICalc, IOther):
+            def add(self, a, b):
+                return a + b
+
+            def scale(self, values, factor=2, *extra, unit="x", **options):
+                return None
+
+            def other(self):
+                return None
+
+        ref = runtime.export(Both2(), interface=ICalc)
+        assert ref.interface_name.endswith("ICalc")
+
+
+class TestRuntimeDispatch:
+    def test_full_call_through_stub(self, runtime):
+        calc = Calc.__new__(Calc)
+        ref = runtime.export(calc)
+        stub = rmic(ICalc)(ref)
+        assert stub.add(2, 3) == 5
+
+    def test_every_parameter_kind_forwarded(self, runtime):
+        calc = Calc.__new__(Calc)
+        ref = runtime.export(calc)
+        stub = rmic(ICalc)(ref)
+        result = stub.scale([1, 2], 3, "a", "b", unit="m", depth=2)
+        assert result == {
+            "scaled": [3, 6],
+            "extra": ["a", "b"],
+            "unit": "m",
+            "options": {"depth": 2},
+        }
+
+    def test_user_error_is_checked_exception(self, runtime):
+        calc = Calc.__new__(Calc)
+        ref = runtime.export(calc)
+        stub = rmic(ICalc)(ref)
+        with pytest.raises(RemoteException, match="TypeError"):
+            stub.add(1, None)
+
+    def test_unknown_object_id(self, runtime):
+        from repro.rmi.runtime import RmiObjRef
+
+        stub = rmic(ICalc)(
+            RmiObjRef(runtime.endpoint, "no-such", "x.ICalc")
+        )
+        with pytest.raises(RemoteException, match="NoSuchObjectException"):
+            stub.add(1, 2)
+
+    def test_dead_endpoint_is_checked_exception(self):
+        from repro.rmi.runtime import RmiObjRef
+
+        stub = rmic(ICalc)(RmiObjRef("127.0.0.1:9", "obj-1", "x.ICalc"))
+        with pytest.raises(RemoteException):
+            stub.add(1, 2)
+
+    def test_stub_equality(self, runtime):
+        calc = Calc.__new__(Calc)
+        ref = runtime.export(calc)
+        assert rmic(ICalc)(ref) == rmic(ICalc)(ref)
+
+
+class TestRegistryAndNaming:
+    def test_bind_lookup_cycle(self, registry_endpoint):
+        calc = Calc()
+        try:
+            uri = f"rmi://{registry_endpoint}/calc"
+            Naming.bind(uri, calc)
+            stub = Naming.lookup(uri, ICalc)
+            assert stub.add(4, 5) == 9
+            assert Naming.list_names(f"rmi://{registry_endpoint}/") == ["calc"]
+            Naming.unbind(uri)
+            with pytest.raises(NotBoundError):
+                Naming.lookup(uri, ICalc)
+        finally:
+            from repro.rmi.runtime import default_runtime
+
+            default_runtime().unexport(calc)
+
+    def test_bind_twice_rejected_rebind_allowed(self, registry_endpoint):
+        calc = Calc()
+        try:
+            uri = f"rmi://{registry_endpoint}/dup"
+            Naming.bind(uri, calc)
+            with pytest.raises(AlreadyBoundError):
+                Naming.bind(uri, calc)
+            Naming.rebind(uri, calc)  # fine
+        finally:
+            from repro.rmi.runtime import default_runtime
+
+            default_runtime().unexport(calc)
+
+    def test_unbind_missing(self, registry_endpoint):
+        with pytest.raises(NotBoundError):
+            Naming.unbind(f"rmi://{registry_endpoint}/ghost")
+
+    @pytest.mark.parametrize(
+        "bad", ["http://h:1/x", "rmi://", "rmi://host-only", "rmi://h:1/"]
+    )
+    def test_malformed_uris(self, bad):
+        with pytest.raises(RemoteException):
+            Naming.unbind(bad)
+
+    def test_rebind_requires_export(self, registry_endpoint):
+        class Unexported(ICalc):
+            def add(self, a, b):
+                return 0
+
+            def scale(self, values, factor=2, *extra, unit="x", **options):
+                return None
+
+        with pytest.raises(RemoteException, match="not exported"):
+            Naming.rebind(
+                f"rmi://{registry_endpoint}/nope", Unexported()
+            )

@@ -1,0 +1,190 @@
+"""Unit tests for serialization schema evolution (rolling upgrades).
+
+The scenario: nodes of a cluster run different code versions during an
+upgrade.  Old-format messages must decode into new classes (defaults fill
+missing fields, upgrade hooks migrate renamed ones) and new-format
+messages must not break old classes (unknown fields are dropped for
+``__slots__`` classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.serialization import BinaryFormatter, SerializationRegistry, SoapFormatter
+
+
+def make_pair():
+    """Fresh registry + both formatters over it."""
+    registry = SerializationRegistry()
+    return registry, BinaryFormatter(registry), SoapFormatter(registry)
+
+
+class TestMissingFieldDefaults:
+    def test_dataclass_defaults_fill_missing(self):
+        registry, binary, _soap = make_pair()
+
+        @dataclass
+        class ConfigV2:
+            host: str = "localhost"
+            port: int = 8080
+            retries: int = 3  # new in v2
+
+        registry.register(ConfigV2, "evo.Config")
+        # Simulate a v1 message: encode with only the old fields.
+        old_state_obj = ConfigV2.__new__(ConfigV2)
+        old_state_obj.host = "remote"
+        old_state_obj.port = 99
+        # (no retries attribute: the v1 sender never had it)
+        data = binary.dumps(old_state_obj)
+        decoded = binary.loads(data)
+        assert decoded.host == "remote"
+        assert decoded.port == 99
+        assert decoded.retries == 3  # filled from the default
+
+    def test_default_factory_not_shared(self):
+        registry, binary, _soap = make_pair()
+
+        @dataclass
+        class Bag:
+            items: list = field(default_factory=list)
+
+        registry.register(Bag, "evo.Bag")
+        incomplete = Bag.__new__(Bag)  # no items attribute at all
+        first = binary.loads(binary.dumps(incomplete))
+        second = binary.loads(binary.dumps(incomplete))
+        first.items.append(1)
+        assert second.items == []  # each decode gets a fresh list
+
+    def test_explicit_parc_field_defaults(self):
+        registry, binary, _soap = make_pair()
+
+        class Node:
+            _parc_field_defaults = {"weight": 1.0, "tags": list}
+
+            def __init__(self, name):
+                self.name = name
+                self.weight = 2.0
+                self.tags = ["x"]
+
+        registry.register(Node, "evo.Node")
+        sparse = Node.__new__(Node)
+        sparse.name = "n1"
+        decoded = binary.loads(binary.dumps(sparse))
+        assert decoded.name == "n1"
+        assert decoded.weight == 1.0
+        assert decoded.tags == []
+
+    def test_wire_values_beat_defaults(self):
+        registry, binary, _soap = make_pair()
+
+        @dataclass
+        class Point:
+            x: int = 0
+            y: int = 0
+
+        registry.register(Point, "evo.Point")
+        decoded = binary.loads(binary.dumps(Point(5, 7)))
+        assert (decoded.x, decoded.y) == (5, 7)
+
+
+class TestUpgradeHook:
+    def test_field_rename_migration(self):
+        registry, binary, soap = make_pair()
+
+        class UserV2:
+            def __init__(self, full_name=""):
+                self.full_name = full_name
+
+            @classmethod
+            def __parc_upgrade__(cls, state):
+                if "name" in state and "full_name" not in state:
+                    state["full_name"] = state.pop("name")
+                return state
+
+        registry.register(UserV2, "evo.User")
+        # A v1 peer sent {"name": ...}.
+        v1 = UserV2.__new__(UserV2)
+        v1.name = "ada"
+        for formatter in (binary, soap):
+            decoded = formatter.loads(formatter.dumps(v1))
+            assert decoded.full_name == "ada"
+            assert not hasattr(decoded, "name")
+
+    def test_upgrade_must_return_dict(self):
+        registry, binary, _soap = make_pair()
+
+        class Broken:
+            @classmethod
+            def __parc_upgrade__(cls, state):
+                return ["nope"]
+
+        registry.register(Broken, "evo.Broken")
+        instance = Broken()
+        instance.x = 1
+        with pytest.raises(SerializationError, match="__parc_upgrade__"):
+            binary.loads(binary.dumps(instance))
+
+    def test_upgrade_can_recompute(self):
+        registry, binary, _soap = make_pair()
+
+        class Temperature:
+            @classmethod
+            def __parc_upgrade__(cls, state):
+                if "fahrenheit" in state:
+                    state["celsius"] = (state.pop("fahrenheit") - 32) * 5 / 9
+                return state
+
+        registry.register(Temperature, "evo.Temp")
+        old = Temperature()
+        old.fahrenheit = 212.0
+        decoded = binary.loads(binary.dumps(old))
+        assert decoded.celsius == pytest.approx(100.0)
+
+
+class TestForwardCompatibility:
+    def test_slots_class_drops_unknown_fields(self):
+        registry, binary, _soap = make_pair()
+
+        class SlimV1:
+            __slots__ = ("kept",)
+
+        registry.register(SlimV1, "evo.Slim")
+        # A newer peer encodes an extra field the old class cannot hold.
+        # Craft the state through a stand-in with the same wire name.
+        sender_registry = SerializationRegistry()
+
+        class SlimV2:
+            pass
+
+        sender_registry.register(SlimV2, "evo.Slim")
+        sender = BinaryFormatter(sender_registry)
+        newer = SlimV2()
+        newer.kept = "yes"
+        newer.added_in_v2 = "surprise"
+        decoded = binary.loads(sender.dumps(newer))
+        assert isinstance(decoded, SlimV1)
+        assert decoded.kept == "yes"
+        assert not hasattr(decoded, "added_in_v2")
+
+    def test_dict_class_keeps_unknown_fields(self):
+        registry, binary, _soap = make_pair()
+
+        class Roomy:
+            pass
+
+        registry.register(Roomy, "evo.Roomy")
+        sender_registry = SerializationRegistry()
+
+        class RoomyV2:
+            pass
+
+        sender_registry.register(RoomyV2, "evo.Roomy")
+        sender = BinaryFormatter(sender_registry)
+        newer = RoomyV2()
+        newer.extra = 42
+        decoded = binary.loads(sender.dumps(newer))
+        assert decoded.extra == 42  # round-trippable forward data

@@ -1,0 +1,216 @@
+"""Unit tests for the telemetry subsystem (tracer + metrics)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+import repro.core as parc
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    get_global_tracer,
+    set_global_tracer,
+)
+
+
+class TestTracer:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("test", "work", detail=1):
+            time.sleep(0.005)
+        events = tracer.events()
+        assert len(events) == 1
+        assert events[0].name == "work"
+        assert events[0].category == "test"
+        assert events[0].duration_us >= 4000
+        assert events[0].args == {"detail": 1}
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("test", "failing"):
+                raise ValueError("inside")
+        assert len(tracer.events()) == 1
+
+    def test_instant(self):
+        tracer = Tracer()
+        tracer.instant("test", "marker", value=3)
+        event = tracer.events()[0]
+        assert event.phase == "i"
+        assert event.duration_us == 0.0
+
+    def test_capacity_bounded_with_drop_count(self):
+        tracer = Tracer(capacity=5)
+        for index in range(9):
+            tracer.instant("test", f"e{index}")
+        assert len(tracer.events()) == 5
+        assert tracer.dropped == 4
+        assert [event.name for event in tracer.events()] == [
+            "e4", "e5", "e6", "e7", "e8"
+        ]
+
+    def test_chrome_export_shape(self):
+        tracer = Tracer()
+        with tracer.span("cat", "s"):
+            pass
+        tracer.instant("cat", "i")
+        document = tracer.to_chrome_trace()
+        assert {event["ph"] for event in document["traceEvents"]} == {"X", "i"}
+        for event in document["traceEvents"]:
+            assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        json.dumps(document)  # must be serializable
+
+    def test_dump_writes_valid_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("cat", "s"):
+            pass
+        path = tracer.dump(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["generator"] == "pyparc"
+
+    def test_threads_get_distinct_tids(self):
+        tracer = Tracer()
+
+        def record():
+            with tracer.span("cat", "thread-span"):
+                pass
+
+        threads = [threading.Thread(target=record) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        document = tracer.to_chrome_trace()
+        tids = {event["tid"] for event in document["traceEvents"]}
+        assert len(tids) == 3
+
+    def test_span_durations_filter(self):
+        tracer = Tracer()
+        with tracer.span("a", "x"):
+            pass
+        with tracer.span("b", "y"):
+            pass
+        assert len(tracer.span_durations()) == 2
+        assert len(tracer.span_durations("a")) == 1
+
+    def test_clear(self):
+        tracer = Tracer(capacity=1)
+        tracer.instant("c", "1")
+        tracer.instant("c", "2")
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.dropped == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestGlobalTracerIntegration:
+    def test_io_executions_traced(self, plain_runtime):
+        @parc.parallel(
+            name="telemetry.Pinger", async_methods=["ping"], sync_methods=["count"]
+        )
+        class Pinger:
+            def __init__(self):
+                self.n = 0
+
+            def ping(self):
+                self.n += 1
+
+            def count(self):
+                return self.n
+
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        try:
+            pinger = parc.new(Pinger)
+            pinger.ping()
+            pinger.ping()
+            assert pinger.count() == 2
+            pinger.parc_release()
+        finally:
+            set_global_tracer(None)
+        names = [event.name for event in tracer.events()]
+        assert names.count("Pinger.ping") == 2
+        assert "Pinger.count" in names
+        sync_flags = {
+            event.name: event.args.get("sync") for event in tracer.events()
+        }
+        assert sync_flags["Pinger.ping"] is False
+        assert sync_flags["Pinger.count"] is True
+
+    def test_global_tracer_set_get(self):
+        tracer = Tracer()
+        set_global_tracer(tracer)
+        assert get_global_tracer() is tracer
+        set_global_tracer(None)
+        assert get_global_tracer() is None
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(3)
+        gauge.add(-1)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("latency", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.total == pytest.approx(5.0605)
+        counts = dict(histogram.bucket_counts())
+        assert counts[0.001] == 1
+        assert counts[0.01] == 2
+        assert counts[0.1] == 1
+        assert counts[float("inf")] == 1
+
+    def test_histogram_quantile(self):
+        histogram = Histogram("q", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 4.0
+        with pytest.raises(ValueError):
+            histogram.quantile(2.0)
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+
+    def test_registry_reuse_and_type_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        assert registry.counter("c") is counter
+        with pytest.raises(ValueError):
+            registry.gauge("c")
+
+    def test_registry_snapshot_and_render(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(3)
+        registry.gauge("depth").set(1.5)
+        registry.histogram("lat").observe(0.02)
+        snapshot = registry.snapshot()
+        assert snapshot["calls"] == 3
+        assert snapshot["depth"] == 1.5
+        assert snapshot["lat_count"] == 1
+        text = registry.render()
+        assert "calls 3" in text
+        assert "depth 1.5" in text
