@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""A remoting farm over the asyncio channel substrate (``aio://``).
+
+The ``aio`` scheme is a drop-in transport: the server runs one event loop
+instead of a thread per connection, and every concurrent caller shares a
+single pipelined socket per peer, with requests matched to out-of-order
+responses by correlation id.  Nothing about publishing objects, proxies,
+or call sites changes — only the URI scheme does.
+
+The example publishes a small work server, fans 16 worker threads out
+over one transparent proxy, and prints the channel's own telemetry
+(peak in-flight requests, queue depth, reconnects) to show the calls
+really were multiplexed on one connection.
+
+Run:  python examples/aio_farm.py [tasks-per-worker]
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.aio import AioTcpChannel
+from repro.channels.services import ChannelServices
+from repro.remoting import (
+    MarshalByRefObject,
+    RemotingHost,
+    WellKnownObjectMode,
+)
+
+WORKERS = 16
+
+
+class WorkServer(MarshalByRefObject):
+    """Sums the squares of a range — a stand-in for a real work chunk."""
+
+    def process(self, start: int, count: int) -> int:
+        return sum(value * value for value in range(start, start + count))
+
+
+def main() -> None:
+    tasks_per_worker = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+
+    # Server side: same registration dance as any other channel.
+    server_services = ChannelServices()
+    host = RemotingHost(name="aio-farm-server", services=server_services)
+    binding = host.listen(AioTcpChannel(), "127.0.0.1:0")
+    host.register_well_known(WorkServer, "work", WellKnownObjectMode.SINGLETON)
+
+    # Client side: register the channel, get a proxy from an aio:// URI.
+    client_services = ChannelServices()
+    client_channel = AioTcpChannel()
+    client_services.register_channel(client_channel)
+    client = RemotingHost(name="aio-farm-client", services=client_services)
+    try:
+        proxy = client.get_object(f"aio://{binding.authority}/work")
+        print(f"published WorkServer at aio://{binding.authority}/work")
+
+        # Sample the in-flight gauge while the farm runs to catch the
+        # multiplexing in the act.
+        in_flight = client_channel.metrics.gauge(
+            "aio.client.in_flight", "requests on the wire"
+        )
+        peak = 0
+        totals = [0] * WORKERS
+        barrier = threading.Barrier(WORKERS)
+
+        def worker(index: int) -> None:
+            nonlocal peak
+            barrier.wait()
+            subtotal = 0
+            for task in range(tasks_per_worker):
+                start = (index * tasks_per_worker + task) * 10
+                subtotal += proxy.process(start, 10)
+                peak = max(peak, int(in_flight.value))
+            totals[index] = subtotal
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(WORKERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        calls = WORKERS * tasks_per_worker
+        span = calls * 10
+        expected = sum(value * value for value in range(span))
+        total = sum(totals)
+        assert total == expected, f"{total} != {expected}"
+        print(f"{WORKERS} workers x {tasks_per_worker} calls = {calls} calls,")
+        print(f"  all multiplexed over one socket; sum of squares < {span}: "
+              f"{total}")
+        reconnects = client_channel.metrics.counter(
+            "aio.client.reconnects", "reconnections"
+        )
+        print(f"  peak in-flight requests observed: {peak}")
+        print(f"  reconnects: {int(reconnects.value)}")
+    finally:
+        client.close()
+        host.close()
+        client_channel.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Asyncio channel substrate: multiplexed, pipelined remoting transport.
+
+The paper's remoting measurements (§4, Fig. 8) are all about per-call
+transport cost; ParC#'s grain-size adaptation exists to amortize it.  This
+package attacks the same overhead from the transport side, the way
+java.nio does in the paper's §2 comparison: a single event loop instead of
+a thread per connection, and one socket per peer carrying many concurrent
+requests matched by correlation ids.
+
+* :class:`AioTcpChannel` — the channel (scheme ``"aio"``).  Blocking
+  ``call``/``listen`` façade over a dedicated event-loop thread, so it
+  plugs into ``ChannelServices`` / ``RemotingHost`` like any other
+  channel.
+* :class:`LoopThread` — the loop-on-a-thread bridge, reusable by other
+  asyncio-backed substrates.
+
+See ``docs/ARCHITECTURE.md`` §2a for the threading model.
+"""
+
+from repro.aio.channel import (
+    DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_DISPATCH_WORKERS,
+    DEFAULT_REQUEST_TIMEOUT,
+    DEFAULT_WINDOW,
+    AioTcpChannel,
+)
+from repro.aio.loop import LoopThread
+
+__all__ = [
+    "AioTcpChannel",
+    "DEFAULT_CONNECT_TIMEOUT",
+    "DEFAULT_DISPATCH_WORKERS",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "DEFAULT_WINDOW",
+    "LoopThread",
+]

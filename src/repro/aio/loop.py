@@ -1,0 +1,89 @@
+"""A dedicated asyncio event loop running on a background thread.
+
+The aio substrate keeps the public :class:`repro.channels.base.Channel`
+contract — blocking ``call`` / ``listen`` — while all socket I/O happens
+on one event loop.  :class:`LoopThread` is the bridge: it owns the loop,
+runs it forever on a daemon thread, and lets synchronous callers submit
+coroutines and block on their results.  One loop thread serves every
+connection and server of a channel; nothing in this module is
+channel-specific.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from typing import Any, Coroutine
+
+from repro.errors import ChannelClosedError, ChannelError
+
+
+class LoopThread:
+    """Owns an event loop on a daemon thread; submits work from any thread."""
+
+    def __init__(self, name: str = "parc-aio-loop") -> None:
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.call_soon(self._started.set)
+        try:
+            self._loop.run_forever()
+        finally:
+            # Cancel whatever survived close() so the loop can shut down
+            # without "task was destroyed but it is pending" warnings.
+            tasks = asyncio.all_tasks(self._loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                self._loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True)
+                )
+            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+            self._loop.close()
+
+    def run(self, coro: Coroutine[Any, Any, Any], timeout: float | None = None) -> Any:
+        """Run *coro* on the loop and block for its result.
+
+        Raises :class:`ChannelClosedError` once the loop has been shut
+        down; a *timeout* here is a last-ditch guard — per-request
+        deadlines belong inside the coroutine (``asyncio.wait_for``) so
+        the loop-side work is actually cancelled.
+        """
+        with self._lock:
+            if self._closed:
+                raise ChannelClosedError("aio event loop is closed")
+            future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ChannelError(
+                f"aio operation did not complete within {timeout}s"
+            ) from None
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop the loop and join the thread; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=join_timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -150,6 +150,84 @@ def live_pingpong_remoting(
         client_channel.close()
 
 
+def _channel_for(channel_kind: str):  # type: ignore[no-untyped-def]
+    if channel_kind == "tcp":
+        return TcpChannel()
+    if channel_kind == "http":
+        return HttpChannel()
+    if channel_kind == "aio":
+        from repro.aio import AioTcpChannel
+
+        return AioTcpChannel()
+    raise ValueError(f"unknown channel kind {channel_kind!r}")
+
+
+def live_concurrent_pingpong(
+    n_ints: int,
+    callers: int,
+    calls_per_caller: int = 100,
+    channel_kind: str = "tcp",
+) -> float:
+    """Aggregate calls/second with *callers* concurrent proxy threads.
+
+    The single-caller ping-pong above measures latency; this driver
+    measures what the transport does under concurrency, which is where
+    the thread-per-socket :class:`TcpChannel` and the multiplexed
+    :class:`repro.aio.AioTcpChannel` diverge: tcp spends a pooled socket
+    (client) and an OS thread (server) per concurrent caller, aio keeps
+    every caller's request in flight on one pipelined socket per peer.
+    All callers share one channel and one proxy, as remoting clients in
+    one process would.
+    """
+    import threading
+
+    from repro.channels.services import ChannelServices
+
+    server_services = ChannelServices()
+    host = RemotingHost(name="pingpong-server", services=server_services)
+    server_channel = _channel_for(channel_kind)
+    binding = host.listen(server_channel, "127.0.0.1:0")
+    host.register_well_known(_EchoServer, "pingpong", WellKnownObjectMode.SINGLETON)
+    client_services = ChannelServices()
+    client_channel = _channel_for(channel_kind)
+    client_services.register_channel(client_channel)
+    client = RemotingHost(name="pingpong-client", services=client_services)
+    try:
+        proxy = client.get_object(
+            f"{client_channel.scheme}://{binding.authority}/pingpong"
+        )
+        payload = int_payload(n_ints)
+        proxy.echo(payload)  # warm up (connect, lazy singleton)
+        barrier = threading.Barrier(callers + 1)
+        failures: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                barrier.wait()
+                for _ in range(calls_per_caller):
+                    proxy.echo(payload)
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, daemon=True) for _ in range(callers)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if failures:
+            raise failures[0]
+        return callers * calls_per_caller / elapsed
+    finally:
+        client.close()
+        host.close()
+        client_channel.close()
+
+
 class _IEcho(Remote):
     @remote_method
     def echo(self, values):  # type: ignore[no-untyped-def]

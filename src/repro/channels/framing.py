@@ -1,14 +1,22 @@
-"""Length-prefixed frame codec used by the TCP channel.
+"""Length-prefixed frame codec used by the TCP and aio channels.
 
 Frame layout::
 
     magic   2 bytes   0x50 0x43  ("PC")
-    flags   1 byte    reserved (0)
+    flags   1 byte    bit 0: payload starts with a correlation id
     length  4 bytes   big-endian payload length
     payload N bytes
 
 The magic bytes catch cross-protocol accidents (e.g. an HTTP client dialing
 a TCP-channel port) with a clear error instead of a hung read.
+
+When bit 0 of ``flags`` (:data:`FLAG_CORRELATED`) is set, the first 8
+payload bytes are a big-endian correlation id: the server echoes the id on
+the matching response frame, so a multiplexing client
+(:class:`repro.aio.AioTcpChannel`) can keep many requests in flight on one
+socket and accept the responses out of order.  Frames without the flag are
+the classic strictly-ordered request/response exchange of
+:class:`repro.channels.tcp.TcpChannel`; the two interoperate on the wire.
 """
 
 from __future__ import annotations
@@ -20,18 +28,69 @@ from repro.errors import ChannelClosedError, WireFormatError
 
 MAGIC = b"PC"
 _HEADER = struct.Struct(">2sBI")
+_CORRELATION = struct.Struct(">Q")
+
+#: Byte size of the fixed frame header (magic + flags + length).
+HEADER_SIZE = _HEADER.size
+
+#: Byte size of the optional correlation-id prefix inside the payload.
+CORRELATION_SIZE = _CORRELATION.size
+
+#: Flag bit: payload is prefixed with an 8-byte correlation id.
+FLAG_CORRELATED = 0x01
 
 #: Refuse absurd frames rather than allocating gigabytes on a bad length.
 MAX_FRAME = 256 * 1024 * 1024
 
 
-def encode_frame(payload: bytes, flags: int = 0) -> bytes:
-    """Build a complete frame for *payload*."""
+def encode_frame(
+    payload: bytes, flags: int = 0, correlation_id: int | None = None
+) -> bytes:
+    """Build a complete frame for *payload*.
+
+    Passing *correlation_id* sets :data:`FLAG_CORRELATED` and prepends the
+    id to the payload; :func:`split_correlation` recovers it on the far
+    side.
+    """
+    if correlation_id is not None:
+        flags |= FLAG_CORRELATED
+        payload = _CORRELATION.pack(correlation_id) + payload
     if len(payload) > MAX_FRAME:
         raise WireFormatError(
             f"frame payload of {len(payload)} bytes exceeds {MAX_FRAME}"
         )
     return _HEADER.pack(MAGIC, flags, len(payload)) + payload
+
+
+def parse_header(header: bytes) -> tuple[int, int]:
+    """Validate a raw frame header; returns ``(flags, payload_length)``.
+
+    Shared by the blocking socket reader below and the asyncio stream
+    reader in :mod:`repro.aio` so both reject bad magic and absurd lengths
+    identically.
+    """
+    magic, flags, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise WireFormatError(f"frame length {length} exceeds {MAX_FRAME}")
+    return flags, length
+
+
+def split_correlation(flags: int, payload: bytes) -> tuple[int | None, bytes]:
+    """Extract ``(correlation_id, body)`` from a decoded frame payload.
+
+    Returns ``(None, payload)`` for uncorrelated frames.
+    """
+    if not flags & FLAG_CORRELATED:
+        return None, payload
+    if len(payload) < CORRELATION_SIZE:
+        raise WireFormatError(
+            f"correlated frame payload of {len(payload)} bytes is shorter "
+            f"than the {CORRELATION_SIZE}-byte correlation id"
+        )
+    (correlation_id,) = _CORRELATION.unpack_from(payload)
+    return correlation_id, payload[CORRELATION_SIZE:]
 
 
 def recv_exact(sock: socket.socket, size: int) -> bytes:
@@ -51,15 +110,15 @@ def recv_exact(sock: socket.socket, size: int) -> bytes:
 
 def read_frame(sock: socket.socket) -> tuple[int, bytes]:
     """Read one frame; returns ``(flags, payload)``."""
-    header = recv_exact(sock, _HEADER.size)
-    magic, flags, length = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise WireFormatError(f"bad frame magic {magic!r}")
-    if length > MAX_FRAME:
-        raise WireFormatError(f"frame length {length} exceeds {MAX_FRAME}")
+    flags, length = parse_header(recv_exact(sock, HEADER_SIZE))
     return flags, recv_exact(sock, length)
 
 
-def write_frame(sock: socket.socket, payload: bytes, flags: int = 0) -> None:
+def write_frame(
+    sock: socket.socket,
+    payload: bytes,
+    flags: int = 0,
+    correlation_id: int | None = None,
+) -> None:
     """Send one complete frame."""
-    sock.sendall(encode_frame(payload, flags))
+    sock.sendall(encode_frame(payload, flags, correlation_id))

@@ -1,0 +1,77 @@
+"""Request/response payload codec shared by the framed socket channels.
+
+:class:`~repro.channels.tcp.TcpChannel` and
+:class:`~repro.aio.AioTcpChannel` speak the same payload language inside
+their frames — only the framing discipline differs (strictly ordered
+versus correlation-id multiplexed).  Keeping the codec here means the two
+transports stay wire-compatible by construction.
+
+Request payload layout (inside one frame)::
+
+    uvarint len(path)    path bytes (utf-8)
+    uvarint header-count (len(key) key len(value) value)*
+    body (rest of frame)
+
+Response payload layout::
+
+    status byte (0 = ok, 1 = handler raised)
+    body (result bytes, or utf-8 error text when status = 1)
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping
+
+from repro.errors import ChannelError
+from repro.serialization.binary import read_uvarint, write_uvarint
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+
+def encode_request(path: str, headers: Mapping[str, str], body: bytes) -> bytes:
+    out = io.BytesIO()
+    path_bytes = path.encode("utf-8")
+    write_uvarint(out, len(path_bytes))
+    out.write(path_bytes)
+    write_uvarint(out, len(headers))
+    for key, value in headers.items():
+        key_bytes = key.encode("utf-8")
+        value_bytes = value.encode("utf-8")
+        write_uvarint(out, len(key_bytes))
+        out.write(key_bytes)
+        write_uvarint(out, len(value_bytes))
+        out.write(value_bytes)
+    out.write(body)
+    return out.getvalue()
+
+
+def decode_request(payload: bytes) -> tuple[str, dict[str, str], bytes]:
+    buf = io.BytesIO(payload)
+    path = buf.read(read_uvarint(buf)).decode("utf-8")
+    header_count = read_uvarint(buf)
+    headers: dict[str, str] = {}
+    for _ in range(header_count):
+        key = buf.read(read_uvarint(buf)).decode("utf-8")
+        value = buf.read(read_uvarint(buf)).decode("utf-8")
+        headers[key] = value
+    return path, headers, buf.read()
+
+
+def encode_response(status: int, body: bytes) -> bytes:
+    return bytes((status,)) + body
+
+
+def decode_response(payload: bytes) -> bytes:
+    """Return the response body, raising :class:`ChannelError` on failure."""
+    if not payload:
+        raise ChannelError("empty response payload")
+    status, body = payload[0], payload[1:]
+    if status == STATUS_ERROR:
+        raise ChannelError(
+            f"remote handler failed: {body.decode('utf-8', 'replace')}"
+        )
+    if status != STATUS_OK:
+        raise ChannelError(f"unknown response status {status}")
+    return body

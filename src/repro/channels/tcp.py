@@ -4,64 +4,30 @@ The analog of ``TcpChannel`` in the paper's Fig. 2 and the configuration
 behind every "Mono (Tcp)" measurement.  Requests carry a path (the
 published object URI) plus headers and a body; responses carry a status
 byte so transport-level handler failures are distinguishable from
-application-level return values.
-
-Request payload layout (inside one frame)::
-
-    uvarint len(path)    path bytes (utf-8)
-    uvarint header-count (len(key) key len(value) value)*
-    body (rest of frame)
-
-Response payload layout::
-
-    status byte (0 = ok, 1 = handler raised)
-    body (result bytes, or utf-8 error text when status = 1)
+application-level return values.  The payload layouts live in
+:mod:`repro.channels.request`, shared with the multiplexing
+:class:`repro.aio.AioTcpChannel`.
 """
 
 from __future__ import annotations
 
-import io
 import socket
 import threading
-from typing import Mapping
+import time
+from typing import Callable, Mapping
 
 from repro.channels.base import Channel, RequestHandler, ServerBinding
 from repro.channels.framing import read_frame, write_frame
+from repro.channels.request import (
+    STATUS_ERROR,
+    STATUS_OK,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
 from repro.errors import AddressError, ChannelClosedError, ChannelError
 from repro.serialization import BinaryFormatter
-from repro.serialization.binary import read_uvarint, write_uvarint
-
-_STATUS_OK = 0
-_STATUS_ERROR = 1
-
-
-def _encode_request(path: str, headers: Mapping[str, str], body: bytes) -> bytes:
-    out = io.BytesIO()
-    path_bytes = path.encode("utf-8")
-    write_uvarint(out, len(path_bytes))
-    out.write(path_bytes)
-    write_uvarint(out, len(headers))
-    for key, value in headers.items():
-        key_bytes = key.encode("utf-8")
-        value_bytes = value.encode("utf-8")
-        write_uvarint(out, len(key_bytes))
-        out.write(key_bytes)
-        write_uvarint(out, len(value_bytes))
-        out.write(value_bytes)
-    out.write(body)
-    return out.getvalue()
-
-
-def _decode_request(payload: bytes) -> tuple[str, dict[str, str], bytes]:
-    buf = io.BytesIO(payload)
-    path = buf.read(read_uvarint(buf)).decode("utf-8")
-    header_count = read_uvarint(buf)
-    headers: dict[str, str] = {}
-    for _ in range(header_count):
-        key = buf.read(read_uvarint(buf)).decode("utf-8")
-        value = buf.read(read_uvarint(buf)).decode("utf-8")
-        headers[key] = value
-    return path, headers, buf.read()
 
 
 def parse_host_port(authority: str) -> tuple[str, int]:
@@ -120,14 +86,14 @@ class _TcpBinding(ServerBinding):
                 except (ChannelError, OSError):
                     return  # client hung up or sent garbage
                 try:
-                    path, headers, body = _decode_request(payload)
+                    path, headers, body = decode_request(payload)
                     response = self._handler(path, body, headers)
-                    status = _STATUS_OK
+                    status = STATUS_OK
                 except Exception as exc:  # noqa: BLE001 - wire boundary
                     response = f"{type(exc).__name__}: {exc}".encode("utf-8")
-                    status = _STATUS_ERROR
+                    status = STATUS_ERROR
                 try:
-                    write_frame(conn, bytes((status,)) + response)
+                    write_frame(conn, encode_response(status, response))
                 except OSError:
                     return
 
@@ -140,21 +106,55 @@ class _TcpBinding(ServerBinding):
                 pass
 
 
-class _ConnectionPool:
-    """Idle-socket pool, one list per remote authority."""
+#: Idle sockets kept per remote authority; overflow closes immediately.
+DEFAULT_MAX_IDLE_PER_AUTHORITY = 8
 
-    def __init__(self) -> None:
+#: Idle sockets older than this are discarded instead of reused — a
+#: long-parked socket has usually been dropped by the peer or a middlebox,
+#: and reusing it surfaces as a confusing first-call ChannelError.
+DEFAULT_MAX_IDLE_SECONDS = 30.0
+
+
+class _ConnectionPool:
+    """Bounded idle-socket pool, one list per remote authority.
+
+    ``checkin`` keeps at most *max_idle_per_authority* sockets per
+    authority (extras are closed) and ``checkout`` discards sockets that
+    sat idle longer than *max_idle_s* rather than handing back a
+    probably-dead connection.
+    """
+
+    def __init__(
+        self,
+        max_idle_per_authority: int = DEFAULT_MAX_IDLE_PER_AUTHORITY,
+        max_idle_s: float = DEFAULT_MAX_IDLE_SECONDS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self._lock = threading.Lock()
-        self._idle: dict[str, list[socket.socket]] = {}
+        self._idle: dict[str, list[tuple[socket.socket, float]]] = {}
         self._closed = False
+        self._max_idle_per_authority = max_idle_per_authority
+        self._max_idle_s = max_idle_s
+        self._clock = clock
 
     def checkout(self, authority: str) -> socket.socket:
+        stale: list[socket.socket] = []
+        reused: socket.socket | None = None
         with self._lock:
             if self._closed:
                 raise ChannelClosedError("channel is closed")
             idle = self._idle.get(authority)
-            if idle:
-                return idle.pop()
+            cutoff = self._clock() - self._max_idle_s
+            while idle:
+                conn, parked_at = idle.pop()
+                if parked_at >= cutoff:
+                    reused = conn
+                    break
+                stale.append(conn)
+        for conn in stale:
+            conn.close()
+        if reused is not None:
+            return reused
         host, port = parse_host_port(authority)
         try:
             conn = socket.create_connection((host, port), timeout=30.0)
@@ -166,15 +166,21 @@ class _ConnectionPool:
     def checkin(self, authority: str, conn: socket.socket) -> None:
         with self._lock:
             if not self._closed:
-                self._idle.setdefault(authority, []).append(conn)
-                return
+                idle = self._idle.setdefault(authority, [])
+                if len(idle) < self._max_idle_per_authority:
+                    idle.append((conn, self._clock()))
+                    return
         conn.close()
+
+    def idle_count(self, authority: str) -> int:
+        with self._lock:
+            return len(self._idle.get(authority, ()))
 
     def close(self) -> None:
         with self._lock:
             self._closed = True
             sockets = [
-                conn for conns in self._idle.values() for conn in conns
+                conn for conns in self._idle.values() for conn, _at in conns
             ]
             self._idle.clear()
         for conn in sockets:
@@ -186,9 +192,15 @@ class TcpChannel(Channel):
 
     scheme = "tcp"
 
-    def __init__(self, formatter=None) -> None:  # type: ignore[no-untyped-def]
+    def __init__(
+        self,
+        formatter=None,  # type: ignore[no-untyped-def]
+        *,
+        max_idle_per_authority: int = DEFAULT_MAX_IDLE_PER_AUTHORITY,
+        max_idle_s: float = DEFAULT_MAX_IDLE_SECONDS,
+    ) -> None:
         super().__init__(formatter if formatter is not None else BinaryFormatter())
-        self._pool = _ConnectionPool()
+        self._pool = _ConnectionPool(max_idle_per_authority, max_idle_s)
 
     def listen(self, authority: str, handler: RequestHandler) -> ServerBinding:
         host, port = parse_host_port(authority)
@@ -201,7 +213,7 @@ class TcpChannel(Channel):
         body: bytes,
         headers: Mapping[str, str] | None = None,
     ) -> bytes:
-        request = _encode_request(path, dict(headers or {}), body)
+        request = encode_request(path, dict(headers or {}), body)
         conn = self._pool.checkout(authority)
         try:
             write_frame(conn, request)
@@ -210,16 +222,7 @@ class TcpChannel(Channel):
             conn.close()
             raise
         self._pool.checkin(authority, conn)
-        if not payload:
-            raise ChannelError("empty response payload")
-        status, response = payload[0], payload[1:]
-        if status == _STATUS_ERROR:
-            raise ChannelError(
-                f"remote handler failed: {response.decode('utf-8', 'replace')}"
-            )
-        if status != _STATUS_OK:
-            raise ChannelError(f"unknown response status {status}")
-        return response
+        return decode_response(payload)
 
     def close(self) -> None:
         self._pool.close()

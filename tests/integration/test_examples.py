@@ -7,6 +7,7 @@ arguments.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -14,6 +15,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
 CASES = [
     ("quickstart.py", [], 120),
@@ -25,7 +27,18 @@ CASES = [
     ("jgf_kernels.py", [], 300),
     ("skeletons.py", [], 180),
     ("multiprocess_farm.py", ["20000", "2"], 300),
+    ("aio_farm.py", ["10"], 180),
 ]
+
+
+def _example_env() -> dict[str, str]:
+    """The examples import ``repro`` from src/ without being installed."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
 
 
 @pytest.mark.parametrize(
@@ -40,6 +53,7 @@ def test_example_runs(script, args, timeout, tmp_path):
         text=True,
         timeout=timeout,
         cwd=tmp_path,  # examples must not depend on the repo cwd
+        env=_example_env(),
     )
     assert result.returncode == 0, (
         f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
@@ -60,6 +74,7 @@ def test_traced_farm_writes_valid_trace(tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     import json

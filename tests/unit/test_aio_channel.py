@@ -1,0 +1,354 @@
+"""Unit tests for the asyncio channel substrate (repro.aio)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.aio import AioTcpChannel, LoopThread
+from repro.channels import TcpChannel
+from repro.errors import ChannelClosedError, ChannelError
+
+
+def echo_handler(path, body, headers):
+    return f"{path}:".encode() + body
+
+
+@pytest.fixture
+def aio_channel():
+    channel = AioTcpChannel(request_timeout=10.0)
+    yield channel
+    channel.close()
+
+
+@pytest.fixture
+def echo_binding(aio_channel):
+    binding = aio_channel.listen("127.0.0.1:0", echo_handler)
+    yield binding
+    binding.close()
+
+
+class TestLoopThread:
+    def test_runs_coroutines_from_any_thread(self):
+        loop_thread = LoopThread()
+        try:
+            async def answer():
+                return 42
+
+            assert loop_thread.run(answer()) == 42
+        finally:
+            loop_thread.close()
+
+    def test_close_is_idempotent(self):
+        loop_thread = LoopThread()
+        loop_thread.close()
+        loop_thread.close()
+        assert loop_thread.closed
+
+    def test_rejects_work_after_close(self):
+        loop_thread = LoopThread()
+        loop_thread.close()
+
+        async def never():
+            return None  # pragma: no cover - submission must fail first
+
+        coro = never()
+        with pytest.raises(ChannelClosedError):
+            loop_thread.run(coro)
+        coro.close()
+
+    def test_timeout_surfaces_as_channel_error(self):
+        import asyncio
+
+        loop_thread = LoopThread()
+        try:
+            async def stall():
+                await asyncio.sleep(30)
+
+            with pytest.raises(ChannelError, match="did not complete"):
+                loop_thread.run(stall(), timeout=0.05)
+        finally:
+            loop_thread.close()
+
+
+class TestAioChannelBasics:
+    def test_scheme(self):
+        assert AioTcpChannel.scheme == "aio"
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ChannelError):
+            AioTcpChannel(window=0)
+
+    def test_echo(self, aio_channel, echo_binding):
+        result = aio_channel.call(echo_binding.authority, "obj", b"hi")
+        assert result == b"obj:hi"
+
+    def test_closed_channel_rejects_calls(self, echo_binding):
+        channel = AioTcpChannel()
+        channel.call(echo_binding.authority, "p", b"warm")
+        channel.close()
+        with pytest.raises(ChannelClosedError):
+            channel.call(echo_binding.authority, "p", b"")
+
+    def test_connect_refused(self, aio_channel):
+        with pytest.raises(ChannelError):
+            aio_channel.call("127.0.0.1:1", "p", b"")
+
+    def test_registered_in_channel_services(self, aio_channel, echo_binding):
+        from repro.channels.services import ChannelServices
+
+        services = ChannelServices()
+        services.register_channel(aio_channel)
+        channel, uri = services.channel_for_uri(
+            f"aio://{echo_binding.authority}/obj"
+        )
+        assert channel is aio_channel
+        assert channel.call(uri.authority, uri.path, b"x") == b"obj:x"
+
+
+class TestMultiplexing:
+    def test_concurrent_callers_share_one_connection(self, aio_channel):
+        """16 callers, one socket: the server sees a single connection."""
+
+        def handler(path, body, headers):
+            return body
+
+        binding = aio_channel.listen("127.0.0.1:0", handler)
+        # Count sockets server-side via the binding's transport set.
+        try:
+            def worker(index):
+                for round_no in range(10):
+                    body = f"{index}-{round_no}".encode()
+                    assert aio_channel.call(
+                        binding.authority, "c", body
+                    ) == body
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(binding._transports) == 1
+        finally:
+            binding.close()
+
+    def test_slow_call_does_not_block_fast_calls(self, aio_channel):
+        """Head-of-line blocking test: responses return out of order."""
+        release = threading.Event()
+
+        def handler(path, body, headers):
+            if path == "slow":
+                assert release.wait(10.0)
+            return path.encode()
+
+        binding = aio_channel.listen("127.0.0.1:0", handler)
+        try:
+            slow_result = []
+            slow_thread = threading.Thread(
+                target=lambda: slow_result.append(
+                    aio_channel.call(binding.authority, "slow", b"")
+                )
+            )
+            slow_thread.start()
+            time.sleep(0.05)  # let the slow request hit the wire first
+            assert aio_channel.call(binding.authority, "fast", b"") == b"fast"
+            assert not slow_result  # still parked behind the event
+            release.set()
+            slow_thread.join(timeout=10.0)
+            assert slow_result == [b"slow"]
+        finally:
+            release.set()
+            binding.close()
+
+    def test_backpressure_queues_beyond_window(self):
+        """window=1 serializes the wire but every call still completes."""
+        channel = AioTcpChannel(window=1, request_timeout=30.0)
+        in_handler = threading.Semaphore(0)
+
+        def handler(path, body, headers):
+            in_handler.release()
+            return body
+
+        binding = channel.listen("127.0.0.1:0", handler)
+        try:
+            results = []
+
+            def worker(index):
+                results.append(
+                    channel.call(binding.authority, "w", str(index).encode())
+                )
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert sorted(results) == sorted(
+                str(i).encode() for i in range(8)
+            )
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_request_timeout(self):
+        channel = AioTcpChannel(request_timeout=0.2)
+        stall = threading.Event()
+
+        def handler(path, body, headers):
+            stall.wait(10.0)
+            return body
+
+        binding = channel.listen("127.0.0.1:0", handler)
+        try:
+            with pytest.raises(ChannelError, match="timed out"):
+                channel.call(binding.authority, "p", b"")
+        finally:
+            stall.set()
+            binding.close()
+            channel.close()
+
+    def test_handler_error_does_not_poison_connection(
+        self, aio_channel, echo_binding
+    ):
+        """An application error fails one call, not the shared socket."""
+        channel = AioTcpChannel()
+        bad = channel.listen(
+            "127.0.0.1:0",
+            lambda path, body, headers: (_ for _ in ()).throw(
+                ValueError("exploded")
+            ),
+        )
+        try:
+            with pytest.raises(ChannelError, match="exploded"):
+                channel.call(bad.authority, "x", b"")
+            # The same channel (and connection) keeps working elsewhere.
+            assert channel.call(
+                echo_binding.authority, "ok", b"1"
+            ) == b"ok:1"
+        finally:
+            bad.close()
+            channel.close()
+
+
+class TestReconnect:
+    def test_reconnects_after_server_restart(self):
+        channel = AioTcpChannel(request_timeout=5.0)
+        binding = channel.listen("127.0.0.1:0", echo_handler)
+        authority = binding.authority
+        try:
+            assert channel.call(authority, "a", b"1") == b"a:1"
+            binding.close()
+            with pytest.raises(ChannelError):
+                channel.call(authority, "a", b"2")
+            binding = channel.listen(authority, echo_handler)
+            assert channel.call(authority, "a", b"3") == b"a:3"
+            reconnects = channel.metrics.counter(
+                "aio.client.reconnects", ""
+            ).value
+            assert reconnects >= 1
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_no_silent_retry_of_in_flight_request(self):
+        """A request cut off mid-flight fails; it is never re-sent."""
+        calls = []
+        channel = AioTcpChannel(request_timeout=5.0)
+
+        def handler(path, body, headers):
+            calls.append(body)
+            return body
+
+        binding = channel.listen("127.0.0.1:0", echo_handler)
+        authority = binding.authority
+        channel.call(authority, "warm", b"")
+        binding.close()  # kills the established connection
+        with pytest.raises(ChannelError):
+            channel.call(authority, "x", b"lost")
+        binding = channel.listen(authority, handler)
+        try:
+            channel.call(authority, "y", b"after")
+            assert calls == [b"after"]  # b"lost" never resurfaced
+        finally:
+            binding.close()
+            channel.close()
+
+
+class TestTelemetry:
+    def test_gauges_return_to_zero_after_load(self, aio_channel, echo_binding):
+        def worker(index):
+            for _ in range(20):
+                aio_channel.call(echo_binding.authority, "t", b"x")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        metrics = aio_channel.metrics
+        assert metrics.gauge("aio.client.in_flight", "").value == 0
+        assert metrics.gauge("aio.client.queued", "").value == 0
+        assert metrics.gauge("aio.server.in_flight", "").value == 0
+
+    def test_shared_registry(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        channel = AioTcpChannel(metrics=registry)
+        assert channel.metrics is registry
+        channel.close()
+
+
+class TestInterop:
+    def test_classic_tcp_client_against_aio_server(self, aio_channel):
+        """Uncorrelated frames from TcpChannel are served in order."""
+        binding = aio_channel.listen("127.0.0.1:0", echo_handler)
+        tcp = TcpChannel()
+        try:
+            for index in range(10):
+                body = str(index).encode()
+                assert tcp.call(
+                    binding.authority, "seq", body
+                ) == b"seq:" + body
+        finally:
+            tcp.close()
+            binding.close()
+
+    def test_remoting_stack_end_to_end(self):
+        """aio:// URIs work through RemotingHost with stock call sites."""
+        from repro.channels.services import ChannelServices
+        from repro.remoting import (
+            MarshalByRefObject,
+            RemotingHost,
+            WellKnownObjectMode,
+        )
+
+        class Doubler(MarshalByRefObject):
+            def double(self, value: int) -> int:
+                return 2 * value
+
+        server_services = ChannelServices()
+        host = RemotingHost(name="aio-test-server", services=server_services)
+        binding = host.listen(AioTcpChannel(), "127.0.0.1:0")
+        host.register_well_known(
+            Doubler, "doubler", WellKnownObjectMode.SINGLETON
+        )
+        client_services = ChannelServices()
+        client_channel = AioTcpChannel()
+        client_services.register_channel(client_channel)
+        client = RemotingHost(name="aio-test-client", services=client_services)
+        try:
+            proxy = client.get_object(f"aio://{binding.authority}/doubler")
+            assert proxy.double(21) == 42
+        finally:
+            client.close()
+            host.close()
+            client_channel.close()

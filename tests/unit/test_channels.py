@@ -15,10 +15,20 @@ from repro.channels import (
     TcpChannel,
     parse_uri,
 )
-from repro.channels.framing import MAGIC, encode_frame, read_frame, write_frame
+from repro.channels.framing import (
+    CORRELATION_SIZE,
+    FLAG_CORRELATED,
+    HEADER_SIZE,
+    MAGIC,
+    encode_frame,
+    parse_header,
+    read_frame,
+    split_correlation,
+    write_frame,
+)
 from repro.channels.http import build_request, build_response, read_http_message
 from repro.channels.services import ChannelServices
-from repro.channels.tcp import parse_host_port
+from repro.channels.tcp import _ConnectionPool, parse_host_port
 from repro.errors import (
     AddressError,
     ChannelClosedError,
@@ -78,6 +88,154 @@ class TestFraming:
 
         with pytest.raises(WireFormatError):
             encode_frame(b"x" * (MAX_FRAME + 1))
+
+    def test_oversize_length_rejected_at_parse(self):
+        from repro.channels.framing import MAX_FRAME
+
+        header = MAGIC + bytes([0]) + (MAX_FRAME + 1).to_bytes(4, "big")
+        with pytest.raises(WireFormatError):
+            parse_header(header)
+
+    def test_multi_frame_stream(self):
+        """Back-to-back frames on one socket each parse independently."""
+        left, right = socket.socketpair()
+        try:
+            frames = [b"", b"one", b"x" * 70_000, b"last"]
+            left.sendall(b"".join(encode_frame(frame) for frame in frames))
+            for expected in frames:
+                _flags, payload = read_frame(right)
+                assert payload == expected
+        finally:
+            left.close()
+            right.close()
+
+    def test_garbage_stream_raises_not_hangs(self):
+        """A non-frame byte stream fails fast with a wire error."""
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00" * (HEADER_SIZE * 3))
+            with pytest.raises(WireFormatError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_header_raises_not_hangs(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(encode_frame(b"payload")[: HEADER_SIZE - 2])
+            left.close()
+            # ChannelClosedError is a ChannelError: callers need one
+            # except clause, not a hung read.
+            with pytest.raises(ChannelError):
+                read_frame(right)
+        finally:
+            right.close()
+
+
+class TestCorrelation:
+    def test_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame(left, b"req", correlation_id=0xDEADBEEF)
+            flags, payload = read_frame(right)
+            assert flags & FLAG_CORRELATED
+            correlation_id, body = split_correlation(flags, payload)
+            assert correlation_id == 0xDEADBEEF
+            assert body == b"req"
+        finally:
+            left.close()
+            right.close()
+
+    def test_uncorrelated_frame_passes_through(self):
+        flags, length = parse_header(encode_frame(b"plain")[:HEADER_SIZE])
+        assert not flags & FLAG_CORRELATED
+        assert split_correlation(flags, b"plain") == (None, b"plain")
+
+    def test_zero_length_body_with_correlation(self):
+        frame = encode_frame(b"", correlation_id=7)
+        flags, length = parse_header(frame[:HEADER_SIZE])
+        assert length == CORRELATION_SIZE  # id only, empty body
+        correlation_id, body = split_correlation(flags, frame[HEADER_SIZE:])
+        assert correlation_id == 7
+        assert body == b""
+
+    def test_id_zero_is_valid(self):
+        frame = encode_frame(b"b", correlation_id=0)
+        flags, _length = parse_header(frame[:HEADER_SIZE])
+        assert split_correlation(flags, frame[HEADER_SIZE:]) == (0, b"b")
+
+    def test_correlated_flag_with_short_payload_rejected(self):
+        with pytest.raises(WireFormatError):
+            split_correlation(FLAG_CORRELATED, b"\x00" * (CORRELATION_SIZE - 1))
+
+
+class _FakeSocket:
+    """Stand-in for a pooled socket; records close()."""
+
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestConnectionPool:
+    def test_idle_bounded_per_authority(self):
+        pool = _ConnectionPool(max_idle_per_authority=2)
+        sockets = [_FakeSocket() for _ in range(4)]
+        for fake in sockets:
+            pool.checkin("a:1", fake)
+        assert pool.idle_count("a:1") == 2
+        assert [fake.closed for fake in sockets] == [False, False, True, True]
+
+    def test_bound_is_per_authority(self):
+        pool = _ConnectionPool(max_idle_per_authority=1)
+        first, second = _FakeSocket(), _FakeSocket()
+        pool.checkin("a:1", first)
+        pool.checkin("b:2", second)
+        assert pool.idle_count("a:1") == 1
+        assert pool.idle_count("b:2") == 1
+        assert not first.closed and not second.closed
+
+    def test_stale_idle_socket_discarded_not_reused(self):
+        now = [0.0]
+        pool = _ConnectionPool(max_idle_s=10.0, clock=lambda: now[0])
+        # A real listener so checkout can open a fresh connection after
+        # rejecting the stale one.
+        server = socket.create_server(("127.0.0.1", 0))
+        try:
+            authority = "127.0.0.1:%d" % server.getsockname()[1]
+            stale = _FakeSocket()
+            pool.checkin(authority, stale)
+            now[0] = 11.0
+            fresh = pool.checkout(authority)
+            try:
+                assert stale.closed  # not handed back
+                assert isinstance(fresh, socket.socket)
+            finally:
+                fresh.close()
+        finally:
+            server.close()
+            pool.close()
+
+    def test_young_idle_socket_reused(self):
+        now = [0.0]
+        pool = _ConnectionPool(max_idle_s=10.0, clock=lambda: now[0])
+        parked = _FakeSocket()
+        pool.checkin("a:1", parked)
+        now[0] = 9.0
+        assert pool.checkout("a:1") is parked
+        assert pool.idle_count("a:1") == 0
+
+    def test_close_closes_idle_sockets(self):
+        pool = _ConnectionPool()
+        parked = _FakeSocket()
+        pool.checkin("a:1", parked)
+        pool.close()
+        assert parked.closed
+        with pytest.raises(ChannelClosedError):
+            pool.checkout("a:1")
 
 
 class TestUriParsing:
@@ -145,13 +303,18 @@ def echo_handler(path, body, headers):
     return f"{prefix}{path}:".encode() + body
 
 
-@pytest.fixture(params=["loopback", "tcp", "http"])
+@pytest.fixture(params=["loopback", "tcp", "http", "aio"])
 def channel_and_binding(request):
     if request.param == "loopback":
         channel = LoopbackChannel()
         binding = channel.listen("auto", echo_handler)
     elif request.param == "tcp":
         channel = TcpChannel()
+        binding = channel.listen("127.0.0.1:0", echo_handler)
+    elif request.param == "aio":
+        from repro.aio import AioTcpChannel
+
+        channel = AioTcpChannel()
         binding = channel.listen("127.0.0.1:0", echo_handler)
     else:
         channel = HttpChannel()
