@@ -159,6 +159,16 @@ def _channel_for(channel_kind: str):  # type: ignore[no-untyped-def]
         from repro.aio import AioTcpChannel
 
         return AioTcpChannel()
+    if channel_kind == "chaos+tcp":
+        # Zero-fault plan: measures the pure interposition cost of the
+        # chaos wrapper (one RNG draw + counter per call), not faults.
+        from repro.chaos import FaultPlan, FaultyChannel
+
+        return FaultyChannel(TcpChannel(), plan=FaultPlan(seed=0))
+    if channel_kind == "breaker+tcp":
+        from repro.channels.breaker import BreakerChannel
+
+        return BreakerChannel(TcpChannel())
     raise ValueError(f"unknown channel kind {channel_kind!r}")
 
 

@@ -132,10 +132,19 @@ class _ConnectionPool:
     ) -> None:
         self._lock = threading.Lock()
         self._idle: dict[str, list[tuple[socket.socket, float]]] = {}
+        # Sockets currently out on a call.  close() force-closes them so
+        # an in-flight call fails promptly with ChannelClosedError rather
+        # than blocking shutdown on a response that may never come.
+        self._checked_out: set[socket.socket] = set()
         self._closed = False
         self._max_idle_per_authority = max_idle_per_authority
         self._max_idle_s = max_idle_s
         self._clock = clock
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
 
     def checkout(self, authority: str) -> socket.socket:
         stale: list[socket.socket] = []
@@ -151,6 +160,8 @@ class _ConnectionPool:
                     reused = conn
                     break
                 stale.append(conn)
+            if reused is not None:
+                self._checked_out.add(reused)
         for conn in stale:
             conn.close()
         if reused is not None:
@@ -161,16 +172,27 @@ class _ConnectionPool:
         except OSError as exc:
             raise ChannelError(f"cannot connect to {authority}: {exc}") from exc
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._lock:
+            if self._closed:
+                conn.close()
+                raise ChannelClosedError("channel is closed")
+            self._checked_out.add(conn)
         return conn
 
     def checkin(self, authority: str, conn: socket.socket) -> None:
         with self._lock:
+            self._checked_out.discard(conn)
             if not self._closed:
                 idle = self._idle.setdefault(authority, [])
                 if len(idle) < self._max_idle_per_authority:
                     idle.append((conn, self._clock()))
                     return
         conn.close()
+
+    def forget(self, conn: socket.socket) -> None:
+        """Drop a socket that errored mid-call from the checked-out set."""
+        with self._lock:
+            self._checked_out.discard(conn)
 
     def idle_count(self, authority: str) -> int:
         with self._lock:
@@ -182,9 +204,20 @@ class _ConnectionPool:
             sockets = [
                 conn for conns in self._idle.values() for conn, _at in conns
             ]
+            sockets.extend(self._checked_out)
             self._idle.clear()
+            self._checked_out.clear()
         for conn in sockets:
-            conn.close()
+            try:
+                # shutdown() before close(): closing alone does not wake a
+                # thread blocked in recv() on the same socket.
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown must finish
+                pass
 
 
 class TcpChannel(Channel):
@@ -218,8 +251,15 @@ class TcpChannel(Channel):
         try:
             write_frame(conn, request)
             _flags, payload = read_frame(conn)
-        except (OSError, ChannelError):
+        except (OSError, ChannelError) as exc:
+            self._pool.forget(conn)
             conn.close()
+            if self._pool.closed and not isinstance(exc, ChannelClosedError):
+                # The pool was closed under us (cluster shutdown): the
+                # socket error is a symptom, report the real cause.
+                raise ChannelClosedError(
+                    f"channel closed while calling {authority}/{path}"
+                ) from exc
             raise
         self._pool.checkin(authority, conn)
         return decode_response(payload)

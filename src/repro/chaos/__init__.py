@@ -1,0 +1,36 @@
+"""Fault-injection substrate (``repro.chaos``).
+
+Chaos engineering for the SCOOPP runtime: wrap any channel in a
+:class:`FaultyChannel` (scheme ``chaos+tcp`` / ``chaos+aio``) and every
+call through it is subject to a deterministic, seeded fault schedule —
+connect refusals, dropped requests/responses, added latency, truncated
+payloads, mid-call disconnects.  A :class:`ChaosController` layers
+scripted scenarios on top ("kill node 2 at t=1s", "30% drop for
+500 ms") for integration tests and demos.
+
+The point is reproducibility: a failure found under seed 1337 replays
+under seed 1337.  CI runs fixed seeds plus one random seed whose value
+is echoed into the log.
+"""
+
+from repro.chaos.channel import FaultyChannel
+from repro.chaos.controller import ChaosController
+from repro.chaos.faults import (
+    POST_CALL_FAULTS,
+    PRE_CALL_FAULTS,
+    FaultDecision,
+    FaultKind,
+    FaultPlan,
+    plan_from_percentages,
+)
+
+__all__ = [
+    "ChaosController",
+    "FaultDecision",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyChannel",
+    "POST_CALL_FAULTS",
+    "PRE_CALL_FAULTS",
+    "plan_from_percentages",
+]

@@ -1,0 +1,182 @@
+"""Deterministic fault schedules: what goes wrong, when, reproducibly.
+
+A :class:`FaultPlan` is a seeded random schedule over the fault taxonomy
+the transport layer can suffer (see :data:`FaultKind`).  Determinism is
+the whole point: the same seed produces the same fault sequence for the
+same call sequence, so a failure found by a randomized CI run is
+reproducible from its logged seed alone.
+
+The plan answers one question per call — :meth:`FaultPlan.draw` returns
+the :class:`FaultDecision` for this call — and the
+:class:`~repro.chaos.channel.FaultyChannel` executes it.  Scripted,
+time-targeted faults ("kill node 2 at t=1s") layer on top via
+:class:`~repro.chaos.controller.ChaosController`, which consults wall
+time and authority, not the random stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from dataclasses import dataclass, field
+
+
+class FaultKind(enum.Enum):
+    """The transport fault taxonomy the chaos layer can inject.
+
+    The first three fail the call without reaching the server; the last
+    three let the server execute (the dangerous half: the caller cannot
+    tell a lost response from a lost request — classic at-most-once
+    ambiguity).
+    """
+
+    NONE = "none"  #: no fault: the call proceeds untouched
+    CONNECT_REFUSED = "connect_refused"  #: dial fails, server never sees it
+    SEND_DROP = "send_drop"  #: request lost on the wire before the server
+    LATENCY = "latency"  #: added delay, then the call proceeds normally
+    RECV_DROP = "recv_drop"  #: server executed, response lost
+    DISCONNECT = "disconnect"  #: connection torn down after the exchange
+    TRUNCATE = "truncate"  #: response delivered with its tail cut off
+
+
+#: Fault kinds injected *before* the inner call (server never executes).
+PRE_CALL_FAULTS = frozenset(
+    {FaultKind.CONNECT_REFUSED, FaultKind.SEND_DROP}
+)
+
+#: Fault kinds injected *after* the inner call (server executed).
+POST_CALL_FAULTS = frozenset(
+    {FaultKind.RECV_DROP, FaultKind.DISCONNECT, FaultKind.TRUNCATE}
+)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the channel must do to one call."""
+
+    kind: FaultKind
+    latency_s: float = 0.0  # extra delay (LATENCY, or paired with a fault)
+    truncate_to: int = -1  # TRUNCATE: keep this many response bytes
+
+
+@dataclass
+class FaultPlan:
+    """Seeded per-call fault schedule.
+
+    *rates* maps :class:`FaultKind` to a probability in [0, 1]; kinds are
+    evaluated in a fixed order and at most one fires per call, so the
+    sum of rates is the total fault probability.  ``FaultPlan(seed=7)``
+    with no rates is a **zero-fault plan** — calls pass through
+    untouched, which is what the overhead benchmark measures.
+
+    The plan is thread-safe: concurrent callers draw from one seeded
+    stream under a lock.  Draw order then depends on thread scheduling,
+    so strict determinism holds for single-threaded call sequences (the
+    property tests) while multi-threaded runs stay reproducible in
+    *distribution*; log the seed either way.
+    """
+
+    seed: int = 0
+    rates: dict[FaultKind, float] = field(default_factory=dict)
+    latency_s: tuple[float, float] = (0.001, 0.02)
+    max_faults: int | None = None  # stop injecting after this many
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates.items():
+            if not isinstance(kind, FaultKind):
+                raise ValueError(f"rates key {kind!r} is not a FaultKind")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {kind} out of [0, 1]: {rate}")
+        if sum(self.rates.values()) > 1.0 + 1e-9:
+            raise ValueError("fault rates must sum to <= 1")
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self._injected = 0
+        self._draws = 0
+
+    # -- drawing -----------------------------------------------------------
+
+    def draw(self, response_size_hint: int = 0) -> FaultDecision:
+        """The fault decision for the next call (one per call)."""
+        with self._lock:
+            self._draws += 1
+            if (
+                self.max_faults is not None
+                and self._injected >= self.max_faults
+            ):
+                return FaultDecision(FaultKind.NONE)
+            roll = self._rng.random()
+            cumulative = 0.0
+            # Iterate in enum declaration order for determinism across
+            # runs regardless of dict insertion order.
+            for kind in FaultKind:
+                rate = self.rates.get(kind, 0.0)
+                if rate <= 0.0:
+                    continue
+                cumulative += rate
+                if roll < cumulative:
+                    self._injected += 1
+                    return self._materialize(kind, response_size_hint)
+            return FaultDecision(FaultKind.NONE)
+
+    def _materialize(
+        self, kind: FaultKind, response_size_hint: int
+    ) -> FaultDecision:
+        low, high = self.latency_s
+        if kind is FaultKind.LATENCY:
+            return FaultDecision(kind, latency_s=self._rng.uniform(low, high))
+        if kind is FaultKind.TRUNCATE:
+            # Keep a strict prefix: at least one byte must go missing so
+            # the decode layer is guaranteed to see a short payload.
+            keep = self._rng.randrange(max(1, response_size_hint or 64))
+            return FaultDecision(kind, truncate_to=keep)
+        return FaultDecision(kind)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def injected(self) -> int:
+        with self._lock:
+            return self._injected
+
+    @property
+    def draws(self) -> int:
+        with self._lock:
+            return self._draws
+
+    def describe(self) -> str:
+        """One-line reproduction recipe (log this next to failures)."""
+        rates = {k.value: v for k, v in sorted(
+            self.rates.items(), key=lambda item: item[0].value
+        ) if v > 0}
+        return f"FaultPlan(seed={self.seed}, rates={rates})"
+
+
+def plan_from_percentages(
+    seed: int,
+    *,
+    connect_refused: float = 0.0,
+    send_drop: float = 0.0,
+    latency: float = 0.0,
+    recv_drop: float = 0.0,
+    disconnect: float = 0.0,
+    truncate: float = 0.0,
+    latency_s: tuple[float, float] = (0.001, 0.02),
+    max_faults: int | None = None,
+) -> FaultPlan:
+    """Keyword-friendly :class:`FaultPlan` constructor for tests."""
+    rates = {
+        FaultKind.CONNECT_REFUSED: connect_refused,
+        FaultKind.SEND_DROP: send_drop,
+        FaultKind.LATENCY: latency,
+        FaultKind.RECV_DROP: recv_drop,
+        FaultKind.DISCONNECT: disconnect,
+        FaultKind.TRUNCATE: truncate,
+    }
+    return FaultPlan(
+        seed=seed,
+        rates={k: v for k, v in rates.items() if v > 0},
+        latency_s=latency_s,
+        max_faults=max_faults,
+    )

@@ -8,16 +8,29 @@ directory so they can exchange loads and statistics.
 from __future__ import annotations
 
 import uuid
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from repro.channels import LoopbackChannel, TcpChannel
+from repro.channels.base import Channel
+from repro.channels.breaker import BreakerChannel, BreakerPolicy
 from repro.channels.services import ChannelServices
 from repro.core.grain import AdaptiveGrainController, GrainPolicy
 from repro.cluster.node import Node
 from repro.cluster.placement import PlacementPolicy, make_placement
 from repro.errors import ScooppError
+from repro.telemetry import MetricsRegistry
 
-ChannelKind = Literal["loopback", "tcp"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos import ChaosController, FaultPlan
+
+#: ``chaos+<base>`` routes every call through a
+#: :class:`~repro.chaos.FaultyChannel` fed by the cluster's fault plan
+#: and controller — the fault-injection configuration of the test suite.
+ChannelKind = Literal[
+    "loopback", "tcp", "aio", "chaos+loopback", "chaos+tcp", "chaos+aio"
+]
+
+_BASE_KINDS = ("loopback", "tcp", "aio")
 
 
 class Cluster:
@@ -39,15 +52,32 @@ class Cluster:
         dispatch_pool_size: int = 16,
         worker_processes: int = 0,
         worker_modules: tuple[str, ...] = (),
+        heartbeat_s: float | None = None,
+        breaker: BreakerPolicy | None = None,
+        chaos_plan: "FaultPlan | None" = None,
+        chaos_controller: "ChaosController | None" = None,
     ) -> None:
         """*worker_processes* additional nodes run as separate OS
         processes over TCP (see :mod:`repro.cluster.proc`); they import
         *worker_modules* at boot to register the application's parallel
-        classes.  Process workers force ``channel_kind="tcp"``."""
+        classes.  Process workers force ``channel_kind="tcp"``.
+
+        *heartbeat_s* starts a failure-detector loop on every node's
+        object manager.  *breaker* wraps the shared client channel in a
+        per-authority circuit breaker.  *chaos_plan* /
+        *chaos_controller* feed the fault-injection layer and require a
+        ``chaos+*`` channel kind.
+        """
         if num_nodes < 1:
             raise ScooppError(f"cluster needs >= 1 node, got {num_nodes}")
-        if channel_kind not in ("loopback", "tcp"):
+        chaos = channel_kind.startswith("chaos+")
+        base_kind = channel_kind.split("+", 1)[1] if chaos else channel_kind
+        if base_kind not in _BASE_KINDS:
             raise ScooppError(f"unknown channel kind {channel_kind!r}")
+        if (chaos_plan is not None or chaos_controller is not None) and not chaos:
+            raise ScooppError(
+                "chaos_plan/chaos_controller need a chaos+* channel kind"
+            )
         if worker_processes < 0:
             raise ScooppError("worker_processes cannot be negative")
         if worker_processes and channel_kind != "tcp":
@@ -56,25 +86,43 @@ class Cluster:
             )
         self.num_nodes = num_nodes
         self.channel_kind = channel_kind
+        self.heartbeat_s = heartbeat_s
+        self.metrics = MetricsRegistry()
+        self.chaos_controller = chaos_controller
+        self.chaos_plan = chaos_plan
         self.grain = grain if grain is not None else GrainPolicy()
         if isinstance(placement, str):
             placement = make_placement(placement)
         self.placement = placement
         self.services = ChannelServices()
-        if channel_kind == "loopback":
-            self.services.register_channel(LoopbackChannel())
-        else:
-            self.services.register_channel(TcpChannel())
+        # The shared client channel every proxy dials through.  Stacking
+        # order matters: the breaker sits outside the chaos layer so
+        # injected faults count toward tripping it, exactly like organic
+        # ones.
+        client: Channel = self._make_base_channel(base_kind)
+        if chaos:
+            client = self._wrap_chaos(
+                client, plan=chaos_plan, controller=chaos_controller
+            )
+        if breaker is not None:
+            client = BreakerChannel(client, policy=breaker, metrics=self.metrics)
+        self.client_channel = client
+        self.services.register_channel(client)
         run_id = uuid.uuid4().hex[:8]
         self.nodes: list[Node] = []
         try:
             for index in range(num_nodes):
-                if channel_kind == "loopback":
-                    channel = LoopbackChannel()
+                if base_kind == "loopback":
+                    channel = self._make_base_channel(base_kind)
                     authority = f"parc-{run_id}-n{index}"
                 else:
-                    channel = TcpChannel()
+                    channel = self._make_base_channel(base_kind)
                     authority = "127.0.0.1:0"
+                if chaos:
+                    # Server-side wrapper: zero-fault, only contributes
+                    # the chaos+ scheme so node URIs route through the
+                    # (fault-injecting) shared client channel above.
+                    channel = self._wrap_chaos(channel)
                 self.nodes.append(
                     Node(
                         index=index,
@@ -84,6 +132,7 @@ class Cluster:
                         grain=self.grain,
                         placement=self.placement,
                         dispatch_pool_size=dispatch_pool_size,
+                        metrics=self.metrics,
                     )
                 )
         except Exception:
@@ -113,7 +162,32 @@ class Cluster:
             node.om.set_directory(directory)
         for handle in self.worker_handles:
             handle.set_directory(directory)
+        if heartbeat_s is not None:
+            for node in self.nodes:
+                node.om.start_heartbeat(heartbeat_s)
         self._closed = False
+
+    @staticmethod
+    def _make_base_channel(base_kind: str) -> Channel:
+        if base_kind == "loopback":
+            return LoopbackChannel()
+        if base_kind == "tcp":
+            return TcpChannel()
+        from repro.aio import AioTcpChannel
+
+        return AioTcpChannel()
+
+    def _wrap_chaos(
+        self,
+        inner: Channel,
+        plan: "FaultPlan | None" = None,
+        controller: "ChaosController | None" = None,
+    ) -> Channel:
+        from repro.chaos import FaultyChannel
+
+        return FaultyChannel(
+            inner, plan=plan, controller=controller, metrics=self.metrics
+        )
 
     @property
     def home_node(self) -> Node:
@@ -141,6 +215,16 @@ class Cluster:
         return rows
 
     def close(self) -> None:
+        """Shut the cluster down without hanging on in-flight calls.
+
+        Order matters: worker processes first (their shutdown rides
+        multiprocessing queues, not our channels), then the failure
+        detectors (so a vanishing peer is not gossip-worthy news), then
+        the *client* channels — force-closing pooled sockets makes any
+        in-flight or late call fail fast with
+        :class:`~repro.errors.ChannelClosedError` instead of blocking
+        node teardown — and only then the nodes themselves.
+        """
         if getattr(self, "_closed", False):
             return
         self._closed = True
@@ -151,10 +235,18 @@ class Cluster:
                 pass
         for node in self.nodes:
             try:
-                node.close()
+                node.om.stop_heartbeat()
             except Exception:  # noqa: BLE001 - teardown must finish
                 pass
         self.services.close_all()
+        for node in self.nodes:
+            try:
+                node.close()
+            except Exception:  # noqa: BLE001 - teardown must finish
+                pass
+        controller = getattr(self, "chaos_controller", None)
+        if controller is not None:
+            controller.close()
 
     def __enter__(self) -> "Cluster":
         return self

@@ -22,6 +22,7 @@ from repro.cluster.placement import PlacementPolicy
 from repro.errors import PlacementError, ScooppError
 from repro.remoting import MarshalByRefObject, RemotingHost
 from repro.remoting.proxy import RemoteProxy
+from repro.telemetry import MetricsRegistry
 
 #: How long a sampled peer-load vector stays fresh (seconds).  Placement
 #: is latency-sensitive: one remote load query per peer per creation would
@@ -47,10 +48,12 @@ class ObjectManager(MarshalByRefObject):
         node: "Node",
         grain: GrainPolicy | AdaptiveGrainController,
         placement: PlacementPolicy,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.node = node
         self.grain = grain
         self.placement = placement
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._directory: list[str] = []  # node base URIs, cluster order
         self._peer_oms: dict[str, RemoteProxy] = {}
@@ -63,6 +66,12 @@ class ObjectManager(MarshalByRefObject):
         # Nodes observed unreachable; excluded from placement until a
         # later probe sees them again.
         self._dead: set[str] = set()
+        # Failure-detector state: heartbeat thread + liveness listeners.
+        self._down_callbacks: list = []
+        self._up_callbacks: list = []
+        self._hb_thread: threading.Thread | None = None
+        self._hb_stop = threading.Event()
+        self._hb_interval = 0.0
 
     # -- remote surface ----------------------------------------------------
 
@@ -80,6 +89,21 @@ class ObjectManager(MarshalByRefObject):
         """Liveness probe; returns the node's base URI."""
         return self.node.base_uri
 
+    def report_dead(self, base_uri: str) -> None:
+        """Gossip receiver: a peer's detector declared *base_uri* dead.
+
+        Adopt the verdict (one hop, no re-gossip: the reporting detector
+        already told every live peer).  A verdict about ourselves is
+        ignored — we are demonstrably alive to be handling this call.
+        """
+        if base_uri != self.node.base_uri:
+            self.note_dead(base_uri)
+
+    def report_alive(self, base_uri: str) -> None:
+        """Gossip receiver: a peer's detector saw *base_uri* recover."""
+        if base_uri != self.node.base_uri:
+            self.note_alive(base_uri)
+
     # -- local surface --------------------------------------------------------
 
     def set_directory(self, directory: Sequence[str]) -> None:
@@ -87,6 +111,11 @@ class ObjectManager(MarshalByRefObject):
             self._directory = list(directory)
             self._peer_oms.clear()
             self._loads_cache = None
+
+    def directory(self) -> list[str]:
+        """The cluster directory (node base URIs) as last set."""
+        with self._lock:
+            return list(self._directory)
 
     def decide_and_place(self, class_name: str) -> tuple[GrainDecision, str | None]:
         """Grain decision plus target factory URI (None = agglomerate)."""
@@ -136,19 +165,66 @@ class ObjectManager(MarshalByRefObject):
         return decision, f"{directory[index]}/factory"
 
     def note_dead(self, base_uri: str) -> None:
-        """Record *base_uri* as unreachable (excluded from placement)."""
+        """Record *base_uri* as unreachable (excluded from placement).
+
+        On the alive→dead *transition* (not steady state) this emits the
+        ``cluster.node_down`` counter and invokes registered listeners on
+        a detached thread — listeners respawn grains, which places new
+        IOs, which may re-enter this manager.
+        """
         with self._lock:
+            transition = base_uri not in self._dead
             self._dead.add(base_uri)
             self._loads_cache = None
+        if transition:
+            self._emit_liveness_event(base_uri, alive=False)
 
     def note_alive(self, base_uri: str) -> None:
         with self._lock:
+            transition = base_uri in self._dead
             self._dead.discard(base_uri)
             self._loads_cache = None
+        if transition:
+            self._emit_liveness_event(base_uri, alive=True)
 
     def dead_nodes(self) -> list[str]:
         with self._lock:
             return sorted(self._dead)
+
+    def on_node_down(self, callback) -> None:  # type: ignore[no-untyped-def]
+        """Register ``callback(base_uri)`` for alive→dead transitions."""
+        with self._lock:
+            self._down_callbacks.append(callback)
+
+    def on_node_up(self, callback) -> None:  # type: ignore[no-untyped-def]
+        """Register ``callback(base_uri)`` for dead→alive transitions."""
+        with self._lock:
+            self._up_callbacks.append(callback)
+
+    def _emit_liveness_event(self, base_uri: str, alive: bool) -> None:
+        if self.metrics is not None:
+            name = "cluster.node_up" if alive else "cluster.node_down"
+            self.metrics.counter(name, "liveness transitions observed").inc()
+        with self._lock:
+            callbacks = list(
+                self._up_callbacks if alive else self._down_callbacks
+            )
+        if not callbacks:
+            return
+
+        def run() -> None:
+            for callback in callbacks:
+                try:
+                    callback(base_uri)
+                except Exception:  # noqa: BLE001 - listeners must not kill us
+                    pass
+
+        # Detached: note_dead fires on placement/probe hot paths and a
+        # listener may call back into placement (grain respawn).
+        thread = threading.Thread(
+            target=run, name="parc-liveness-event", daemon=True
+        )
+        thread.start()
 
     def probe_peers(self) -> dict[str, bool]:
         """Ping every directory peer; updates liveness, returns the map."""
@@ -165,6 +241,77 @@ class ObjectManager(MarshalByRefObject):
                 results[base_uri] = False
                 self.note_dead(base_uri)
         return results
+
+    # -- heartbeat failure detector ----------------------------------------
+
+    def start_heartbeat(self, interval_s: float) -> None:
+        """Probe peers every *interval_s* seconds on a daemon thread.
+
+        Each round updates liveness (feeding the circuit breaker through
+        the shared client channel) and gossips any *transition* to every
+        still-live peer via their ``report_dead``/``report_alive`` remote
+        surface, so a verdict reaches nodes that have not probed yet.
+        """
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be > 0")
+        with self._lock:
+            if self._hb_thread is not None:
+                return
+            self._hb_interval = interval_s
+            self._hb_stop.clear()
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"parc-heartbeat-{self.node.index}",
+                daemon=True,
+            )
+        self._hb_thread.start()
+
+    def stop_heartbeat(self) -> None:
+        with self._lock:
+            thread, self._hb_thread = self._hb_thread, None
+        if thread is not None:
+            self._hb_stop.set()
+            thread.join(timeout=2.0)
+
+    def _heartbeat_loop(self) -> None:
+        last: dict[str, bool] = {}
+        while not self._hb_stop.wait(self._hb_interval):
+            try:
+                last = self._heartbeat_round(last)
+            except Exception:  # noqa: BLE001 - detector must outlive errors
+                pass
+
+    def _heartbeat_round(self, last: dict[str, bool]) -> dict[str, bool]:
+        results = self.probe_peers()
+        transitions = {
+            base_uri: alive
+            for base_uri, alive in results.items()
+            # Unknown peers are presumed alive, so the first round only
+            # gossips about nodes that are already down.
+            if base_uri != self.node.base_uri
+            and last.get(base_uri, True) != alive
+        }
+        if transitions:
+            self._gossip(transitions, results)
+        return results
+
+    def _gossip(
+        self, transitions: dict[str, bool], results: dict[str, bool]
+    ) -> None:
+        for peer, peer_alive in results.items():
+            if not peer_alive or peer == self.node.base_uri:
+                continue
+            for subject, alive in transitions.items():
+                if subject == peer:
+                    continue
+                try:
+                    om = self._peer_om(peer)
+                    if alive:
+                        om.report_alive(subject)
+                    else:
+                        om.report_dead(subject)
+                except Exception:  # noqa: BLE001 - gossip is best-effort
+                    break
 
     def note_created(self) -> None:
         self.node.note_io_created()
@@ -213,8 +360,7 @@ class ObjectManager(MarshalByRefObject):
                 loads.append(float(self._peer_om(base_uri).load()))
             except Exception:  # noqa: BLE001 - a dead peer must not block
                 loads.append(float("inf"))
-                with self._lock:
-                    self._dead.add(base_uri)
+                self.note_dead(base_uri)
         with self._lock:
             self._loads_cache = loads
             self._loads_stamp = now
@@ -266,6 +412,7 @@ class Node:
         grain: GrainPolicy | AdaptiveGrainController,
         placement: PlacementPolicy,
         dispatch_pool_size: int = 16,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.index = index
         self.services = services
@@ -276,7 +423,7 @@ class Node:
         )
         binding = self.host.listen(channel, authority)
         self.base_uri = f"{channel.scheme}://{binding.authority}"
-        self.om = ObjectManager(self, grain, placement)
+        self.om = ObjectManager(self, grain, placement, metrics=metrics)
         self.factory = NodeFactory(self)
         self.host.publish(self.om, "om")
         self.host.publish(self.factory, "factory")
@@ -353,6 +500,7 @@ class Node:
                 return
             self._closed = True
             impls, self._impls = self._impls, []
+        self.om.stop_heartbeat()
         for impl in impls:
             try:
                 impl.dispose()

@@ -48,6 +48,10 @@ class ParallelClassInfo:
     cls: type
     wire_name: str
     method_kinds: dict[str, MethodKind] = field(default_factory=dict)
+    #: Whether instances may be re-created on a surviving node when their
+    #: host dies.  Respawn re-runs the constructor: in-object state built
+    #: up since creation is lost, so the class must opt in.
+    restartable: bool = False
 
     @property
     def async_methods(self) -> list[str]:
@@ -242,6 +246,7 @@ def parallel(
     name: str | None = None,
     async_methods: Iterable[str] = (),
     sync_methods: Iterable[str] = (),
+    restartable: bool = False,
 ) -> T | Callable[[T], T]:
     """Declare a class as a parallel (active) object class.
 
@@ -250,6 +255,12 @@ def parallel(
     preprocessor (:func:`repro.core.preprocess.preprocess_source`) or at
     runtime by :func:`repro.core.proxy_object.make_parallel_class` /
     :func:`repro.core.runtime.new`.
+
+    ``restartable=True`` opts the class into crash recovery: when the
+    node hosting an instance dies, the runtime re-creates it (re-running
+    the constructor with the original arguments) on a surviving node and
+    repoints live proxies.  Classes that do not opt in surface
+    :class:`~repro.errors.NodeLostError` instead.
 
     Example (the paper's running example, Fig. 4)::
 
@@ -265,6 +276,7 @@ def parallel(
             cls=klass,
             wire_name=wire_name,
             method_kinds=infer_method_kinds(klass, async_methods, sync_methods),
+            restartable=restartable,
         )
         parallel_class_table.add(info)
         klass._parc_parallel_info = info

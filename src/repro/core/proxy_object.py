@@ -30,12 +30,23 @@ from collections import deque
 from typing import Any
 
 from repro.core.model import MethodKind, ParallelClassInfo, parallel_class_table
-from repro.errors import GrainError, ScooppError
+from repro.errors import (
+    ChannelError,
+    GrainError,
+    NodeLostError,
+    RemotingError,
+    ScooppError,
+)
 from repro.remoting.objref import ObjRef
 from repro.remoting.proxy import RemoteProxy
 from repro.serialization.registry import Surrogate, default_registry
 
 _grain_ids = itertools.count(1)
+
+#: Errors that *may* mean "the hosting node is gone" and are worth a
+#: recovery attempt.  RemoteInvocationError is in the RemotingError tree
+#: but is filtered out downstream: the method ran, the node is alive.
+_TRANSPORT_ERRORS = (ChannelError, RemotingError, ConnectionError)
 
 
 class LocalGrain:
@@ -99,6 +110,13 @@ class RemoteGrain:
         self.grain_id = next(_grain_ids)
         self.batches_sent = 0
         self.calls_posted = 0
+        # Crash-recovery hooks, set by the runtime after construction:
+        # *spec* is the (info, args, kwargs) needed to re-create the IO,
+        # *recoverer* is ``runtime.recover_grain`` (returns True once the
+        # grain has been rebound to a respawned IO).
+        self.spec: tuple | None = None
+        self.restartable = False
+        self.recoverer = None
         self._lock = threading.Lock()
         self._buffer_method: str | None = None
         self._buffer: list[tuple[tuple, dict]] = []
@@ -106,6 +124,7 @@ class RemoteGrain:
         self._outbox: deque = deque()
         self._outbox_cv = threading.Condition(self._lock)
         self._sender_error: BaseException | None = None
+        self._lost: NodeLostError | None = None
         self._released = False
         self._sender = threading.Thread(
             target=self._send_loop, name="parc-po-sender", daemon=True
@@ -121,6 +140,9 @@ class RemoteGrain:
         different method flushes the previous run first, so total program
         order is preserved (batches and singles leave in caller order).
         """
+        self._with_recovery(lambda: self._post_once(method, args, kwargs))
+
+    def _post_once(self, method: str, args: tuple, kwargs: dict) -> None:
         with self._lock:
             self._ensure_usable()
             self.calls_posted += 1
@@ -148,7 +170,16 @@ class RemoteGrain:
         The IO's FIFO mailbox guarantees the flushed batches execute
         before this call — program order holds across the async/sync
         boundary.
+
+        A transport failure here is the *reactive* detection path: the
+        runtime's recoverer confirms the node is dead, respawns a
+        restartable grain on a surviving node and the call is retried
+        once against the new IO; non-restartable grains surface
+        :class:`~repro.errors.NodeLostError`.
         """
+        return self._with_recovery(lambda: self._call_once(method, args, kwargs))
+
+    def _call_once(self, method: str, args: tuple, kwargs: dict) -> Any:
         with self._lock:
             self._ensure_usable()
             self._flush_locked()
@@ -181,20 +212,99 @@ class RemoteGrain:
         self.impl.drain()
 
     def dispose(self) -> None:
-        with self._lock:
-            if self._released:
-                return
-            self._flush_locked()
-        self._wait_outbox_empty()
-        with self._lock:
-            self._released = True
-            self._outbox_cv.notify_all()
-        self.impl.dispose()
+        try:
+            with self._lock:
+                if self._released:
+                    return
+                if self._lost is None:
+                    self._flush_locked()
+            if self._lost is None:
+                self._wait_outbox_empty()
+        finally:
+            with self._lock:
+                already = self._released
+                self._released = True
+                self._outbox_cv.notify_all()
+        if not already and self._lost is None:
+            self.impl.dispose()
         self._sender.join(timeout=30.0)
+
+    # -- crash recovery ----------------------------------------------------
+
+    def home_authority(self) -> str | None:
+        """Authority hosting the IO, or None for an in-process impl."""
+        ref = getattr(self.impl, "_parc_objref", None)
+        if ref is None or not ref.uris:
+            return None
+        from repro.channels.services import parse_uri
+
+        return parse_uri(ref.uris[0]).authority
+
+    def rebind(self, new_impl) -> None:  # type: ignore[no-untyped-def]
+        """Repoint this grain at a respawned IO (clears failure state).
+
+        Buffered-but-unflushed asynchronous calls are preserved and will
+        flush to the new IO; calls already shipped to the dead node are
+        gone — respawn re-runs the constructor, so the IO's state
+        restarts from scratch regardless.
+        """
+        with self._outbox_cv:
+            self.impl = new_impl
+            self._sender_error = None
+            self._lost = None
+            self._outbox.clear()
+            self._outbox_cv.notify_all()
+
+    def mark_lost(self, error: NodeLostError) -> None:
+        """Poison the grain: every subsequent use raises *error*.
+
+        Also discards pending work and wakes blocked waiters, so callers
+        parked in :meth:`call`/:meth:`drain` fail promptly instead of
+        waiting on a node that will never answer.
+        """
+        with self._outbox_cv:
+            self._lost = error
+            self._sender_error = None
+            self._buffer = []
+            self._buffer_method = None
+            self._outbox.clear()
+            self._outbox_cv.notify_all()
+
+    def _with_recovery(self, attempt):  # type: ignore[no-untyped-def]
+        try:
+            return attempt()
+        except NodeLostError:
+            raise
+        except (ScooppError, *_TRANSPORT_ERRORS) as exc:
+            if not self._try_recover(exc):
+                raise
+            return attempt()
+
+    def _try_recover(self, exc: BaseException) -> bool:
+        """Ask the runtime to confirm node death and respawn; True = retry."""
+        recoverer = self.recoverer
+        if recoverer is None:
+            return False
+        # Sender failures surface wrapped in ScooppError; recover on the
+        # root transport cause, not the wrapper.
+        cause: BaseException = exc
+        while (
+            isinstance(cause, ScooppError)
+            and not isinstance(cause, NodeLostError)
+            and cause.__cause__ is not None
+        ):
+            cause = cause.__cause__
+        from repro.remoting.resilience import is_transport_error
+
+        if not is_transport_error(cause):
+            return False
+        return bool(recoverer(self, cause))
 
     # -- internals ---------------------------------------------------------
 
     def _ensure_usable(self) -> None:
+        if self._lost is not None:
+            raise self._lost
         if self._released:
             raise GrainError("proxy object has been released")
         if self._sender_error is not None:
@@ -220,7 +330,11 @@ class RemoteGrain:
 
     def _wait_outbox_empty(self) -> None:
         with self._outbox_cv:
-            while self._outbox and self._sender_error is None:
+            while (
+                self._outbox
+                and self._sender_error is None
+                and self._lost is None
+            ):
                 self._outbox_cv.wait()
             self._ensure_usable()
 
@@ -446,9 +560,14 @@ class ProxyObjectSurrogate(Surrogate):
         runtime = current_runtime()
         impl_proxy = runtime.proxy_for_objref(ref)
         po = po_class.__new__(po_class)
-        po._parc_grain = RemoteGrain(
+        grain = RemoteGrain(
             impl_proxy, max_calls=int(state.get("max_calls", 1))
         )
+        # No creation spec travels with a reference, so the rebuilt grain
+        # cannot be respawned — but tracking it means node death marks it
+        # lost promptly instead of leaving calls to time out.
+        runtime.adopt_grain(grain)
+        po._parc_grain = grain
         return po
 
 

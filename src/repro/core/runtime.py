@@ -28,6 +28,7 @@ object classes are replaced by generated PO classes").
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Any
 
 from repro.core.depgraph import MAIN, DependenceTracker
@@ -40,7 +41,7 @@ from repro.core.proxy_object import (
     RemoteGrain,
     make_parallel_class,
 )
-from repro.errors import NotRunningError, ScooppError
+from repro.errors import NodeLostError, NotRunningError, ScooppError
 from repro.remoting.objref import ObjRef, current_host
 
 # NOTE: repro.cluster modules import repro.core (grain, impl, model), so
@@ -61,6 +62,15 @@ class ParcRuntime:
         self.dependence = DependenceTracker()
         self._lock = threading.Lock()
         self._closed = False
+        # Self-healing: live remote grains (weak, so released POs drop
+        # out) plus a lock serializing respawn decisions.  The runtime
+        # subscribes to every in-process node's failure detector; a
+        # node-down verdict — proactive (heartbeat) or reactive (a failed
+        # call) — funnels into _handle_node_down.
+        self._grains: "weakref.WeakSet[RemoteGrain]" = weakref.WeakSet()
+        self._respawn_lock = threading.Lock()
+        for node in getattr(cluster, "nodes", []):
+            node.om.on_node_down(self._handle_node_down)
 
     # -- grain creation ----------------------------------------------------
 
@@ -133,12 +143,142 @@ class ParcRuntime:
             finally:
                 current_host.reset(token)
             grain = RemoteGrain(impl, max_calls=decision.max_calls)
+            self.adopt_grain(
+                grain,
+                spec=(info, tuple(args), dict(kwargs)),
+                restartable=info.restartable,
+            )
             self.dependence.record_creation(creator, _grain_label(grain))
             return grain
         raise ScooppError(
             f"could not place {info.wire_name} after "
             f"{self.CREATE_ATTEMPTS} attempts: {last_error}"
         ) from last_error
+
+    # -- self-healing: respawn and loss ------------------------------------
+
+    def adopt_grain(
+        self,
+        grain: RemoteGrain,
+        spec: tuple | None = None,
+        restartable: bool = False,
+    ) -> None:
+        """Track *grain* for crash recovery and give it the recoverer.
+
+        Grains without a creation *spec* (e.g. rebuilt from a PO
+        reference that crossed the wire) cannot be respawned — only the
+        creating runtime knows the constructor arguments — so they are
+        marked lost instead when their node dies.
+        """
+        grain.spec = spec
+        grain.restartable = restartable and spec is not None
+        grain.recoverer = self.recover_grain
+        self._grains.add(grain)
+
+    def recover_grain(self, grain: RemoteGrain, cause: BaseException) -> bool:
+        """Reactive failure detection: a call on *grain* hit a transport
+        error.  Confirm the hosting node is actually dead (one probe
+        round — a transient or chaos-injected fault must not trigger a
+        state-losing respawn), then respawn or mark lost.  Returns True
+        when the grain was rebound and the call is worth retrying.
+        """
+        authority = grain.home_authority()
+        if authority is None:
+            return False
+        om = self.cluster.home_node.om
+        base_uri = next(
+            (
+                uri
+                for uri in om.directory()
+                if uri.split("://", 1)[-1] == authority
+            ),
+            None,
+        )
+        if base_uri is None:
+            return False
+        om.probe_peers()
+        if base_uri not in om.dead_nodes():
+            return False  # the node answered: transient failure, surface it
+        return self._respawn_or_lose(grain, authority, raise_lost=True)
+
+    def _handle_node_down(self, base_uri: str) -> None:
+        """Proactive path: a failure detector declared *base_uri* dead."""
+        authority = base_uri.split("://", 1)[-1]
+        for grain in list(self._grains):
+            if grain.home_authority() == authority:
+                try:
+                    self._respawn_or_lose(grain, authority, raise_lost=False)
+                except ScooppError:
+                    # Respawn placement failed (e.g. the cluster is going
+                    # down); the grain stays pointed at the dead node and
+                    # the next call surfaces the error.
+                    pass
+
+    def _respawn_or_lose(
+        self, grain: RemoteGrain, dead_authority: str, raise_lost: bool
+    ) -> bool:
+        with self._respawn_lock:
+            if grain.home_authority() != dead_authority:
+                return True  # another detector already rebound it
+            info = grain.spec[0] if grain.spec else None
+            if not grain.restartable or grain.spec is None:
+                class_name = info.wire_name if info else "a grain"
+                error = NodeLostError(
+                    f"node {dead_authority} hosting {class_name} died and "
+                    f"the class is not restartable; declare "
+                    f"@parallel(restartable=True) to opt into respawn"
+                )
+                grain.mark_lost(error)
+                self._count("cluster.grain_lost")
+                if raise_lost:
+                    raise error
+                return False
+            info, args, kwargs = grain.spec
+            impl = self._place_remote_impl(info, args, kwargs)
+            grain.rebind(impl)
+            self._count("cluster.grain_respawned")
+            return True
+
+    def _place_remote_impl(
+        self, info: ParallelClassInfo, args: tuple, kwargs: dict
+    ) -> Any:
+        """Create a fresh IO for *info* on a live node (never agglomerates)."""
+        from repro.errors import (
+            ChannelError,
+            RemoteInvocationError,
+            RemotingError,
+        )
+
+        self._ensure_open()
+        node = self._creating_node()
+        last_error: Exception | None = None
+        for _attempt in range(self.CREATE_ATTEMPTS):
+            _decision, factory_uri = node.om.decide_and_place(info.wire_name)
+            if factory_uri is None:
+                # The grain policy said agglomerate, but a respawned IO
+                # must stay remotely addressable: use the local factory.
+                factory_uri = f"{node.base_uri}/factory"
+            factory = node.make_proxy(factory_uri)
+            token = current_host.set(node.host)
+            try:
+                return factory.create(info.wire_name, tuple(args), dict(kwargs))
+            except RemoteInvocationError:
+                raise
+            except (ChannelError, RemotingError) as exc:
+                last_error = exc
+                node.om.note_dead(factory_uri.rsplit("/", 1)[0])
+                continue
+            finally:
+                current_host.reset(token)
+        raise ScooppError(
+            f"could not respawn {info.wire_name} after "
+            f"{self.CREATE_ATTEMPTS} attempts: {last_error}"
+        ) from last_error
+
+    def _count(self, name: str) -> None:
+        metrics = getattr(self.cluster, "metrics", None)
+        if metrics is not None:
+            metrics.counter(name).inc()
 
     # -- reference support (PO passing, promotion) ------------------------
 
@@ -162,6 +302,7 @@ class ParcRuntime:
         node.adopt_impl(impl)
         node.host.objref_for(impl)  # publish now so the label is its path
         new_grain = RemoteGrain(impl, max_calls=1)
+        self.adopt_grain(new_grain)
         po._parc_grain = new_grain
         return new_grain
 
@@ -242,17 +383,29 @@ def init(
     dispatch_pool_size: int = 16,
     worker_processes: int = 0,
     worker_modules: tuple[str, ...] = (),
+    heartbeat_s: float | None = None,
+    breaker=None,  # type: ignore[no-untyped-def]
+    chaos_plan=None,  # type: ignore[no-untyped-def]
+    chaos_controller=None,  # type: ignore[no-untyped-def]
 ) -> ParcRuntime:
     """Boot the runtime: *nodes* processing nodes, one OM+factory each.
 
-    *channel* is ``"loopback"`` (in-process, deterministic) or ``"tcp"``
-    (real sockets).  *grain* defaults to no adaptation
-    (:class:`GrainPolicy` with ``max_calls=1``); pass an
-    :class:`AdaptiveGrainController` for run-time grain packing.
+    *channel* is ``"loopback"`` (in-process, deterministic), ``"tcp"``
+    (real sockets), ``"aio"`` (multiplexed asyncio sockets), or a
+    ``"chaos+*"`` variant routing every call through the fault-injection
+    layer.  *grain* defaults to no adaptation (:class:`GrainPolicy` with
+    ``max_calls=1``); pass an :class:`AdaptiveGrainController` for
+    run-time grain packing.
 
     *worker_processes* adds nodes running as separate OS processes over
     TCP (true parallelism); they import *worker_modules* at boot so the
     application's ``@parallel`` classes are registered there.
+
+    Self-healing knobs: *heartbeat_s* runs a failure detector per node,
+    *breaker* (a :class:`~repro.channels.breaker.BreakerPolicy`) adds
+    per-authority circuit breakers, and *chaos_plan* /
+    *chaos_controller* script the fault injection for ``chaos+*``
+    channels.
     """
     global _runtime
     with _runtime_lock:
@@ -268,6 +421,10 @@ def init(
             dispatch_pool_size=dispatch_pool_size,
             worker_processes=worker_processes,
             worker_modules=worker_modules,
+            heartbeat_s=heartbeat_s,
+            breaker=breaker,
+            chaos_plan=chaos_plan,
+            chaos_controller=chaos_controller,
         )
         _runtime = ParcRuntime(cluster)
         return _runtime

@@ -43,6 +43,24 @@ class ChannelClosedError(ChannelError):
     """Operation attempted on a channel that has been shut down."""
 
 
+class CircuitOpenError(ChannelError):
+    """A call was rejected because the target's circuit breaker is open.
+
+    Raised *before* any network activity: a peer that keeps failing is
+    quarantined so callers fail in microseconds instead of burning a
+    connect timeout per call (see :mod:`repro.channels.breaker`).
+    """
+
+
+class FaultInjectedError(ChannelError):
+    """A failure injected on purpose by the chaos layer.
+
+    Distinguishable from organic transport failures so tests can assert
+    which faults fired, while still retrying/classifying like any other
+    :class:`ChannelError`.
+    """
+
+
 class AddressError(ChannelError):
     """A remoting URI or endpoint address could not be parsed or resolved."""
 
@@ -136,6 +154,16 @@ class PreprocessError(ScooppError):
 
 class GrainError(ScooppError):
     """Grain-size adaptation misuse (e.g. flushing a released proxy)."""
+
+
+class NodeLostError(ScooppError):
+    """The node hosting a grain died and the grain is not restartable.
+
+    Raised by proxy-object calls once the failure detector (or a failed
+    call) establishes the hosting node is gone.  Grains declared
+    ``@parallel(restartable=True)`` are respawned on a surviving node
+    instead and never surface this error.
+    """
 
 
 class SimulationError(ParcError):

@@ -13,22 +13,33 @@ only the caller can make.
 
 from __future__ import annotations
 
+import random
+import socket
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
-from repro.errors import ChannelError, ParcError
+from repro.errors import AddressError, ChannelError
 
 T = TypeVar("T")
+
+_jitter_rng = random.Random()
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How to retry: attempts, initial backoff, exponential factor."""
+    """How to retry: attempts, initial backoff, exponential factor.
+
+    *jitter* spreads each sleep uniformly over ``[delay * (1 - jitter),
+    delay * (1 + jitter)]`` so callers that failed together (a node
+    died under fan-out) do not retry in lockstep and re-stampede the
+    recovering peer.
+    """
 
     attempts: int = 3
     backoff_s: float = 0.05
     backoff_factor: float = 2.0
+    jitter: float = 0.2
     retry_on: tuple[type[BaseException], ...] = (ChannelError,)
 
     def __post_init__(self) -> None:
@@ -36,6 +47,15 @@ class RetryPolicy:
             raise ValueError("attempts must be >= 1")
         if self.backoff_s < 0 or self.backoff_factor < 1.0:
             raise ValueError("backoff must be >= 0 with factor >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def sleep_for(self, delay: float) -> float:
+        """The actual sleep for a nominal *delay*, jitter applied."""
+        if self.jitter == 0.0 or delay <= 0.0:
+            return delay
+        spread = delay * self.jitter
+        return delay + _jitter_rng.uniform(-spread, spread)
 
 
 def call_with_retry(
@@ -59,7 +79,7 @@ def call_with_retry(
         except active.retry_on as exc:  # type: ignore[misc]
             last = exc
             if attempt + 1 < active.attempts and delay > 0:
-                time.sleep(delay)
+                time.sleep(active.sleep_for(delay))
                 delay *= active.backoff_factor
     assert last is not None  # attempts >= 1 guarantees an exception here
     raise last
@@ -81,11 +101,24 @@ class retrying:
 
 
 def is_transport_error(error: BaseException) -> bool:
-    """True for failures meaning "the peer may be gone", not "it said no"."""
+    """True for failures meaning "the peer may be gone", not "it said no".
+
+    Classification is strictly by exception type — no message sniffing:
+
+    * :class:`~repro.errors.RemoteInvocationError` is never a transport
+      error: the remote method ran and raised, so the peer is alive;
+    * :class:`~repro.errors.AddressError` is a malformed/unresolvable
+      address — retrying cannot fix it;
+    * every other :class:`~repro.errors.ChannelError` (including
+      :class:`~repro.errors.CircuitOpenError` and chaos-injected
+      faults), plus OS-level :class:`ConnectionError`,
+      :class:`TimeoutError` and :class:`socket.timeout`, means the wire
+      or the peer failed mid-flight.
+    """
     from repro.errors import RemoteInvocationError
 
-    if isinstance(error, RemoteInvocationError):
+    if isinstance(error, (RemoteInvocationError, AddressError)):
         return False
-    return isinstance(error, (ChannelError, ConnectionError)) or (
-        isinstance(error, ParcError) and "connect" in str(error).lower()
+    return isinstance(
+        error, (ChannelError, ConnectionError, TimeoutError, socket.timeout)
     )

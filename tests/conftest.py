@@ -2,10 +2,37 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 import repro.core as parc
 from repro.core import AdaptiveGrainController, GrainPolicy
+
+#: Optional per-test watchdog (seconds), enabled by PARC_TEST_TIMEOUT.
+#: The chaos CI job uses it so a hung fault-injection test fails loudly
+#: instead of stalling the runner (no pytest-timeout dependency needed).
+_TEST_TIMEOUT_S = float(os.environ.get("PARC_TEST_TIMEOUT", "0") or 0)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if _TEST_TIMEOUT_S <= 0 or not hasattr(signal, "SIGALRM"):
+        return (yield)
+
+    def _on_alarm(signum, frame):  # noqa: ARG001 - signal signature
+        raise TimeoutError(
+            f"{item.nodeid} exceeded PARC_TEST_TIMEOUT={_TEST_TIMEOUT_S}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_S)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -27,10 +27,12 @@ class Echo:
         return list(self.values)
 
 
-@pytest.fixture
-def tcp_runtime():
-    # TCP cluster so "killing" a node leaves real dead sockets behind.
-    rt = parc.init(nodes=3, channel="tcp", grain=GrainPolicy())
+@pytest.fixture(params=["tcp", "aio"])
+def tcp_runtime(request):
+    # Socket-backed cluster so "killing" a node leaves real dead sockets
+    # behind; parametrized over both socket transports so failover works
+    # identically on the threaded and the multiplexed channel.
+    rt = parc.init(nodes=3, channel=request.param, grain=GrainPolicy())
     try:
         yield rt
     finally:
@@ -150,9 +152,34 @@ class TestRetryHelpers:
             RetryPolicy(backoff_factor=0.5)
 
     def test_transport_error_classifier(self):
-        from repro.errors import RemoteInvocationError
+        import socket
+
+        from repro.errors import (
+            AddressError,
+            CircuitOpenError,
+            FaultInjectedError,
+            RemoteInvocationError,
+        )
 
         assert is_transport_error(ChannelError("x"))
         assert is_transport_error(ConnectionRefusedError())
+        assert is_transport_error(TimeoutError())
+        assert is_transport_error(socket.timeout())
+        assert is_transport_error(CircuitOpenError("quarantined"))
+        assert is_transport_error(FaultInjectedError("chaos"))
         assert not is_transport_error(RemoteInvocationError("app failed"))
         assert not is_transport_error(ValueError("nope"))
+        # Classification is by type, not message: "connect" in the text
+        # of a non-transport error must not fool it, and a structurally
+        # hopeless address error must not be retried.
+        assert not is_transport_error(ValueError("could not connect"))
+        assert not is_transport_error(AddressError("bad uri: connect"))
+
+    def test_backoff_jitter_spreads_sleeps(self):
+        policy = RetryPolicy(attempts=3, backoff_s=0.1, jitter=0.5)
+        sleeps = {round(policy.sleep_for(0.1), 6) for _ in range(50)}
+        assert all(0.05 <= s <= 0.15 for s in sleeps)
+        assert len(sleeps) > 1  # actually jittered, not constant
+        assert RetryPolicy(jitter=0.0).sleep_for(0.1) == 0.1
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)

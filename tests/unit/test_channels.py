@@ -171,13 +171,17 @@ class TestCorrelation:
 
 
 class _FakeSocket:
-    """Stand-in for a pooled socket; records close()."""
+    """Stand-in for a pooled socket; records close()/shutdown()."""
 
     def __init__(self):
         self.closed = False
+        self.shut_down = False
 
     def close(self):
         self.closed = True
+
+    def shutdown(self, how):
+        self.shut_down = True
 
 
 class TestConnectionPool:
