@@ -1,0 +1,83 @@
+"""TRACE — hot-path cost of the distributed-tracing instrumentation.
+
+The trace hooks sit on every remote call (client span + header inject,
+server dispatch span, io span), so they must be close to free when
+telemetry is off.  Three states of the same instrumented stack:
+
+* ``baseline`` — no tracer installed (``TelemetryConfig(enabled=False)``
+  at the runtime level): each call pays two context-variable lookups and
+  a header-dict check, nothing else;
+* ``unsampled`` — a tracer is installed but the sampling knob is 0.0:
+  contexts propagate (ids are generated and ride the wire) but no event
+  is ever recorded;
+* ``traced`` — full recording at ``sample_rate=1.0``, reported for
+  information.
+
+The guardrail: ``unsampled`` must stay within 5% of ``baseline``
+throughput — enabling telemetry with sampling turned down must not tax
+the cluster.
+"""
+
+from __future__ import annotations
+
+from repro.benchlib.pingpong import live_concurrent_pingpong
+from repro.benchlib.tables import format_table
+from repro.telemetry import (
+    Tracer,
+    get_sample_rate,
+    set_global_tracer,
+    set_sample_rate,
+)
+
+N_INTS = 16
+CALLS = 1500
+TRIALS = 3
+MAX_OVERHEAD = 0.05
+
+MODES = ("baseline", "unsampled", "traced")
+
+
+def _run_mode(mode: str) -> float:
+    previous_rate = get_sample_rate()
+    tracer = None
+    if mode == "unsampled":
+        tracer, rate = Tracer(), 0.0
+    elif mode == "traced":
+        tracer, rate = Tracer(), 1.0
+    try:
+        if tracer is not None:
+            set_sample_rate(rate)
+            set_global_tracer(tracer)
+        return live_concurrent_pingpong(N_INTS, 1, CALLS, "tcp")
+    finally:
+        set_global_tracer(None)
+        set_sample_rate(previous_rate)
+
+
+def _throughput_by_mode() -> dict[str, float]:
+    """Best-of-N calls/s per tracing state (max defeats scheduler noise)."""
+    return {
+        mode: max(_run_mode(mode) for _ in range(TRIALS))
+        for mode in MODES
+    }
+
+
+def test_tracing_off_costs_under_five_percent(benchmark):
+    rates = benchmark.pedantic(_throughput_by_mode, rounds=1, iterations=1)
+    bare = rates["baseline"]
+    print()
+    print(
+        format_table(
+            ["tracing", "calls/s", "vs baseline"],
+            [
+                [mode, round(rate), round(rate / bare, 3)]
+                for mode, rate in rates.items()
+            ],
+            title="TRACE — instrumentation overhead (localhost ping-pong)",
+        )
+    )
+    overhead = 1.0 - rates["unsampled"] / bare
+    assert overhead < MAX_OVERHEAD, (
+        f"unsampled tracing costs {overhead:.1%} of baseline throughput; "
+        f"the guardrail is {MAX_OVERHEAD:.0%}"
+    )

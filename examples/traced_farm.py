@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Observability: trace a farm's execution timeline.
+"""Observability: one merged trace of a farm running across real nodes.
 
-Installs a global :class:`~repro.telemetry.Tracer`, runs the prime farm,
-and writes a Chrome-trace JSON you can open in ``chrome://tracing`` or
-https://ui.perfetto.dev — one lane per implementation-object worker
-thread, one span per executed method, with aggregation visible as batches
-of back-to-back spans.
+Boots four TCP nodes with telemetry enabled, runs a :class:`Farm.map`
+over them, and writes one merged Chrome-trace JSON you can open in
+``chrome://tracing`` or https://ui.perfetto.dev — one *process lane per
+node*, with the caller's ``po.*``/``rpc`` spans linked to the
+``serve.*``/``io`` spans of whichever node executed each call, so a
+single ``map`` reads as one connected tree fanning out over the cluster.
+
+Also prints the cluster-wide metrics snapshot (per-method latency
+histograms from every node) and a Prometheus-style scrape fetched over
+the wire from one node's well-known ``/telemetry`` object.
 
 Run:  python examples/traced_farm.py [output.json]
 """
@@ -13,47 +18,86 @@ Run:  python examples/traced_farm.py [output.json]
 import sys
 
 import repro.core as parc
-from repro.apps.primes import farm_count_primes, sieve
-from repro.core import GrainPolicy
-from repro.telemetry import MetricsRegistry, Tracer, set_global_tracer
+from repro.apps.primes.sieve import is_prime, sieve
+from repro.core import Farm, GrainPolicy, ParcConfig, TelemetryConfig
+from repro.core.model import parallel
+from repro.telemetry import get_global_tracer
+
+
+@parallel(
+    name="examples.RangeCounter",
+    async_methods=[],
+    sync_methods=["primes_in"],
+)
+class RangeCounter:
+    """Counts primes in a half-open range (synchronous: a map worker)."""
+
+    def primes_in(self, bounds) -> int:
+        lo, hi = bounds
+        return sum(1 for n in range(lo, hi) if is_prime(n))
 
 
 def main() -> None:
     output = sys.argv[1] if len(sys.argv) > 1 else "parc-trace.json"
     limit = 3000
-    tracer = Tracer()
-    metrics = MetricsRegistry()
-    calls = metrics.counter("farm_calls", "method executions observed")
-    latency = metrics.histogram("method_seconds")
+    step = 150
+    ranges = [(lo, min(lo + step, limit)) for lo in range(2, limit, step)]
 
-    set_global_tracer(tracer)
-    parc.init(nodes=4, grain=GrainPolicy(max_calls=4))
-    try:
-        with tracer.span("app", "farm_count_primes", limit=limit):
-            count = farm_count_primes(limit, workers=4, batch=64)
-        assert count == len(sieve(limit - 1))
-        print(f"{count} primes < {limit}")
-    finally:
-        parc.shutdown()
-        set_global_tracer(None)
+    config = ParcConfig(
+        nodes=4,
+        channel="tcp",
+        grain=GrainPolicy(max_calls=4),
+        telemetry=TelemetryConfig(enabled=True),
+    )
+    with parc.session(config) as runtime:
+        tracer = get_global_tracer()
+        with tracer.span("app", "count_primes", limit=limit):
+            with Farm(RangeCounter, workers=4) as farm:
+                counts = farm.map("primes_in", ranges)
+        total = sum(counts)
+        assert total == len(sieve(limit - 1))
+        print(f"{total} primes < {limit} via Farm.map over 4 tcp nodes")
 
-    for duration in tracer.span_durations("io"):
-        calls.inc()
-        latency.observe(duration)
+        # Collect *before* shutdown: workers are scraped over the wire.
+        document = runtime.dump_trace(output)
+        snapshot = runtime.metrics_snapshot()
+        # Every node publishes its telemetry as a well-known remoting
+        # object; scrape a peer over the wire like Prometheus would.
+        peer = runtime.cluster.nodes[1]
+        scrape_uri = f"{peer.base_uri}/telemetry"
+        scrape = runtime.cluster.home_node.make_proxy(scrape_uri).scrape()
 
-    path = tracer.dump(output)
-    events = tracer.events()
-    print(f"wrote {len(events)} trace events to {path}")
-    print(f"open chrome://tracing or https://ui.perfetto.dev and load it\n")
-    print("metrics snapshot:")
-    print(metrics.render())
-    io_durations = tracer.span_durations("io")
-    if io_durations:
-        mean_us = sum(io_durations) / len(io_durations) * 1e6
-        print(
-            f"\n{len(io_durations)} method executions, "
-            f"mean {mean_us:.1f}us"
-        )
+    lanes_with_io = {
+        event["pid"]
+        for event in document["traceEvents"]
+        if event.get("cat") == "io"
+    }
+    print(f"wrote {len(document['traceEvents'])} merged trace events to {output}")
+    print(f"io spans on {len(lanes_with_io)} node lanes: {sorted(lanes_with_io)}")
+    print("open chrome://tracing or https://ui.perfetto.dev and load it\n")
+
+    print("per-node method latency histograms:")
+    for label, export in sorted(snapshot["nodes"].items()):
+        histograms = [
+            name
+            for name, metric in export.items()
+            if metric["type"] == "histogram"
+            and name.startswith("parc.method.seconds.")
+        ]
+        print(f"  {label}: {histograms or '(no methods executed here)'}")
+
+    merged = snapshot["cluster"]
+    method_total = sum(
+        metric["count"]
+        for name, metric in merged.items()
+        if metric["type"] == "histogram"
+        and name.startswith("parc.method.seconds.")
+    )
+    print(f"\ncluster aggregate: {method_total} method executions observed")
+
+    print(f"\nprometheus scrape of {scrape_uri} (first lines):")
+    for line in scrape.splitlines()[:6]:
+        print(f"  {line}")
 
 
 if __name__ == "__main__":

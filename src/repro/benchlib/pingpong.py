@@ -21,6 +21,7 @@ import time
 from array import array
 
 from repro.channels import HttpChannel, TcpChannel
+from repro.channels import create as channels_create
 from repro.mpi import run_mpi
 from repro.nio import ByteBuffer, ServerSocketChannel, SocketChannel
 from repro.perfmodel.platforms import PlatformModel
@@ -151,25 +152,13 @@ def live_pingpong_remoting(
 
 
 def _channel_for(channel_kind: str):  # type: ignore[no-untyped-def]
-    if channel_kind == "tcp":
-        return TcpChannel()
-    if channel_kind == "http":
-        return HttpChannel()
-    if channel_kind == "aio":
-        from repro.aio import AioTcpChannel
-
-        return AioTcpChannel()
-    if channel_kind == "chaos+tcp":
+    if channel_kind.startswith("chaos+"):
         # Zero-fault plan: measures the pure interposition cost of the
         # chaos wrapper (one RNG draw + counter per call), not faults.
-        from repro.chaos import FaultPlan, FaultyChannel
+        from repro.chaos import FaultPlan
 
-        return FaultyChannel(TcpChannel(), plan=FaultPlan(seed=0))
-    if channel_kind == "breaker+tcp":
-        from repro.channels.breaker import BreakerChannel
-
-        return BreakerChannel(TcpChannel())
-    raise ValueError(f"unknown channel kind {channel_kind!r}")
+        return channels_create(channel_kind, chaos_plan=FaultPlan(seed=0))
+    return channels_create(channel_kind)
 
 
 def live_concurrent_pingpong(

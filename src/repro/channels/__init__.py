@@ -16,9 +16,19 @@ with a formatter:
 paper's Fig. 2, and :class:`MeteredChannel` wraps any channel to count the
 real bytes a protocol exchange puts on the wire (the benchmarks feed those
 byte counts to the platform cost models).
+
+:func:`create` builds whole channel *stacks* from a kind string
+(``create("breaker+chaos+tcp", ...)``); see
+:mod:`repro.channels.factory`.
 """
 
 from repro.channels.base import Channel, ServerBinding
+from repro.channels.factory import (
+    available_kinds,
+    create,
+    register_scheme,
+    register_wrapper,
+)
 from repro.channels.loopback import LoopbackChannel
 from repro.channels.tcp import TcpChannel
 from repro.channels.http import HttpChannel
@@ -44,5 +54,9 @@ __all__ = [
     "ServerBinding",
     "SinkChannel",
     "TraceSink",
+    "available_kinds",
+    "create",
     "parse_uri",
+    "register_scheme",
+    "register_wrapper",
 ]

@@ -200,6 +200,16 @@ class BreakerChannel(Channel):
             self._opened.inc()
         if new == CLOSED and old != CLOSED and self._closed is not None:
             self._closed.inc()
+        from repro.telemetry import active_tracer
+
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "breaker",
+                f"breaker.{new}",
+                authority=authority,
+                previous=old,
+            )
 
     # -- Channel interface -------------------------------------------------
 

@@ -8,17 +8,24 @@ directory so they can exchange loads and statistics.
 from __future__ import annotations
 
 import uuid
-from typing import TYPE_CHECKING, Literal
+from typing import TYPE_CHECKING, Any, Literal
 
-from repro.channels import LoopbackChannel, TcpChannel
 from repro.channels.base import Channel
-from repro.channels.breaker import BreakerChannel, BreakerPolicy
+from repro.channels.breaker import BreakerPolicy
+from repro.channels.factory import available_kinds, create as create_channel
 from repro.channels.services import ChannelServices
 from repro.core.grain import AdaptiveGrainController, GrainPolicy
 from repro.cluster.node import Node
 from repro.cluster.placement import PlacementPolicy, make_placement
 from repro.errors import ScooppError
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryConfig,
+    get_global_tracer,
+    get_sample_rate,
+    set_global_tracer,
+    set_sample_rate,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.chaos import ChaosController, FaultPlan
@@ -56,6 +63,7 @@ class Cluster:
         breaker: BreakerPolicy | None = None,
         chaos_plan: "FaultPlan | None" = None,
         chaos_controller: "ChaosController | None" = None,
+        telemetry: TelemetryConfig | None = None,
     ) -> None:
         """*worker_processes* additional nodes run as separate OS
         processes over TCP (see :mod:`repro.cluster.proc`); they import
@@ -66,13 +74,15 @@ class Cluster:
         object manager.  *breaker* wraps the shared client channel in a
         per-authority circuit breaker.  *chaos_plan* /
         *chaos_controller* feed the fault-injection layer and require a
-        ``chaos+*`` channel kind.
+        ``chaos+*`` channel kind.  *telemetry* enables distributed
+        tracing and per-node metrics (see
+        :class:`~repro.telemetry.TelemetryConfig`).
         """
         if num_nodes < 1:
             raise ScooppError(f"cluster needs >= 1 node, got {num_nodes}")
         chaos = channel_kind.startswith("chaos+")
         base_kind = channel_kind.split("+", 1)[1] if chaos else channel_kind
-        if base_kind not in _BASE_KINDS:
+        if base_kind not in _BASE_KINDS or base_kind not in available_kinds():
             raise ScooppError(f"unknown channel kind {channel_kind!r}")
         if (chaos_plan is not None or chaos_controller is not None) and not chaos:
             raise ScooppError(
@@ -90,39 +100,49 @@ class Cluster:
         self.metrics = MetricsRegistry()
         self.chaos_controller = chaos_controller
         self.chaos_plan = chaos_plan
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetryConfig()
+        )
         self.grain = grain if grain is not None else GrainPolicy()
         if isinstance(placement, str):
             placement = make_placement(placement)
         self.placement = placement
         self.services = ChannelServices()
-        # The shared client channel every proxy dials through.  Stacking
-        # order matters: the breaker sits outside the chaos layer so
-        # injected faults count toward tripping it, exactly like organic
-        # ones.
-        client: Channel = self._make_base_channel(base_kind)
+        # The shared client channel every proxy dials through, built from
+        # the scheme registry.  Stacking order matters: the breaker sits
+        # outside the chaos layer so injected faults count toward
+        # tripping it, exactly like organic ones.
+        client_kind = base_kind
         if chaos:
-            client = self._wrap_chaos(
-                client, plan=chaos_plan, controller=chaos_controller
-            )
+            client_kind = f"chaos+{client_kind}"
         if breaker is not None:
-            client = BreakerChannel(client, policy=breaker, metrics=self.metrics)
+            client_kind = f"breaker+{client_kind}"
+        client: Channel = create_channel(
+            client_kind,
+            chaos_plan=chaos_plan,
+            chaos_controller=chaos_controller,
+            breaker_policy=breaker,
+            metrics=self.metrics,
+        )
         self.client_channel = client
         self.services.register_channel(client)
         run_id = uuid.uuid4().hex[:8]
         self.nodes: list[Node] = []
+        self._installed_tracer = None
+        self._prev_sample_rate: float | None = None
         try:
             for index in range(num_nodes):
                 if base_kind == "loopback":
-                    channel = self._make_base_channel(base_kind)
                     authority = f"parc-{run_id}-n{index}"
                 else:
-                    channel = self._make_base_channel(base_kind)
                     authority = "127.0.0.1:0"
-                if chaos:
-                    # Server-side wrapper: zero-fault, only contributes
-                    # the chaos+ scheme so node URIs route through the
-                    # (fault-injecting) shared client channel above.
-                    channel = self._wrap_chaos(channel)
+                # Server-side chaos wrapper: zero-fault, only contributes
+                # the chaos+ scheme so node URIs route through the
+                # (fault-injecting) shared client channel above.
+                channel = create_channel(
+                    f"chaos+{base_kind}" if chaos else base_kind,
+                    metrics=self.metrics if chaos else None,
+                )
                 self.nodes.append(
                     Node(
                         index=index,
@@ -133,6 +153,7 @@ class Cluster:
                         placement=self.placement,
                         dispatch_pool_size=dispatch_pool_size,
                         metrics=self.metrics,
+                        telemetry=self.telemetry,
                     )
                 )
         except Exception:
@@ -151,6 +172,7 @@ class Cluster:
                     grain=self.grain,
                     placement_name=placement_name,
                     dispatch_pool_size=dispatch_pool_size,
+                    telemetry=self.telemetry,
                 )
             except Exception:
                 self.close()
@@ -165,29 +187,15 @@ class Cluster:
         if heartbeat_s is not None:
             for node in self.nodes:
                 node.om.start_heartbeat(heartbeat_s)
+        if self.telemetry.enabled:
+            # The application's main thread records against the home
+            # node's tracer (its spans show in the home node's lane).
+            # Both installs are restored by close().
+            self._prev_sample_rate = get_sample_rate()
+            set_sample_rate(self.telemetry.sample_rate)
+            self._installed_tracer = self.home_node.telemetry.tracer
+            set_global_tracer(self._installed_tracer)
         self._closed = False
-
-    @staticmethod
-    def _make_base_channel(base_kind: str) -> Channel:
-        if base_kind == "loopback":
-            return LoopbackChannel()
-        if base_kind == "tcp":
-            return TcpChannel()
-        from repro.aio import AioTcpChannel
-
-        return AioTcpChannel()
-
-    def _wrap_chaos(
-        self,
-        inner: Channel,
-        plan: "FaultPlan | None" = None,
-        controller: "ChaosController | None" = None,
-    ) -> Channel:
-        from repro.chaos import FaultyChannel
-
-        return FaultyChannel(
-            inner, plan=plan, controller=controller, metrics=self.metrics
-        )
 
     @property
     def home_node(self) -> Node:
@@ -214,6 +222,38 @@ class Cluster:
         )
         return rows
 
+    def collect_telemetry(self) -> dict[str, dict[str, Any]]:
+        """Pull every node's trace buffer and metrics into one mapping.
+
+        Keys are node base URIs; values hold ``events`` (trace-event
+        dicts), ``metrics`` (a :meth:`MetricsRegistry.export` document)
+        and ``dropped`` (events lost to the ring buffer).  In-process
+        nodes are read directly; process workers are scraped over the
+        wire through their published ``/telemetry`` object, best-effort
+        — a worker that already died simply has no entry.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for node in self.nodes:
+            tel = node.telemetry
+            out[tel.node_label()] = {
+                "events": tel.trace_events(),
+                "metrics": tel.metrics_export(),
+                "dropped": tel.dropped_events(),
+            }
+        for handle in getattr(self, "worker_handles", []):
+            try:
+                proxy = self.home_node.make_proxy(
+                    f"{handle.base_uri}/telemetry"
+                )
+                out[proxy.node_label()] = {
+                    "events": proxy.trace_events(),
+                    "metrics": proxy.metrics_export(),
+                    "dropped": proxy.dropped_events(),
+                }
+            except Exception:  # noqa: BLE001 - collection is best-effort
+                continue
+        return out
+
     def close(self) -> None:
         """Shut the cluster down without hanging on in-flight calls.
 
@@ -228,6 +268,18 @@ class Cluster:
         if getattr(self, "_closed", False):
             return
         self._closed = True
+        if getattr(self, "_installed_tracer", None) is not None:
+            # Only undo our own installs: a nested cluster created after
+            # us may have re-pointed the globals, and its close() will
+            # restore them itself.
+            if get_global_tracer() is self._installed_tracer:
+                set_global_tracer(None)
+            if (
+                self._prev_sample_rate is not None
+                and get_sample_rate() == self.telemetry.sample_rate
+            ):
+                set_sample_rate(self._prev_sample_rate)
+            self._installed_tracer = None
         for handle in getattr(self, "worker_handles", []):
             try:
                 handle.shutdown()

@@ -22,7 +22,9 @@ from repro.cluster.placement import PlacementPolicy
 from repro.errors import PlacementError, ScooppError
 from repro.remoting import MarshalByRefObject, RemotingHost
 from repro.remoting.proxy import RemoteProxy
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import MetricsRegistry, TelemetryConfig
+from repro.telemetry.node import NodeTelemetry
+from repro.telemetry.tracer import Tracer, current_tracer_var
 
 #: How long a sampled peer-load vector stays fresh (seconds).  Placement
 #: is latency-sensitive: one remote load query per peer per creation would
@@ -125,6 +127,14 @@ class ObjectManager(MarshalByRefObject):
         if refresh_stats:
             self._merge_peer_stats(class_name)
         decision = self.grain.decide(class_name)
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.instant(
+                "grain",
+                "grain.decide",
+                class_name=class_name,
+                **decision.trace_args(),
+            )
         if decision.agglomerate:
             return decision, None
         directory = self._directory_snapshot()
@@ -282,6 +292,21 @@ class ObjectManager(MarshalByRefObject):
                 pass
 
     def _heartbeat_round(self, last: dict[str, bool]) -> dict[str, bool]:
+        tracer = self._tracer()
+        if tracer is None:
+            return self._heartbeat_round_inner(last)
+        # Bind this node's tracer on the detector thread so the probe
+        # rpc spans land in this node's lane, under one round span.
+        token = current_tracer_var.set(tracer)
+        try:
+            with tracer.span(
+                "cluster", "heartbeat.round", node=self.node.base_uri
+            ):
+                return self._heartbeat_round_inner(last)
+        finally:
+            current_tracer_var.reset(token)
+
+    def _heartbeat_round_inner(self, last: dict[str, bool]) -> dict[str, bool]:
         results = self.probe_peers()
         transitions = {
             base_uri: alive
@@ -317,6 +342,13 @@ class ObjectManager(MarshalByRefObject):
         self.node.note_io_created()
 
     # -- internals ---------------------------------------------------------
+
+    def _tracer(self) -> Tracer | None:
+        """This node's tracer when cluster telemetry is on, else None."""
+        telemetry = getattr(self.node, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            return telemetry.tracer
+        return None
 
     def _directory_snapshot(self) -> list[str]:
         with self._lock:
@@ -413,6 +445,7 @@ class Node:
         placement: PlacementPolicy,
         dispatch_pool_size: int = 16,
         metrics: MetricsRegistry | None = None,
+        telemetry: TelemetryConfig | None = None,
     ) -> None:
         self.index = index
         self.services = services
@@ -423,10 +456,15 @@ class Node:
         )
         binding = self.host.listen(channel, authority)
         self.base_uri = f"{channel.scheme}://{binding.authority}"
+        # Per-node observability state, published like om/factory so any
+        # peer (or the runtime's collector) can pull it over the wire.
+        self.telemetry = NodeTelemetry(label=self.base_uri, config=telemetry)
+        self.host.telemetry = self.telemetry
         self.om = ObjectManager(self, grain, placement, metrics=metrics)
         self.factory = NodeFactory(self)
         self.host.publish(self.om, "om")
         self.host.publish(self.factory, "factory")
+        self.host.publish(self.telemetry, "telemetry")
         self._lock = threading.Lock()
         self._impls: list[ImplementationObject] = []
         self._created_total = 0

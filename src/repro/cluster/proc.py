@@ -28,6 +28,7 @@ from typing import Any, Sequence
 
 from repro.core.grain import AdaptiveGrainController, GrainPolicy
 from repro.errors import ScooppError
+from repro.telemetry import TelemetryConfig
 
 #: Seconds to wait for a worker to boot / shut down before escalating.
 WORKER_BOOT_TIMEOUT_S = 30.0
@@ -77,6 +78,7 @@ class WorkerConfig:
     placement_name: str
     dispatch_pool_size: int = 16
     extra_sys_path: tuple[str, ...] = field(default_factory=tuple)
+    telemetry: TelemetryConfig | None = None
 
 
 def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore[no-untyped-def]
@@ -90,21 +92,22 @@ def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore
         for module_name in config.modules:
             importlib.import_module(module_name)
 
-        from repro.channels import TcpChannel
+        from repro.channels import create as create_channel
         from repro.channels.services import ChannelServices
         from repro.cluster.node import Node
         from repro.cluster.placement import make_placement
 
         services = ChannelServices()
-        services.register_channel(TcpChannel())
+        services.register_channel(create_channel("tcp"))
         node = Node(
             index=config.index,
-            channel=TcpChannel(),
+            channel=create_channel("tcp"),
             authority="127.0.0.1:0",
             services=services,
             grain=grain_from_spec(config.grain_spec),
             placement=make_placement(config.placement_name),
             dispatch_pool_size=config.dispatch_pool_size,
+            telemetry=config.telemetry,
         )
     except BaseException as exc:  # noqa: BLE001 - boot failure report
         ready.put(("error", f"{type(exc).__name__}: {exc}"))
@@ -153,6 +156,16 @@ class _WorkerCluster:
 
     def stats(self) -> list[dict]:
         return [self.nodes[0].stats()]
+
+    def collect_telemetry(self) -> dict:
+        tel = self.nodes[0].telemetry
+        return {
+            tel.node_label(): {
+                "events": tel.trace_events(),
+                "metrics": tel.metrics_export(),
+                "dropped": tel.dropped_events(),
+            }
+        }
 
     def close(self) -> None:
         return None  # lifecycle owned by _worker_main
@@ -214,6 +227,7 @@ def spawn_workers(
     grain: GrainPolicy | AdaptiveGrainController,
     placement_name: str,
     dispatch_pool_size: int,
+    telemetry: TelemetryConfig | None = None,
 ) -> list[ProcessNodeHandle]:
     """Spawn *count* worker nodes; returns their handles (booted)."""
     context = multiprocessing.get_context("spawn")
@@ -229,6 +243,7 @@ def spawn_workers(
                 placement_name=placement_name,
                 dispatch_pool_size=dispatch_pool_size,
                 extra_sys_path=sys_paths,
+                telemetry=telemetry,
             )
             handles.append(ProcessNodeHandle(config, context))
     except Exception:

@@ -23,10 +23,14 @@ The implementation (§3.2) mirrors the paper's architecture exactly:
   and grain decisions (:mod:`repro.cluster.node`).
 
 Public entry points: :func:`repro.core.runtime.init` /
-:func:`~repro.core.runtime.shutdown`, the :func:`parallel` decorator, and
-:func:`make_parallel_class`.
+:func:`~repro.core.runtime.session` /
+:func:`~repro.core.runtime.shutdown` (configured by
+:class:`~repro.core.config.ParcConfig`), the :func:`parallel` decorator,
+and :func:`make_parallel_class`.
 """
 
+from repro.core.config import ParcConfig
+from repro.telemetry import TelemetryConfig
 from repro.core.model import (
     MethodKind,
     ParallelClassInfo,
@@ -43,6 +47,7 @@ from repro.core.runtime import (
     current_runtime,
     init,
     new,
+    session,
     shutdown,
 )
 from repro.core.naming import bind, lookup, names, rebind, unbind
@@ -57,8 +62,10 @@ __all__ = [
     "ImplementationObject",
     "MethodKind",
     "ParallelClassInfo",
+    "ParcConfig",
     "ParcRuntime",
     "ProxyObject",
+    "TelemetryConfig",
     "bind",
     "current_runtime",
     "lookup",
@@ -73,5 +80,6 @@ __all__ = [
     "parallel_class_table",
     "preprocess_module",
     "preprocess_source",
+    "session",
     "shutdown",
 ]

@@ -1,0 +1,101 @@
+"""Runtime configuration: one typed object instead of eleven kwargs.
+
+:class:`ParcConfig` gathers every knob :func:`repro.core.init` grew over
+time — cluster shape, transport, grain policy, self-healing, fault
+injection, telemetry — into a single declarative value that can be
+built once, passed around, and handed to :func:`repro.core.session`::
+
+    import repro.core as parc
+    from repro.core import ParcConfig
+    from repro.telemetry import TelemetryConfig
+
+    config = ParcConfig(
+        nodes=4,
+        channel="tcp",
+        telemetry=TelemetryConfig(enabled=True),
+    )
+    with parc.session(config) as runtime:
+        ...
+
+``parc.init(**kwargs)`` still accepts the historical keyword arguments;
+it builds a :class:`ParcConfig` via :meth:`ParcConfig.from_kwargs` and
+warns about keys it does not recognize.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.core.grain import AdaptiveGrainController, GrainPolicy
+from repro.errors import ScooppError
+from repro.telemetry import TelemetryConfig
+
+
+@dataclass
+class ParcConfig:
+    """Declarative runtime configuration (see module docstring).
+
+    Field names intentionally match the keyword arguments of the
+    historical :func:`repro.core.init` signature, so
+    ``ParcConfig(**old_kwargs)`` and ``init(**old_kwargs)`` accept the
+    same spellings.
+    """
+
+    #: Number of in-process nodes (each gets an OM + factory).
+    nodes: int = 4
+    #: Channel kind string, resolved by :func:`repro.channels.create`
+    #: (``"loopback"``, ``"tcp"``, ``"aio"``, or a ``"chaos+*"`` variant).
+    channel: str = "loopback"
+    #: Grain policy: static knobs or the adaptive controller.
+    grain: GrainPolicy | AdaptiveGrainController | None = None
+    #: Placement policy name (``"round_robin"``, ``"least_loaded"``, ...).
+    placement: str = "round_robin"
+    #: Threads per node serving one-way dispatches.
+    dispatch_pool_size: int = 16
+    #: Extra nodes as separate OS processes over TCP.
+    worker_processes: int = 0
+    #: Modules each worker process imports at boot (class registration).
+    worker_modules: tuple[str, ...] = ()
+    #: Failure-detector period in seconds; ``None`` disables heartbeats.
+    heartbeat_s: float | None = None
+    #: Per-authority circuit-breaker policy
+    #: (:class:`~repro.channels.breaker.BreakerPolicy`), or ``None``.
+    breaker: Any = None
+    #: Scripted fault plan for ``chaos+*`` channels.
+    chaos_plan: Any = None
+    #: Runtime fault controller for ``chaos+*`` channels.
+    chaos_controller: Any = None
+    #: Distributed tracing and metrics (disabled by default).
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ScooppError(f"nodes must be >= 1, got {self.nodes}")
+        if self.worker_processes < 0:
+            raise ScooppError("worker_processes cannot be negative")
+        self.worker_modules = tuple(self.worker_modules)
+        if not isinstance(self.telemetry, TelemetryConfig):
+            raise ScooppError(
+                "telemetry must be a TelemetryConfig, got "
+                f"{type(self.telemetry).__qualname__}"
+            )
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "ParcConfig":
+        """Build a config from legacy ``init(...)``-style kwargs.
+
+        Unknown keys are dropped with a :class:`UserWarning` (they were
+        silently fatal ``TypeError``\\ s before; a warning keeps old
+        scripts running while flagging the typo).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            warnings.warn(
+                f"ignoring unknown runtime option(s): {', '.join(unknown)}",
+                UserWarning,
+                stacklevel=3,
+            )
+        return cls(**{k: v for k, v in kwargs.items() if k in known})

@@ -36,6 +36,10 @@ class GrainDecision:
         if self.max_calls < 1:
             raise GrainError(f"max_calls must be >= 1, got {self.max_calls}")
 
+    def trace_args(self) -> dict:
+        """Flat JSON-safe view for the ``grain.decide`` trace instant."""
+        return {"agglomerate": self.agglomerate, "max_calls": self.max_calls}
+
 
 @dataclass(frozen=True)
 class GrainPolicy:

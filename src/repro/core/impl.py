@@ -16,6 +16,7 @@ SO objects").
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
 import threading
 import time
@@ -25,6 +26,8 @@ from typing import Any, Callable
 
 from repro.errors import ScooppError
 from repro.remoting import MarshalByRefObject
+from repro.telemetry.context import current_context
+from repro.telemetry.tracer import current_tracer_var, get_global_tracer
 
 #: The node whose implementation object is executing on this thread.
 #: Parallel objects created *inside* a parallel method are placed by the
@@ -50,6 +53,10 @@ class _Task:
     done: threading.Event | None = None  # set for synchronous waits
     result: Any = None
     error: BaseException | None = None
+    # Trace context captured where the task was posted (the dispatch
+    # thread serving the remote call, or the local caller).  Re-activated
+    # on the worker thread so the io span chains to its remote parent.
+    trace: Any = None
 
 
 class ImplementationObject(MarshalByRefObject):
@@ -98,7 +105,14 @@ class ImplementationObject(MarshalByRefObject):
     # -- remote surface ----------------------------------------------------
 
     def enqueue(self, method: str, args: tuple = (), kwargs: dict | None = None) -> None:
-        self._post(_Task(method=method, args=tuple(args), kwargs=dict(kwargs or {})))
+        self._post(
+            _Task(
+                method=method,
+                args=tuple(args),
+                kwargs=dict(kwargs or {}),
+                trace=current_context.get(),
+            )
+        )
 
     def enqueue_batch(self, method: str, batch: list) -> None:
         """Post one aggregate message carrying *batch* invocations.
@@ -107,8 +121,14 @@ class ImplementationObject(MarshalByRefObject):
         consecutively with no interleaving, matching Fig. 7's ``processN``
         loop over the parameter array.
         """
+        trace = current_context.get()
         tasks = [
-            _Task(method=method, args=tuple(args), kwargs=dict(kwargs))
+            _Task(
+                method=method,
+                args=tuple(args),
+                kwargs=dict(kwargs),
+                trace=trace,
+            )
             for args, kwargs in batch
         ]
         with self._work_available:
@@ -122,6 +142,7 @@ class ImplementationObject(MarshalByRefObject):
             args=tuple(args),
             kwargs=dict(kwargs or {}),
             done=threading.Event(),
+            trace=current_context.get(),
         )
         self._post(task)
         task.done.wait()
@@ -187,43 +208,61 @@ class ImplementationObject(MarshalByRefObject):
                     self._idle.notify_all()
 
     def _execute(self, task: _Task) -> None:
-        from repro.telemetry import get_global_tracer
-
-        tracer = get_global_tracer()
+        # Node-bound tracer when the cluster enabled telemetry (spans land
+        # in this node's lane of the merged trace); the process-global
+        # tracer otherwise (the original set_global_tracer contract).
+        telemetry = getattr(self.node, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            tracer = telemetry.tracer
+        else:
+            telemetry = None
+            tracer = get_global_tracer()
         started = time.perf_counter()
-        started_us = None
-        if tracer is not None:
-            started_us = tracer._now_us()
+        span_name = f"{self.class_name.rsplit('.', 1)[-1]}.{task.method}"
         token = current_node.set(self.node)
         impl_token = executing_impl.set(self)
+        # Re-activate the posting site's trace context (crossed the wire
+        # in the parc-trace header for remote posts) and bind the tracer
+        # so nested remote calls made by the user method chain onward.
+        trace_token = (
+            current_context.set(task.trace)
+            if task.trace is not None
+            else None
+        )
+        tracer_token = (
+            current_tracer_var.set(tracer) if tracer is not None else None
+        )
+        span = (
+            tracer.span("io", span_name, sync=task.done is not None)
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
         try:
-            method = getattr(self.instance, task.method)
-            task.result = method(*task.args, **task.kwargs)
-        except BaseException as exc:  # noqa: BLE001 - active-object boundary
-            task.error = exc
-            if task.done is None:
-                with self._lock:
-                    self._async_failures.append((task.method, repr(exc)))
-                    del self._async_failures[:-32]
+            with span:
+                try:
+                    method = getattr(self.instance, task.method)
+                    task.result = method(*task.args, **task.kwargs)
+                except BaseException as exc:  # noqa: BLE001 - active-object boundary
+                    task.error = exc
+                    if task.done is None:
+                        with self._lock:
+                            self._async_failures.append(
+                                (task.method, repr(exc))
+                            )
+                            del self._async_failures[:-32]
         finally:
+            if tracer_token is not None:
+                current_tracer_var.reset(tracer_token)
+            if trace_token is not None:
+                current_context.reset(trace_token)
             executing_impl.reset(impl_token)
             current_node.reset(token)
             elapsed = time.perf_counter() - started
-            if tracer is not None and started_us is not None:
-                from repro.telemetry.tracer import TraceEvent
-                import threading as _threading
-
-                tracer._record(
-                    TraceEvent(
-                        name=f"{self.class_name.rsplit('.', 1)[-1]}."
-                        f"{task.method}",
-                        category="io",
-                        start_us=started_us,
-                        duration_us=elapsed * 1e6,
-                        thread_name=_threading.current_thread().name,
-                        args={"sync": task.done is not None},
-                    )
-                )
+            if telemetry is not None:
+                telemetry.metrics.histogram(
+                    f"parc.method.seconds.{span_name}",
+                    help_text="method execution latency",
+                ).observe(elapsed)
             with self._lock:
                 self._busy_s += elapsed
             if self._on_execution is not None:

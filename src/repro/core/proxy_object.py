@@ -40,6 +40,8 @@ from repro.errors import (
 from repro.remoting.objref import ObjRef
 from repro.remoting.proxy import RemoteProxy
 from repro.serialization.registry import Surrogate, default_registry
+from repro.telemetry.context import activate, current_context
+from repro.telemetry.tracer import active_tracer
 
 _grain_ids = itertools.count(1)
 
@@ -121,6 +123,7 @@ class RemoteGrain:
         self._buffer_method: str | None = None
         self._buffer: list[tuple[tuple, dict]] = []
         self._buffer_since = 0.0
+        self._buffer_ctx = None  # trace context of the first buffered call
         self._outbox: deque = deque()
         self._outbox_cv = threading.Condition(self._lock)
         self._sender_error: BaseException | None = None
@@ -143,11 +146,18 @@ class RemoteGrain:
         self._with_recovery(lambda: self._post_once(method, args, kwargs))
 
     def _post_once(self, method: str, args: tuple, kwargs: dict) -> None:
+        # The PO call site: capture the caller's trace context here so the
+        # sender thread can re-activate it when the (possibly batched)
+        # call actually leaves — the remote io span chains to the span
+        # that was active at post time, not to the sender thread.
+        ctx = current_context.get()
         with self._lock:
             self._ensure_usable()
             self.calls_posted += 1
             if self.max_calls == 1:
-                self._enqueue_locked(("single", method, (tuple(args), dict(kwargs))))
+                self._enqueue_locked(
+                    ("single", method, (tuple(args), dict(kwargs)), ctx)
+                )
                 return
             if self._buffer_method not in (None, method):
                 self._flush_locked()
@@ -155,6 +165,7 @@ class RemoteGrain:
                 import time as _time
 
                 self._buffer_since = _time.monotonic()
+                self._buffer_ctx = ctx
                 # Wake the sender so it can arm the auto-flush timer.
                 self._outbox_cv.notify_all()
             self._buffer_method = method
@@ -184,7 +195,11 @@ class RemoteGrain:
             self._ensure_usable()
             self._flush_locked()
         self._wait_outbox_empty()
-        return self.impl.invoke(method, tuple(args), dict(kwargs))
+        tracer = active_tracer()
+        if tracer is None:
+            return self.impl.invoke(method, tuple(args), dict(kwargs))
+        with tracer.span("po", f"po.{method}", grain=self.grain_id):
+            return self.impl.invoke(method, tuple(args), dict(kwargs))
 
     # -- grain controls ----------------------------------------------------
 
@@ -318,10 +333,17 @@ class RemoteGrain:
             return
         batch, self._buffer = self._buffer, []
         method, self._buffer_method = self._buffer_method, None
+        ctx, self._buffer_ctx = self._buffer_ctx, None
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "po", "po.flush", method=method, calls=len(batch),
+                grain=self.grain_id,
+            )
         if len(batch) == 1:
-            self._enqueue_locked(("single", method, batch[0]))
+            self._enqueue_locked(("single", method, batch[0], ctx))
         else:
-            self._enqueue_locked(("batch", method, batch))
+            self._enqueue_locked(("batch", method, batch, ctx))
 
     def _enqueue_locked(self, item: tuple) -> None:
         self._outbox.append(item)
@@ -356,13 +378,17 @@ class RemoteGrain:
                         self._outbox_cv.wait()
                 if not self._outbox and self._released:
                     return
-                kind, method, payload = self._outbox[0]
+                kind, method, payload, ctx = self._outbox[0]
             try:
-                if kind == "single":
-                    args, kwargs = payload
-                    self.impl.enqueue(method, args, kwargs)
-                else:
-                    self.impl.enqueue_batch(method, payload)
+                # Re-activate the post-time trace context so the enqueue
+                # rpc (and the remote io span behind it) chains to the
+                # caller's span rather than to this sender thread.
+                with activate(ctx):
+                    if kind == "single":
+                        args, kwargs = payload
+                        self.impl.enqueue(method, args, kwargs)
+                    else:
+                        self.impl.enqueue_batch(method, payload)
             except BaseException as exc:  # noqa: BLE001 - surfaced on next use
                 with self._outbox_cv:
                     self._sender_error = exc

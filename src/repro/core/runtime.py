@@ -27,10 +27,13 @@ object classes are replaced by generated PO classes").
 
 from __future__ import annotations
 
+import contextlib
+import json
 import threading
 import weakref
-from typing import Any
+from typing import Any, Iterator
 
+from repro.core.config import ParcConfig
 from repro.core.depgraph import MAIN, DependenceTracker
 from repro.core.grain import AdaptiveGrainController, GrainPolicy
 from repro.core.impl import ImplementationObject, current_node
@@ -324,6 +327,60 @@ class ParcRuntime:
         self.dependence.record_reference(holder, _path_of(ref))
         return host.make_proxy(ref)
 
+    # -- observability ----------------------------------------------------
+
+    def _collect_telemetry(self) -> dict[str, dict[str, Any]]:
+        collect = getattr(self.cluster, "collect_telemetry", None)
+        if collect is None:  # pragma: no cover - exotic cluster stand-ins
+            return {}
+        return collect()
+
+    def dump_trace(self, path: str | None = None) -> dict:
+        """Merge every node's trace buffer into one Chrome-trace document.
+
+        Each node becomes its own process lane (``pid``); span parentage
+        recorded by the distributed trace context survives the merge, so
+        a call fanning out over the cluster reads as one connected tree
+        in ``chrome://tracing`` / Perfetto.  When *path* is given the
+        document is also written there as JSON.  Call this **before**
+        :func:`shutdown` — collection reaches worker processes over the
+        wire.
+        """
+        from repro.telemetry import merge_chrome_trace
+
+        telemetry = self._collect_telemetry()
+        node_events = {
+            label: data["events"] for label, data in telemetry.items()
+        }
+        dropped = sum(
+            int(data.get("dropped", 0)) for data in telemetry.values()
+        )
+        document = merge_chrome_trace(node_events, dropped_events=dropped)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+        return document
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Cluster-wide metrics: per-node exports plus one aggregate.
+
+        Returns ``{"nodes": {label: export}, "cluster": merged}`` where
+        each export is a :meth:`MetricsRegistry.export` document and
+        ``merged`` folds every node's counters and histograms together
+        with the cluster-shared registry (breaker/chaos counters).
+        """
+        from repro.telemetry import merge_exports
+
+        telemetry = self._collect_telemetry()
+        nodes = {
+            label: data["metrics"] for label, data in telemetry.items()
+        }
+        exports = list(nodes.values())
+        shared = getattr(self.cluster, "metrics", None)
+        if shared is not None:
+            exports.append(shared.export())
+        return {"nodes": nodes, "cluster": merge_exports(exports)}
+
     # -- lifecycle -------------------------------------------------------
 
     def _ensure_open(self) -> None:
@@ -376,58 +433,84 @@ _runtime: ParcRuntime | None = None
 
 
 def init(
-    nodes: int = 4,
-    channel: str = "loopback",
-    grain: GrainPolicy | AdaptiveGrainController | None = None,
-    placement: str = "round_robin",
-    dispatch_pool_size: int = 16,
-    worker_processes: int = 0,
-    worker_modules: tuple[str, ...] = (),
-    heartbeat_s: float | None = None,
-    breaker=None,  # type: ignore[no-untyped-def]
-    chaos_plan=None,  # type: ignore[no-untyped-def]
-    chaos_controller=None,  # type: ignore[no-untyped-def]
+    config: ParcConfig | int | None = None, **kwargs: Any
 ) -> ParcRuntime:
-    """Boot the runtime: *nodes* processing nodes, one OM+factory each.
+    """Boot the runtime from a :class:`ParcConfig` (or legacy kwargs).
+
+    Preferred form::
+
+        parc.init(ParcConfig(nodes=4, channel="tcp"))
+
+    Every historical keyword spelling still works —
+    ``parc.init(nodes=4, channel="tcp", heartbeat_s=0.5, ...)`` — and a
+    bare integer first argument is read as ``nodes`` (the old first
+    positional).  Keyword options are folded into a config via
+    :meth:`ParcConfig.from_kwargs`, which warns on unknown keys instead
+    of raising.
 
     *channel* is ``"loopback"`` (in-process, deterministic), ``"tcp"``
     (real sockets), ``"aio"`` (multiplexed asyncio sockets), or a
     ``"chaos+*"`` variant routing every call through the fault-injection
     layer.  *grain* defaults to no adaptation (:class:`GrainPolicy` with
     ``max_calls=1``); pass an :class:`AdaptiveGrainController` for
-    run-time grain packing.
-
-    *worker_processes* adds nodes running as separate OS processes over
-    TCP (true parallelism); they import *worker_modules* at boot so the
-    application's ``@parallel`` classes are registered there.
-
-    Self-healing knobs: *heartbeat_s* runs a failure detector per node,
-    *breaker* (a :class:`~repro.channels.breaker.BreakerPolicy`) adds
-    per-authority circuit breakers, and *chaos_plan* /
-    *chaos_controller* script the fault injection for ``chaos+*``
-    channels.
+    run-time grain packing.  *worker_processes* adds nodes running as
+    separate OS processes over TCP; *heartbeat_s*, *breaker*,
+    *chaos_plan* and *chaos_controller* are the self-healing knobs; a
+    ``telemetry=TelemetryConfig(enabled=True)`` turns on distributed
+    tracing and metrics.
     """
     global _runtime
+    if isinstance(config, int):
+        # Legacy positional: init(4) meant nodes=4.
+        kwargs.setdefault("nodes", config)
+        config = None
+    if config is not None and kwargs:
+        raise ScooppError(
+            "pass either a ParcConfig or keyword options, not both"
+        )
+    if config is None:
+        config = ParcConfig.from_kwargs(**kwargs)
     with _runtime_lock:
         if _runtime is not None and not _runtime._closed:
             raise ScooppError("runtime already initialized; call shutdown()")
         from repro.cluster.cluster import Cluster
 
         cluster = Cluster(
-            num_nodes=nodes,
-            channel_kind=channel,  # type: ignore[arg-type]
-            grain=grain,
-            placement=placement,
-            dispatch_pool_size=dispatch_pool_size,
-            worker_processes=worker_processes,
-            worker_modules=worker_modules,
-            heartbeat_s=heartbeat_s,
-            breaker=breaker,
-            chaos_plan=chaos_plan,
-            chaos_controller=chaos_controller,
+            num_nodes=config.nodes,
+            channel_kind=config.channel,  # type: ignore[arg-type]
+            grain=config.grain,
+            placement=config.placement,
+            dispatch_pool_size=config.dispatch_pool_size,
+            worker_processes=config.worker_processes,
+            worker_modules=config.worker_modules,
+            heartbeat_s=config.heartbeat_s,
+            breaker=config.breaker,
+            chaos_plan=config.chaos_plan,
+            chaos_controller=config.chaos_controller,
+            telemetry=config.telemetry,
         )
         _runtime = ParcRuntime(cluster)
         return _runtime
+
+
+@contextlib.contextmanager
+def session(
+    config: ParcConfig | int | None = None, **kwargs: Any
+) -> Iterator[ParcRuntime]:
+    """Run a block under a booted runtime, guaranteeing shutdown::
+
+        with parc.session(ParcConfig(nodes=4, channel="tcp")) as runtime:
+            server = parc.new(PrimeServer)
+            ...
+        # runtime is shut down here, even on error
+
+    Accepts exactly what :func:`init` accepts.
+    """
+    runtime = init(config, **kwargs)
+    try:
+        yield runtime
+    finally:
+        shutdown()
 
 
 def current_runtime() -> ParcRuntime:

@@ -16,6 +16,7 @@ the .Net split: the remote call itself is synchronous on the wire; the
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
@@ -124,7 +125,11 @@ class Delegate:
         is stored on the result as ``async_state``.
         """
         pool = self._pool if self._pool is not None else _shared_pool()
-        future = pool.submit(self.target, *args, **kwargs)
+        # Run under a copy of the caller's context: the active trace
+        # context (and node tracer) follow the call onto the pool thread,
+        # so spans made by the background invocation chain to the caller.
+        ctx = contextvars.copy_context()
+        future = pool.submit(ctx.run, self.target, *args, **kwargs)
         async_result = AsyncResult(future, async_state=state)
         if callback is not None:
             future.add_done_callback(lambda _f: callback(async_result))

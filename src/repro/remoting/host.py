@@ -20,6 +20,7 @@ Publication modes (§2):
 
 from __future__ import annotations
 
+import contextvars
 import enum
 import itertools
 import threading
@@ -47,6 +48,8 @@ from repro.remoting.objref import (
 )
 from repro.remoting.proxy import RemoteProxy, make_typed_proxy_class
 from repro.serialization import default_registry
+from repro.telemetry.context import TRACE_HEADER, current_context, from_header
+from repro.telemetry.tracer import current_tracer_var
 
 # The surrogate that turns MarshalByRefObjects into ObjRefs on the wire is
 # process-global; installing it here (imported by every remoting user)
@@ -135,6 +138,9 @@ class RemotingHost:
         )
         self._closed = False
         self._activated_types: dict[str, type] = {}
+        # Set by the owning cluster node: a NodeTelemetry whose tracer
+        # records dispatch spans in this node's lane of the merged trace.
+        self.telemetry = None
 
     # -- serving ---------------------------------------------------------
 
@@ -385,6 +391,19 @@ class RemotingHost:
         headers: Mapping[str, str],
     ) -> bytes:
         token = current_host.set(self)
+        # Re-activate the caller's trace context so spans recorded while
+        # serving this request — and any nested remote calls they make —
+        # chain to the client span that sent the header.
+        incoming = from_header(headers.get(TRACE_HEADER)) if headers else None
+        trace_token = (
+            current_context.set(incoming) if incoming is not None else None
+        )
+        telemetry = self.telemetry
+        tracer_token = (
+            current_tracer_var.set(telemetry.tracer)
+            if telemetry is not None and telemetry.enabled
+            else None
+        )
         try:
             try:
                 message = formatter.loads(body)
@@ -393,7 +412,12 @@ class RemotingHost:
                         f"expected CallMessage, got {type(message).__qualname__}"
                     )
                 if message.one_way:
-                    self._pool.submit(self._run_call_silently, message)
+                    # copy_context() carries the trace context (and node
+                    # tracer) onto the pool thread that runs the call.
+                    dispatch_ctx = contextvars.copy_context()
+                    self._pool.submit(
+                        dispatch_ctx.run, self._run_call_silently, message
+                    )
                     result = ReturnMessage(value=None)
                 else:
                     result = self._run_call(message)
@@ -405,9 +429,25 @@ class RemotingHost:
                 )
             return formatter.dumps(result)
         finally:
+            if tracer_token is not None:
+                current_tracer_var.reset(tracer_token)
+            if trace_token is not None:
+                current_context.reset(trace_token)
             current_host.reset(token)
 
     def _run_call(self, message: CallMessage) -> ReturnMessage:
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            with telemetry.tracer.span(
+                "dispatch",
+                f"serve.{message.method}",
+                uri=message.uri,
+                one_way=message.one_way,
+            ):
+                return self._run_call_inner(message)
+        return self._run_call_inner(message)
+
+    def _run_call_inner(self, message: CallMessage) -> ReturnMessage:
         target = self._activate(message.uri)
         method = self._resolve_method(target, message.method)
         try:

@@ -22,6 +22,7 @@ Two refinements the SCOOPP layer uses:
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from typing import Any, Mapping
 
@@ -29,6 +30,8 @@ from repro.channels.services import ChannelServices, default_services, parse_uri
 from repro.errors import ChannelError, RemoteInvocationError, RemotingError
 from repro.remoting.messages import CallMessage, ReturnMessage
 from repro.remoting.objref import ObjRef, current_host
+from repro.telemetry.context import TRACE_HEADER, current_context, to_header
+from repro.telemetry.tracer import active_tracer
 
 
 class RemoteProxy:
@@ -86,16 +89,25 @@ class RemoteProxy:
             kwargs=dict(kwargs),
             one_way=one_way,
         )
+        headers = {"content-type": channel.formatter.content_type}
+        # Client span + context propagation.  With no tracer installed and
+        # no active context this costs two lookups — the tracing-off path
+        # must stay inside the pingpong overhead guardrail.
+        tracer = active_tracer()
+        span = (
+            tracer.span("rpc", f"call.{method}", uri=path, one_way=one_way)
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
         token = current_host.set(self._parc_host)
         try:
-            body = channel.formatter.dumps(call)
-            response = channel.call(
-                authority,
-                path,
-                body,
-                headers={"content-type": channel.formatter.content_type},
-            )
-            result = channel.formatter.loads(response)
+            with span:
+                ctx = current_context.get()
+                if ctx is not None:
+                    headers[TRACE_HEADER] = to_header(ctx)
+                body = channel.formatter.dumps(call)
+                response = channel.call(authority, path, body, headers=headers)
+                result = channel.formatter.loads(response)
         finally:
             current_host.reset(token)
         if not isinstance(result, ReturnMessage):

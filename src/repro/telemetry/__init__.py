@@ -7,20 +7,48 @@ load figures between object managers, and this package generalizes that:
   JSON export (load the file in ``chrome://tracing`` / Perfetto to see
   the farm's timeline).  Install one with :func:`set_global_tracer` and
   every implementation-object execution records a span automatically.
+* :class:`TraceContext` / ``parc-trace`` header — distributed trace
+  propagation: spans created on different nodes chain parent → child
+  (see :mod:`repro.telemetry.context`).
 * :class:`Counter` / :class:`Gauge` / :class:`Histogram` /
-  :class:`MetricsRegistry` — minimal metrics with a text snapshot.
+  :class:`MetricsRegistry` — minimal metrics with text snapshot,
+  structured export, cross-node merge, and Prometheus rendering.
+* :class:`TelemetryConfig` — the ``telemetry=`` section of
+  :class:`repro.core.config.ParcConfig`.
+
+:class:`~repro.telemetry.node.NodeTelemetry` (the per-node well-known
+``telemetry`` object) lives in :mod:`repro.telemetry.node` and is
+imported directly by the cluster layer — not re-exported here, to keep
+this package import-light and free of remoting dependencies.
 """
 
-from repro.telemetry.tracer import (
-    Tracer,
-    get_global_tracer,
-    set_global_tracer,
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.context import (
+    TRACE_HEADER,
+    TraceContext,
+    child_of,
+    current_context,
+    from_header,
+    get_sample_rate,
+    set_sample_rate,
+    to_header,
 )
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_exports,
+    render_prometheus,
+)
+from repro.telemetry.tracer import (
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    event_from_data,
+    get_global_tracer,
+    merge_chrome_trace,
+    set_global_tracer,
 )
 
 __all__ = [
@@ -28,7 +56,22 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "TRACE_HEADER",
+    "TelemetryConfig",
+    "TraceContext",
+    "TraceEvent",
     "Tracer",
+    "active_tracer",
+    "child_of",
+    "current_context",
+    "event_from_data",
+    "from_header",
     "get_global_tracer",
+    "get_sample_rate",
+    "merge_chrome_trace",
+    "merge_exports",
+    "render_prometheus",
     "set_global_tracer",
+    "set_sample_rate",
+    "to_header",
 ]

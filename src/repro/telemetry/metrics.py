@@ -8,8 +8,9 @@ renders a deterministic text snapshot (sorted by name).
 from __future__ import annotations
 
 import bisect
+import re
 import threading
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 
 class Counter:
@@ -183,3 +184,129 @@ class MetricsRegistry:
             else:
                 lines.append(f"{name} {int(value)}")
         return "\n".join(lines)
+
+    def export(self) -> dict[str, dict[str, Any]]:
+        """Structured per-metric view — the cross-node merge format.
+
+        Counters/gauges carry ``value``; histograms carry ``count``,
+        ``sum``, and ``buckets`` as ``[upper_bound, count]`` pairs, which
+        is everything :func:`merge_exports` needs to aggregate the same
+        metric observed on several nodes.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, dict[str, Any]] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "type": "histogram",
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "buckets": [
+                        [bound, count]
+                        for bound, count in metric.bucket_counts()
+                    ],
+                    "help": metric.help_text,
+                }
+            elif isinstance(metric, Counter):
+                out[name] = {
+                    "type": "counter",
+                    "value": metric.value,
+                    "help": metric.help_text,
+                }
+            else:
+                out[name] = {
+                    "type": "gauge",
+                    "value": metric.value,
+                    "help": metric.help_text,
+                }
+        return out
+
+
+def merge_exports(
+    exports: Sequence[Mapping[str, Mapping[str, Any]]],
+) -> dict[str, dict[str, Any]]:
+    """Sum same-named metrics from several :meth:`MetricsRegistry.export` s.
+
+    Counters and gauges add their values; histograms add counts, sums,
+    and per-bound bucket counts.  A name that appears with conflicting
+    types keeps the first occurrence and ignores later ones (defensive —
+    the registries on every node are built by the same code paths).
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for export in exports:
+        for name, data in export.items():
+            existing = merged.get(name)
+            if existing is None:
+                merged[name] = {
+                    key: (
+                        [list(pair) for pair in value]
+                        if key == "buckets"
+                        else value
+                    )
+                    for key, value in data.items()
+                }
+                continue
+            if existing["type"] != data["type"]:
+                continue
+            if data["type"] == "histogram":
+                existing["count"] += data["count"]
+                existing["sum"] += data["sum"]
+                by_bound = {
+                    bound: count for bound, count in existing["buckets"]
+                }
+                for bound, count in data["buckets"]:
+                    by_bound[bound] = by_bound.get(bound, 0) + count
+                existing["buckets"] = [
+                    [bound, count]
+                    for bound, count in sorted(by_bound.items())
+                ]
+            else:
+                existing["value"] += data["value"]
+    return dict(sorted(merged.items()))
+
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_NAME_BAD.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(export: Mapping[str, Mapping[str, Any]]) -> str:
+    """Prometheus text exposition of an :meth:`MetricsRegistry.export`.
+
+    This is what each node's ``telemetry`` well-known object serves from
+    ``scrape()`` — point a file-based scraper (or curl over the remoting
+    channel) at it and the output parses as the standard text format.
+    """
+    lines: list[str] = []
+    for name, data in sorted(export.items()):
+        prom = _prom_name(name)
+        if data.get("help"):
+            lines.append(f"# HELP {prom} {data['help']}")
+        lines.append(f"# TYPE {prom} {data['type']}")
+        if data["type"] == "histogram":
+            cumulative = 0
+            for bound, count in data["buckets"]:
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f"{prom}_sum {_prom_value(float(data['sum']))}")
+            lines.append(f"{prom}_count {data['count']}")
+        else:
+            lines.append(f"{prom} {_prom_value(float(data['value']))}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,62 @@
+"""Per-node telemetry state, published as a well-known remoting object.
+
+Every :class:`repro.cluster.node.Node` owns a :class:`NodeTelemetry` and
+publishes it at ``{base_uri}/telemetry``, so collection is just another
+remote call: the home node's runtime walks the cluster directory, pulls
+each node's events and metrics export over whatever channel the cluster
+already uses (in-process nodes are read directly), and merges them into
+one Chrome trace / cluster-wide metrics aggregate.  ``scrape()`` serves
+the Prometheus text format for external scrapers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.remoting import MarshalByRefObject
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.metrics import MetricsRegistry, render_prometheus
+from repro.telemetry.tracer import Tracer
+
+
+class NodeTelemetry(MarshalByRefObject):
+    """One node's tracer + metrics, remotely collectable.
+
+    Always constructed (the publication must exist at a well-known path
+    whether or not tracing is on); *enabled* gates recording, and the
+    remote surface returns plain data — no live objects cross the wire.
+    """
+
+    def __init__(
+        self, label: str, config: TelemetryConfig | None = None
+    ) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.label = label
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            self.config.capacity, metrics=self.metrics, name=label
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # -- remote surface ----------------------------------------------------
+
+    def node_label(self) -> str:
+        return self.label
+
+    def trace_events(self) -> list[dict[str, Any]]:
+        """This node's recorded events as plain dicts (wire format)."""
+        return self.tracer.events_data()
+
+    def dropped_events(self) -> int:
+        return self.tracer.dropped
+
+    def metrics_export(self) -> dict[str, dict[str, Any]]:
+        """Structured metrics (see :meth:`MetricsRegistry.export`)."""
+        return self.metrics.export()
+
+    def scrape(self) -> str:
+        """Prometheus text exposition of this node's metrics."""
+        return render_prometheus(self.metrics.export())

@@ -3,17 +3,35 @@
 Events follow the Trace Event Format's complete-event shape (``"ph": "X"``
 with microsecond timestamps/durations), which both ``chrome://tracing``
 and Perfetto load directly.
+
+Spans participate in distributed traces: :meth:`Tracer.span` derives a
+child of the active :class:`~repro.telemetry.context.TraceContext` and
+activates it for the enclosed block, so nested spans — including spans
+recorded on *other nodes* after the context crossed the wire in the
+``parc-trace`` header — chain parent → child.  Timestamps are anchored
+to the wall clock at tracer construction, so events from tracers in
+different processes on one machine line up when merged with
+:func:`merge_chrome_trace`.
 """
 
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import json
+import logging
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.telemetry.context import child_of, current_context
+
+logger = logging.getLogger("repro.telemetry")
+
+#: Counter name for ring-buffer overflow (the silent-drop fix).
+DROPPED_EVENTS_COUNTER = "telemetry.dropped_events"
 
 
 @dataclass
@@ -27,72 +45,144 @@ class TraceEvent:
     thread_name: str
     args: dict[str, Any] = field(default_factory=dict)
     phase: str = "X"
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
 
-    def to_chrome(self, thread_ids: dict[str, int]) -> dict[str, Any]:
+    def to_chrome(
+        self, thread_ids: dict[str, int], pid: int = 1
+    ) -> dict[str, Any]:
         tid = thread_ids.setdefault(self.thread_name, len(thread_ids) + 1)
+        args = dict(self.args)
+        if self.trace_id:
+            args["trace_id"] = self.trace_id
+            args["span_id"] = self.span_id
+            if self.parent_id:
+                args["parent_id"] = self.parent_id
         event: dict[str, Any] = {
             "name": self.name,
             "cat": self.category,
             "ph": self.phase,
             "ts": round(self.start_us, 3),
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
-            "args": self.args,
+            "args": args,
         }
         if self.phase == "X":
             event["dur"] = round(self.duration_us, 3)
         return event
+
+    def to_data(self) -> dict[str, Any]:
+        """Plain-dict form for shipping events across the wire."""
+        return asdict(self)
+
+
+def event_from_data(data: Mapping[str, Any]) -> TraceEvent:
+    """Inverse of :meth:`TraceEvent.to_data`."""
+    return TraceEvent(**dict(data))
 
 
 class Tracer:
     """Thread-safe event recorder.
 
     Bounded: beyond *capacity* events the oldest are dropped (a tracer
-    left on during a long run must not exhaust memory); the drop count is
-    reported in the export metadata.
+    left on during a long run must not exhaust memory).  The first drop
+    logs a warning and every drop increments the
+    ``telemetry.dropped_events`` counter when a *metrics* registry is
+    attached, so capacity overflow is never silent.
     """
 
-    def __init__(self, capacity: int = 100_000) -> None:
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        *,
+        metrics: "Any | None" = None,
+        name: str = "",
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.name = name
         self._lock = threading.Lock()
         self._events: list[TraceEvent] = []
         self._dropped = 0
         self._origin = time.perf_counter()
+        self._origin_epoch_us = time.time() * 1e6
+        self._drop_counter = (
+            metrics.counter(
+                DROPPED_EVENTS_COUNTER,
+                "trace events lost to tracer capacity",
+            )
+            if metrics is not None
+            else None
+        )
 
     def _now_us(self) -> float:
-        return (time.perf_counter() - self._origin) * 1e6
+        """Microseconds on a wall-clock-anchored monotonic timeline."""
+        return (
+            self._origin_epoch_us
+            + (time.perf_counter() - self._origin) * 1e6
+        )
 
     def _record(self, event: TraceEvent) -> None:
+        first_drop = False
+        dropped_one = False
         with self._lock:
             if len(self._events) >= self.capacity:
                 self._events.pop(0)
                 self._dropped += 1
+                dropped_one = True
+                first_drop = self._dropped == 1
             self._events.append(event)
+        if first_drop:
+            logger.warning(
+                "tracer %s hit capacity %d: oldest events are being "
+                "dropped (count in telemetry.dropped_events)",
+                self.name or "<anonymous>",
+                self.capacity,
+            )
+        if dropped_one and self._drop_counter is not None:
+            self._drop_counter.inc()
 
     @contextlib.contextmanager
     def span(
         self, category: str, name: str, **args: Any
     ) -> Iterator[None]:
-        """Record the enclosed block as a complete event."""
+        """Record the enclosed block as a complete event.
+
+        A child :class:`TraceContext` of the currently-active context is
+        activated for the block (a fresh root when none is active), so
+        nested spans — and remote calls made inside the block — chain to
+        this one.  Unsampled contexts run the block but record nothing.
+        """
+        parent = current_context.get()
+        ctx = child_of(parent)
+        token = current_context.set(ctx)
         start = self._now_us()
         try:
             yield
         finally:
-            self._record(
-                TraceEvent(
-                    name=name,
-                    category=category,
-                    start_us=start,
-                    duration_us=self._now_us() - start,
-                    thread_name=threading.current_thread().name,
-                    args=dict(args),
+            current_context.reset(token)
+            if ctx.sampled:
+                self._record(
+                    TraceEvent(
+                        name=name,
+                        category=category,
+                        start_us=start,
+                        duration_us=self._now_us() - start,
+                        thread_name=threading.current_thread().name,
+                        args=dict(args),
+                        trace_id=ctx.trace_id,
+                        span_id=ctx.span_id,
+                        parent_id=parent.span_id if parent else "",
+                    )
                 )
-            )
 
     def instant(self, category: str, name: str, **args: Any) -> None:
-        """Record a zero-duration marker."""
+        """Record a zero-duration marker (attached to the active span)."""
+        ctx = current_context.get()
+        if ctx is not None and not ctx.sampled:
+            return
         self._record(
             TraceEvent(
                 name=name,
@@ -102,12 +192,18 @@ class Tracer:
                 thread_name=threading.current_thread().name,
                 args=dict(args),
                 phase="i",
+                trace_id=ctx.trace_id if ctx else "",
+                span_id=ctx.span_id if ctx else "",
             )
         )
 
     def events(self) -> list[TraceEvent]:
         with self._lock:
             return list(self._events)
+
+    def events_data(self) -> list[dict[str, Any]]:
+        """Events as plain dicts (the remote-collection wire format)."""
+        return [event.to_data() for event in self.events()]
 
     @property
     def dropped(self) -> int:
@@ -149,8 +245,64 @@ class Tracer:
         ]
 
 
+def merge_chrome_trace(
+    node_events: Mapping[str, Sequence[TraceEvent | Mapping[str, Any]]],
+    dropped_events: int = 0,
+) -> dict[str, Any]:
+    """Merge per-node event lists into one document with process lanes.
+
+    *node_events* maps a node label (e.g. its base URI) to that node's
+    events — :class:`TraceEvent` instances or their :meth:`to_data`
+    dicts.  Each node becomes a Chrome-trace *process* (one ``pid`` plus
+    a ``process_name`` metadata record), so the merged file shows one
+    lane per node with the node's threads nested under it.  Timestamps
+    are rebased to the earliest event so the file starts at t=0.
+    """
+    merged: list[dict[str, Any]] = []
+    for pid, label in enumerate(sorted(node_events), start=1):
+        merged.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        thread_ids: dict[str, int] = {}
+        for raw in node_events[label]:
+            event = (
+                raw
+                if isinstance(raw, TraceEvent)
+                else event_from_data(raw)
+            )
+            merged.append(event.to_chrome(thread_ids, pid=pid))
+    origin = min(
+        (event["ts"] for event in merged if "ts" in event), default=0.0
+    )
+    for event in merged:
+        if "ts" in event:
+            event["ts"] = round(event["ts"] - origin, 3)
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "pyparc",
+            "droppedEvents": dropped_events,
+            "nodes": sorted(node_events),
+        },
+    }
+
+
 _global_lock = threading.Lock()
 _global_tracer: Tracer | None = None
+
+#: Tracer bound to the executing node, if any.  Server-side code (the
+#: dispatch path, implementation objects) runs with the owning node's
+#: tracer active so spans land in that node's lane of the merged trace.
+current_tracer_var: contextvars.ContextVar[Tracer | None] = (
+    contextvars.ContextVar("parc_tracer", default=None)
+)
 
 
 def set_global_tracer(tracer: Tracer | None) -> None:
@@ -166,3 +318,9 @@ def set_global_tracer(tracer: Tracer | None) -> None:
 
 def get_global_tracer() -> Tracer | None:
     return _global_tracer
+
+
+def active_tracer() -> Tracer | None:
+    """The tracer in effect here: the node-bound one, else the global."""
+    tracer = current_tracer_var.get()
+    return tracer if tracer is not None else _global_tracer

@@ -1,0 +1,129 @@
+"""ParcConfig and the init()/session() configuration surface."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.core as parc
+from repro.core import GrainPolicy, ParcConfig, TelemetryConfig
+from repro.errors import NotRunningError, ScooppError
+
+
+class TestParcConfig:
+    def test_defaults_mirror_init_defaults(self):
+        config = ParcConfig()
+        assert config.nodes == 4
+        assert config.channel == "loopback"
+        assert config.grain is None
+        assert config.placement == "round_robin"
+        assert config.dispatch_pool_size == 16
+        assert config.worker_processes == 0
+        assert config.worker_modules == ()
+        assert config.heartbeat_s is None
+        assert config.breaker is None
+        assert config.chaos_plan is None
+        assert config.chaos_controller is None
+        assert config.telemetry == TelemetryConfig()
+        assert config.telemetry.enabled is False
+
+    def test_validation(self):
+        with pytest.raises(ScooppError, match="nodes"):
+            ParcConfig(nodes=0)
+        with pytest.raises(ScooppError, match="worker_processes"):
+            ParcConfig(worker_processes=-1)
+        with pytest.raises(ScooppError, match="telemetry"):
+            ParcConfig(telemetry=True)  # type: ignore[arg-type]
+
+    def test_worker_modules_normalized_to_tuple(self):
+        config = ParcConfig(worker_modules=["a", "b"])
+        assert config.worker_modules == ("a", "b")
+
+    def test_from_kwargs_accepts_every_documented_init_kwarg(self):
+        config = ParcConfig.from_kwargs(
+            nodes=2,
+            channel="tcp",
+            grain=GrainPolicy(max_calls=4),
+            placement="least_loaded",
+            dispatch_pool_size=8,
+            worker_processes=0,
+            worker_modules=("mod",),
+            heartbeat_s=0.5,
+            breaker=None,
+            chaos_plan=None,
+            chaos_controller=None,
+        )
+        assert config.nodes == 2
+        assert config.channel == "tcp"
+        assert config.placement == "least_loaded"
+        assert config.heartbeat_s == 0.5
+
+    def test_from_kwargs_warns_and_drops_unknown_keys(self):
+        with pytest.warns(UserWarning, match="max_nodes"):
+            config = ParcConfig.from_kwargs(nodes=3, max_nodes=9)
+        assert config.nodes == 3
+        assert not hasattr(config, "max_nodes")
+
+    def test_picklable_for_worker_spawn(self):
+        config = ParcConfig(telemetry=TelemetryConfig(enabled=True))
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+
+class TestInitForms:
+    def test_init_with_config_object(self):
+        runtime = parc.init(ParcConfig(nodes=2))
+        try:
+            assert runtime.cluster.num_nodes == 2
+        finally:
+            parc.shutdown()
+
+    def test_init_legacy_positional_int_is_nodes(self):
+        runtime = parc.init(2)
+        try:
+            assert runtime.cluster.num_nodes == 2
+        finally:
+            parc.shutdown()
+
+    def test_init_rejects_config_plus_kwargs(self):
+        with pytest.raises(ScooppError, match="not both"):
+            parc.init(ParcConfig(), channel="tcp")
+
+    def test_init_legacy_kwargs(self):
+        runtime = parc.init(nodes=2, channel="loopback", heartbeat_s=None)
+        try:
+            assert runtime.cluster.num_nodes == 2
+        finally:
+            parc.shutdown()
+
+
+class TestSession:
+    def test_session_yields_runtime_and_shuts_down(self):
+        with parc.session(ParcConfig(nodes=1)) as runtime:
+            assert parc.current_runtime() is runtime
+        with pytest.raises(NotRunningError):
+            parc.current_runtime()
+
+    def test_session_shuts_down_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with parc.session(nodes=1):
+                raise RuntimeError("boom")
+        with pytest.raises(NotRunningError):
+            parc.current_runtime()
+
+
+class TestTelemetryConfig:
+    def test_defaults_off(self):
+        config = TelemetryConfig()
+        assert config.enabled is False
+        assert config.sample_rate == 1.0
+        assert config.capacity == 100_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_rate=-0.1)
+        with pytest.raises(ValueError):
+            TelemetryConfig(capacity=0)
