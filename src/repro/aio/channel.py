@@ -53,23 +53,30 @@ from typing import Callable, Mapping
 
 from repro.channels.base import Channel, RequestHandler, ServerBinding
 from repro.channels.framing import (
+    CORRELATION_SIZE,
+    FLAG_CORRELATED,
     HEADER_SIZE,
+    append_frame,
     encode_frame,
-    parse_header,
-    split_correlation,
+    pack_correlation_into,
+    pack_header_into,
+    parse_header_from,
 )
 from repro.channels.request import (
     STATUS_ERROR,
     STATUS_OK,
     decode_request,
+    decode_request_view,
     decode_response,
+    decode_response_view,
     encode_request,
+    encode_request_meta,
     encode_response,
 )
 from repro.channels.tcp import parse_host_port
 from repro.errors import ChannelClosedError, ChannelError, WireFormatError
 from repro.aio.loop import LoopThread
-from repro.serialization import BinaryFormatter
+from repro.serialization import BinaryFormatter, FastBinaryFormatter
 from repro.telemetry import MetricsRegistry
 
 #: Default bound on concurrent in-flight requests per client connection.
@@ -83,6 +90,10 @@ DEFAULT_CONNECT_TIMEOUT = 10.0
 
 #: Default server dispatch pool size (concurrent blocking handlers).
 DEFAULT_DISPATCH_WORKERS = 16
+
+#: Response status bytes, indexed by status code (avoids a per-response
+#: ``bytes((status,))`` allocation in the drain loop).
+_STATUS_BYTES = (bytes((STATUS_OK,)), bytes((STATUS_ERROR,)))
 
 
 def _finish(future: concurrent.futures.Future, body: bytes) -> None:
@@ -132,15 +143,28 @@ class _FrameReceiver(asyncio.Protocol):
             while True:
                 if len(buffer) - offset < HEADER_SIZE:
                     break
-                flags, length = parse_header(
-                    bytes(buffer[offset:offset + HEADER_SIZE])
-                )
+                # Header and correlation id are parsed in place; only the
+                # body is copied out (it outlives this rolling buffer: it
+                # is handed to caller futures / the dispatch pool).
+                flags, length = parse_header_from(buffer, offset)
                 end = offset + HEADER_SIZE + length
                 if len(buffer) < end:
                     break
-                correlation_id, body = split_correlation(
-                    flags, bytes(buffer[offset + HEADER_SIZE:end])
-                )
+                start = offset + HEADER_SIZE
+                if flags & FLAG_CORRELATED:
+                    if length < CORRELATION_SIZE:
+                        raise WireFormatError(
+                            f"correlated frame payload of {length} bytes is "
+                            f"shorter than the {CORRELATION_SIZE}-byte "
+                            f"correlation id"
+                        )
+                    correlation_id: int | None = int.from_bytes(
+                        buffer[start:start + CORRELATION_SIZE], "big"
+                    )
+                    body = bytes(buffer[start + CORRELATION_SIZE:end])
+                else:
+                    correlation_id = None
+                    body = bytes(buffer[start:end])
                 offset = end
                 self.frame_received(correlation_id, body)
         except WireFormatError:
@@ -205,7 +229,7 @@ class _AioConnection:
         self._in_flight = 0
         self._pending: dict[int, concurrent.futures.Future] = {}
         self._backlog: collections.deque[
-            tuple[bytes, concurrent.futures.Future]
+            tuple[bytes, bool, concurrent.futures.Future]
         ] = collections.deque()
         self._ids = itertools.count(1)
         # Outgoing frames are coalesced per loop iteration: _send appends
@@ -232,28 +256,47 @@ class _AioConnection:
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, request: bytes, future: concurrent.futures.Future) -> None:
-        """Send now if a window slot is free, else queue (backpressure)."""
+    def submit(
+        self,
+        request: bytes,
+        future: concurrent.futures.Future,
+        prebuilt: bool = False,
+    ) -> None:
+        """Send now if a window slot is free, else queue (backpressure).
+
+        *prebuilt* marks a fast-path request: a complete frame built by
+        the caller thread with placeholder correlation-id bytes that
+        :meth:`_send` patches in place — no re-framing on the loop.
+        """
         if future.done():
             return  # caller already timed out or the channel closed
         if self.broken is not None:
             _fail(future, self.broken)
             return
         if self._in_flight >= self._window:
-            self._backlog.append((request, future))
+            self._backlog.append((request, prebuilt, future))
             self._metrics.queued.add(1)
             return
-        self._send(request, future)
+        self._send(request, prebuilt, future)
 
-    def _send(self, request: bytes, future: concurrent.futures.Future) -> None:
+    def _send(
+        self,
+        request: bytes,
+        prebuilt: bool,
+        future: concurrent.futures.Future,
+    ) -> None:
         correlation_id = next(self._ids)
         self._pending[correlation_id] = future
         future._parc_cid = correlation_id  # for abandon() after a timeout
         self._in_flight += 1
         self._metrics.in_flight.add(1)
-        self._write_buffer.append(
-            encode_frame(request, correlation_id=correlation_id)
-        )
+        if prebuilt:
+            pack_correlation_into(request, HEADER_SIZE, correlation_id)
+            self._write_buffer.append(request)
+        else:
+            self._write_buffer.append(
+                encode_frame(request, correlation_id=correlation_id)
+            )
         if not self._flush_scheduled:
             self._flush_scheduled = True
             self._loop.call_soon(self._flush)
@@ -282,11 +325,11 @@ class _AioConnection:
             and self._in_flight < self._window
             and self.broken is None
         ):
-            request, future = self._backlog.popleft()
+            request, prebuilt, future = self._backlog.popleft()
             self._metrics.queued.add(-1)
             if future.done():
                 continue  # abandoned while queued
-            self._send(request, future)
+            self._send(request, prebuilt, future)
 
     def abandon(self, future: concurrent.futures.Future) -> None:
         """Forget a request whose caller gave up (timeout path)."""
@@ -298,7 +341,7 @@ class _AioConnection:
                 self._pump()
             return
         for entry in self._backlog:
-            if entry[1] is future:
+            if entry[2] is future:
                 self._backlog.remove(entry)
                 self._metrics.queued.add(-1)
                 return
@@ -333,7 +376,7 @@ class _AioConnection:
         self._metrics.in_flight.add(-len(pending))
         self._in_flight = 0
         backlog, self._backlog = self._backlog, collections.deque()
-        for _request, future in backlog:
+        for _request, _prebuilt, future in backlog:
             _fail(future, error)
         self._metrics.queued.add(-len(backlog))
         if self._transport is not None and not self._transport.is_closing():
@@ -481,6 +524,7 @@ class _AioBinding(ServerBinding):
         handler: RequestHandler,
     ) -> None:
         self._handler = handler
+        self._fastpath = channel._fastpath
         self._loop_thread = channel._ensure_loop()
         self._loop = self._loop_thread.loop
         self._in_flight = channel.metrics.gauge(
@@ -508,7 +552,12 @@ class _AioBinding(ServerBinding):
     def _dispatch(self, payload: bytes) -> tuple[int, bytes]:
         """Decode + run the blocking handler (executes on the pool)."""
         try:
-            path, headers, body = decode_request(payload)
+            if self._fastpath:
+                # The payload is an immutable per-frame bytes object, so
+                # the body view stays valid for the handler's lifetime.
+                path, headers, body = decode_request_view(payload)
+            else:
+                path, headers, body = decode_request(payload)
             return STATUS_OK, self._handler(path, body, headers)
         except Exception as exc:  # noqa: BLE001 - wire boundary
             return STATUS_ERROR, f"{type(exc).__name__}: {exc}".encode("utf-8")
@@ -535,7 +584,7 @@ class _AioBinding(ServerBinding):
 
     def _drain_responses(self) -> None:
         self._responses_scheduled = False
-        buffers: dict[asyncio.Transport, list[bytes]] = {}
+        buffers: dict[asyncio.Transport, bytearray] = {}
         drained = 0
         while True:
             try:
@@ -547,23 +596,22 @@ class _AioBinding(ServerBinding):
             drained += 1
             if transport.is_closing():
                 continue
+            # Frames are appended straight into one buffer per connection
+            # — no per-response bytes objects, no final join.
             frames = buffers.get(transport)
             if frames is None:
-                frames = buffers[transport] = []
-            frames.append(
-                encode_frame(
-                    encode_response(status, response),
-                    correlation_id=correlation_id,
-                )
+                frames = buffers[transport] = bytearray()
+            append_frame(
+                frames,
+                (_STATUS_BYTES[status], response),
+                correlation_id=correlation_id,
             )
         if drained:
             self._in_flight.add(-drained)
         # One write per connection flushes every response drained above.
         for transport, frames in buffers.items():
             try:
-                transport.write(
-                    frames[0] if len(frames) == 1 else b"".join(frames)
-                )
+                transport.write(frames)
             except Exception:  # noqa: BLE001 - client went away mid-response
                 pass
 
@@ -576,13 +624,14 @@ class _AioBinding(ServerBinding):
     ) -> None:
         if transport.is_closing():
             return
+        frame = bytearray()
+        append_frame(
+            frame,
+            (_STATUS_BYTES[status], response),
+            correlation_id=correlation_id,
+        )
         try:
-            transport.write(
-                encode_frame(
-                    encode_response(status, response),
-                    correlation_id=correlation_id,
-                )
-            )
+            transport.write(frame)
         except Exception:  # noqa: BLE001 - client went away mid-response
             pass
 
@@ -644,8 +693,12 @@ class AioTcpChannel(Channel):
         connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
         dispatch_workers: int = DEFAULT_DISPATCH_WORKERS,
         metrics: MetricsRegistry | None = None,
+        fastpath: bool = True,
     ) -> None:
-        super().__init__(formatter if formatter is not None else BinaryFormatter())
+        if formatter is None:
+            formatter = FastBinaryFormatter() if fastpath else BinaryFormatter()
+        super().__init__(formatter)
+        self._fastpath = fastpath and hasattr(self.formatter, "dumps_into")
         if window < 1:
             raise ChannelError("window must be at least 1")
         self.window = window
@@ -691,9 +744,45 @@ class AioTcpChannel(Channel):
         headers: Mapping[str, str] | None = None,
     ) -> bytes:
         request = encode_request(path, dict(headers or {}), body)
+        payload = self._exchange(authority, request, prebuilt=False)
+        return decode_response(payload)
+
+    def round_trip(
+        self,
+        authority: str,
+        path: str,
+        message: object,
+        headers: Mapping[str, str] | None = None,
+    ):
+        """Fast-path exchange: the complete frame is built by the caller.
+
+        The frame — ``[header][correlation-id placeholder][path+headers]
+        [body]`` — is assembled in one ``bytearray`` on the caller thread
+        (header patched in place once the length is known); the event
+        loop only stamps the correlation id and hands the buffer to the
+        transport.  The response body deserializes from a ``memoryview``,
+        skipping the legacy status-strip copy.
+        """
+        if not self._fastpath:
+            return super().round_trip(authority, path, message, headers)
+        request = bytearray(HEADER_SIZE + CORRELATION_SIZE)
+        encode_request_meta(request, path, dict(headers or {}))
+        body_start = len(request)
+        self.formatter.dumps_into(request, message)
+        self.last_request_bytes = len(request) - body_start
+        pack_header_into(
+            request, 0, FLAG_CORRELATED, len(request) - HEADER_SIZE
+        )
+        payload = self._exchange(authority, request, prebuilt=True)
+        return self.formatter.loads(decode_response_view(payload))
+
+    def _exchange(
+        self, authority: str, request, prebuilt: bool
+    ) -> bytes:
+        """Submit one framed request and block for the raw response payload."""
         loop_thread = self._ensure_loop()
         future: concurrent.futures.Future = concurrent.futures.Future()
-        self._outbox.append((authority, request, future))
+        self._outbox.append((authority, request, prebuilt, future))
         if not self._outbox_scheduled:
             # Benign race: a stale False schedules a second (empty) drain;
             # a stale True means a drain that has not yet run will pick
@@ -721,7 +810,7 @@ class AioTcpChannel(Channel):
             raise ChannelClosedError(
                 "channel closed while the request was in flight"
             ) from None
-        return decode_response(payload)
+        return payload
 
     # The callbacks below run on the event loop.
 
@@ -729,13 +818,13 @@ class AioTcpChannel(Channel):
         self._outbox_scheduled = False
         while True:
             try:
-                authority, request, future = self._outbox.popleft()
+                authority, request, prebuilt, future = self._outbox.popleft()
             except IndexError:
                 return
-            self._submit(authority, request, future)
+            self._submit(authority, request, prebuilt, future)
 
     def _submit(
-        self, authority: str, request: bytes,
+        self, authority: str, request: bytes, prebuilt: bool,
         future: concurrent.futures.Future,
     ) -> None:
         if self._closed:
@@ -743,14 +832,14 @@ class AioTcpChannel(Channel):
             return
         connection = self._connections.get(authority)
         if connection is not None and connection.broken is None:
-            connection.submit(request, future)
+            connection.submit(request, future, prebuilt)
         else:
             asyncio.ensure_future(
-                self._connect_and_submit(authority, request, future)
+                self._connect_and_submit(authority, request, prebuilt, future)
             )
 
     async def _connect_and_submit(
-        self, authority: str, request: bytes,
+        self, authority: str, request: bytes, prebuilt: bool,
         future: concurrent.futures.Future,
     ) -> None:
         try:
@@ -759,7 +848,7 @@ class AioTcpChannel(Channel):
             _fail(future, exc if isinstance(exc, ChannelError)
                   else ChannelError(str(exc)))
             return
-        connection.submit(request, future)
+        connection.submit(request, future, prebuilt)
 
     async def _connection_for(self, authority: str) -> _AioConnection:
         lock = self._conn_locks.setdefault(authority, asyncio.Lock())

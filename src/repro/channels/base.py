@@ -42,6 +42,12 @@ class Channel(abc.ABC):
     #: URI scheme this channel serves (``tcp``, ``http``, ``loopback``).
     scheme: str
 
+    #: Serialized size of the most recent :meth:`round_trip` request body.
+    #: A best-effort statistic (unsynchronised under concurrent callers) —
+    #: the adaptive grain controller reads it to estimate bytes-per-call;
+    #: it must never be used for correctness.
+    last_request_bytes: int = 0
+
     def __init__(self, formatter) -> None:  # type: ignore[no-untyped-def]
         self.formatter = formatter
 
@@ -62,6 +68,28 @@ class Channel(abc.ABC):
         headers: Mapping[str, str] | None = None,
     ) -> bytes:
         """Send one request and block for the response body."""
+
+    def round_trip(
+        self,
+        authority: str,
+        path: str,
+        message: object,
+        headers: Mapping[str, str] | None = None,
+    ):
+        """Serialize *message*, exchange it, deserialize the response.
+
+        The default composes ``formatter.dumps`` → :meth:`call` →
+        ``formatter.loads``, so wrapper channels (chaos, breaker, metering,
+        sinks) inherit correct behaviour through their ``call`` overrides
+        automatically.  Socket transports override this with a zero-copy
+        fast path (pooled encode buffers, scatter-gather writes,
+        ``memoryview`` decode) that never materialises the intermediate
+        request/response ``bytes``.
+        """
+        body = self.formatter.dumps(message)
+        self.last_request_bytes = len(body)
+        response = self.call(authority, path, body, headers=headers)
+        return self.formatter.loads(response)
 
     def close(self) -> None:
         """Release client-side resources (connection pools).  Idempotent."""

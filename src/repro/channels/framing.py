@@ -93,6 +93,71 @@ def split_correlation(flags: int, payload: bytes) -> tuple[int | None, bytes]:
     return correlation_id, payload[CORRELATION_SIZE:]
 
 
+def parse_header_from(buf, offset: int = 0) -> tuple[int, int]:
+    """:func:`parse_header` reading in place from a buffer at *offset*.
+
+    Lets stream readers validate headers directly inside their receive
+    buffer (``memoryview``/``bytearray``) without slicing a copy first.
+    """
+    magic, flags, length = _HEADER.unpack_from(buf, offset)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise WireFormatError(f"frame length {length} exceeds {MAX_FRAME}")
+    return flags, length
+
+
+def pack_header_into(buf, offset: int, flags: int, length: int) -> None:
+    """Write a frame header in place (the reserved-prefix encode trick).
+
+    The fast encode path appends ``HEADER_SIZE`` placeholder bytes, builds
+    the payload behind them, then patches the real header here — one
+    buffer, no concatenation.
+    """
+    if length > MAX_FRAME:
+        raise WireFormatError(
+            f"frame payload of {length} bytes exceeds {MAX_FRAME}"
+        )
+    _HEADER.pack_into(buf, offset, MAGIC, flags, length)
+
+
+def pack_correlation_into(buf, offset: int, correlation_id: int) -> None:
+    """Patch a correlation id into a prebuilt frame at *offset*.
+
+    The multiplexing client builds its frame before a correlation id is
+    assigned (ids are allocated on the event loop); the placeholder bytes
+    after the header are overwritten here at send time.
+    """
+    _CORRELATION.pack_into(buf, offset, correlation_id)
+
+
+def append_frame(
+    out: bytearray,
+    parts,
+    flags: int = 0,
+    correlation_id: int | None = None,
+) -> None:
+    """Append one complete frame for *parts* to a shared output buffer.
+
+    The buffer-building sibling of :func:`encode_frame`: batched writers
+    (the aio response drain) accumulate many frames into one ``bytearray``
+    and hand the kernel a single write, with no per-frame ``bytes``.
+    """
+    length = sum(len(part) for part in parts)
+    if correlation_id is not None:
+        flags |= FLAG_CORRELATED
+        length += CORRELATION_SIZE
+    if length > MAX_FRAME:
+        raise WireFormatError(
+            f"frame payload of {length} bytes exceeds {MAX_FRAME}"
+        )
+    out += _HEADER.pack(MAGIC, flags, length)
+    if correlation_id is not None:
+        out += _CORRELATION.pack(correlation_id)
+    for part in parts:
+        out += part
+
+
 def recv_exact(sock: socket.socket, size: int) -> bytes:
     """Read exactly *size* bytes or raise on EOF."""
     chunks: list[bytes] = []
@@ -108,10 +173,102 @@ def recv_exact(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
+def recv_exact_into(sock: socket.socket, view: memoryview) -> None:
+    """Fill *view* completely from the socket or raise on EOF.
+
+    The zero-copy sibling of :func:`recv_exact`: bytes land directly in
+    the caller's buffer via ``recv_into`` — no chunk list, no join.
+    """
+    offset = 0
+    remaining = len(view)
+    while remaining > 0:
+        received = sock.recv_into(view[offset:], remaining)
+        if received == 0:
+            raise ChannelClosedError(
+                f"peer closed connection with {remaining} bytes outstanding"
+            )
+        offset += received
+        remaining -= received
+
+
 def read_frame(sock: socket.socket) -> tuple[int, bytes]:
     """Read one frame; returns ``(flags, payload)``."""
     flags, length = parse_header(recv_exact(sock, HEADER_SIZE))
     return flags, recv_exact(sock, length)
+
+
+def read_frame_into(
+    sock: socket.socket, buf: bytearray
+) -> tuple[int, memoryview]:
+    """Read one frame into reusable *buf*; returns ``(flags, payload_view)``.
+
+    *buf* is grown (never shrunk) to hold the payload, so a connection's
+    receive buffer stabilises at its largest frame and later reads allocate
+    nothing.  The returned ``memoryview`` aliases *buf*: the caller must
+    release it (and any sub-views) before reusing or growing the buffer,
+    or CPython will raise ``BufferError``.
+    """
+    flags, length = parse_header(recv_exact(sock, HEADER_SIZE))
+    if len(buf) < length:
+        buf.extend(bytes(length - len(buf)))
+    view = memoryview(buf)[:length]
+    try:
+        recv_exact_into(sock, view)
+    except BaseException:
+        view.release()
+        raise
+    return flags, view
+
+
+def sendmsg_all(sock: socket.socket, parts: list) -> None:
+    """Gather-write *parts* (buffers) fully, scatter-gather style.
+
+    Uses ``socket.sendmsg`` (writev) so a frame composed as
+    ``[header, meta, body]`` goes out in one syscall without being joined
+    into a fresh ``bytes``; partial sends resume mid-part.  Falls back to
+    ``sendall`` of a join on platforms without ``sendmsg``.
+    """
+    views = [memoryview(part).cast("B") for part in parts if len(part)]
+    if not views:
+        return
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:  # pragma: no cover - all CI platforms have sendmsg
+        sock.sendall(b"".join(views))
+        return
+    while views:
+        sent = sendmsg(views)
+        while views and sent >= len(views[0]):
+            sent -= len(views[0])
+            views.pop(0)
+        if sent and views:
+            views[0] = views[0][sent:]
+
+
+def write_frame_parts(
+    sock: socket.socket,
+    parts: list,
+    flags: int = 0,
+    correlation_id: int | None = None,
+) -> None:
+    """Send one frame whose payload is the concatenation of *parts*.
+
+    The scatter-gather sibling of :func:`write_frame`: the header (and
+    optional correlation id) is built once into a small scratch buffer and
+    the payload parts are handed to the kernel as-is.
+    """
+    length = sum(len(part) for part in parts)
+    head = bytearray()
+    if correlation_id is not None:
+        flags |= FLAG_CORRELATED
+        length += CORRELATION_SIZE
+    if length > MAX_FRAME:
+        raise WireFormatError(
+            f"frame payload of {length} bytes exceeds {MAX_FRAME}"
+        )
+    head += _HEADER.pack(MAGIC, flags, length)
+    if correlation_id is not None:
+        head += _CORRELATION.pack(correlation_id)
+    sendmsg_all(sock, [head, *parts])
 
 
 def write_frame(

@@ -23,8 +23,13 @@ from __future__ import annotations
 import io
 from typing import Mapping
 
-from repro.errors import ChannelError
-from repro.serialization.binary import read_uvarint, write_uvarint
+from repro.errors import ChannelError, WireFormatError
+from repro.serialization.binary import (
+    append_uvarint,
+    read_uvarint,
+    uvarint_from,
+    write_uvarint,
+)
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -59,6 +64,54 @@ def decode_request(payload: bytes) -> tuple[str, dict[str, str], bytes]:
     return path, headers, buf.read()
 
 
+def encode_request_meta(out: bytearray, path: str, headers: Mapping[str, str]) -> None:
+    """Append the request *metadata* (path + headers) to a buffer.
+
+    The fast path builds a frame as ``[reserved header][meta][body]`` in
+    one reusable ``bytearray``: this writes the meta section, then the
+    caller appends the body via ``formatter.dumps_into`` — no intermediate
+    ``bytes`` objects at any step.
+    """
+    path_bytes = path.encode("utf-8")
+    append_uvarint(out, len(path_bytes))
+    out += path_bytes
+    append_uvarint(out, len(headers))
+    for key, value in headers.items():
+        key_bytes = key.encode("utf-8")
+        value_bytes = value.encode("utf-8")
+        append_uvarint(out, len(key_bytes))
+        out += key_bytes
+        append_uvarint(out, len(value_bytes))
+        out += value_bytes
+
+
+def _sized_read(buf: memoryview, pos: int) -> tuple[memoryview, int]:
+    size, pos = uvarint_from(buf, pos)
+    end = pos + size
+    if end > len(buf):
+        raise WireFormatError("truncated request payload")
+    return buf[pos:end], end
+
+
+def decode_request_view(payload) -> tuple[str, dict[str, str], memoryview]:
+    """Zero-copy :func:`decode_request`: the body comes back as a view.
+
+    The returned body ``memoryview`` aliases *payload* — callers that keep
+    it past the underlying buffer's reuse must copy it explicitly.
+    """
+    buf = payload if isinstance(payload, memoryview) else memoryview(payload)
+    chunk, pos = _sized_read(buf, 0)
+    path = str(chunk, "utf-8")
+    header_count, pos = uvarint_from(buf, pos)
+    headers: dict[str, str] = {}
+    for _ in range(header_count):
+        chunk, pos = _sized_read(buf, pos)
+        key = str(chunk, "utf-8")
+        chunk, pos = _sized_read(buf, pos)
+        headers[key] = str(chunk, "utf-8")
+    return path, headers, buf[pos:]
+
+
 def encode_response(status: int, body: bytes) -> bytes:
     return bytes((status,)) + body
 
@@ -75,3 +128,18 @@ def decode_response(payload: bytes) -> bytes:
     if status != STATUS_OK:
         raise ChannelError(f"unknown response status {status}")
     return body
+
+
+def decode_response_view(payload) -> memoryview:
+    """Zero-copy :func:`decode_response`: the body comes back as a view."""
+    buf = payload if isinstance(payload, memoryview) else memoryview(payload)
+    if not len(buf):
+        raise ChannelError("empty response payload")
+    status = buf[0]
+    if status == STATUS_ERROR:
+        raise ChannelError(
+            f"remote handler failed: {bytes(buf[1:]).decode('utf-8', 'replace')}"
+        )
+    if status != STATUS_OK:
+        raise ChannelError(f"unknown response status {status}")
+    return buf[1:]

@@ -17,17 +17,33 @@ import time
 from typing import Callable, Mapping
 
 from repro.channels.base import Channel, RequestHandler, ServerBinding
-from repro.channels.framing import read_frame, write_frame
+from repro.channels.buffers import BufferPool
+from repro.channels.framing import (
+    HEADER_SIZE,
+    pack_header_into,
+    read_frame,
+    read_frame_into,
+    write_frame,
+    write_frame_parts,
+)
 from repro.channels.request import (
     STATUS_ERROR,
     STATUS_OK,
     decode_request,
+    decode_request_view,
     decode_response,
+    decode_response_view,
     encode_request,
+    encode_request_meta,
     encode_response,
 )
-from repro.errors import AddressError, ChannelClosedError, ChannelError
-from repro.serialization import BinaryFormatter
+from repro.errors import (
+    AddressError,
+    ChannelClosedError,
+    ChannelError,
+    WireFormatError,
+)
+from repro.serialization import BinaryFormatter, FastBinaryFormatter
 
 
 def parse_host_port(authority: str) -> tuple[str, int]:
@@ -47,8 +63,15 @@ def parse_host_port(authority: str) -> tuple[str, int]:
 class _TcpBinding(ServerBinding):
     """Accept loop + per-connection worker threads."""
 
-    def __init__(self, host: str, port: int, handler: RequestHandler) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        handler: RequestHandler,
+        fastpath: bool = False,
+    ) -> None:
         self._handler = handler
+        self._fastpath = fastpath
         self._closed = threading.Event()
         self._server = socket.create_server((host, port), reuse_port=False)
         self._host, self._port = self._server.getsockname()[:2]
@@ -80,10 +103,13 @@ class _TcpBinding(ServerBinding):
     def _serve_connection(self, conn: socket.socket) -> None:
         with conn:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self._fastpath:
+                self._serve_fast(conn)
+                return
             while not self._closed.is_set():
                 try:
                     _flags, payload = read_frame(conn)
-                except (ChannelError, OSError):
+                except (ChannelError, WireFormatError, OSError):
                     return  # client hung up or sent garbage
                 try:
                     path, headers, body = decode_request(payload)
@@ -96,6 +122,40 @@ class _TcpBinding(ServerBinding):
                     write_frame(conn, encode_response(status, response))
                 except OSError:
                     return
+
+    def _serve_fast(self, conn: socket.socket) -> None:
+        """Zero-copy serve loop: one reusable receive buffer per connection.
+
+        Serving is strictly serial per connection, so the frame payload can
+        live in a buffer that is reused across requests; the handler sees
+        the request body as a ``memoryview`` into it (handlers must not
+        retain the body past their return) and the response goes out as a
+        ``[header, status, body]`` gather write with no concatenation.
+        """
+        recv_buf = bytearray()
+        while not self._closed.is_set():
+            try:
+                _flags, view = read_frame_into(conn, recv_buf)
+            except (ChannelError, WireFormatError, OSError):
+                return  # client hung up or sent garbage
+            body = response = None
+            try:
+                try:
+                    path, headers, body = decode_request_view(view)
+                    response = self._handler(path, body, headers)
+                    status = STATUS_OK
+                except Exception as exc:  # noqa: BLE001 - wire boundary
+                    response = f"{type(exc).__name__}: {exc}".encode("utf-8")
+                    status = STATUS_ERROR
+                try:
+                    write_frame_parts(conn, [bytes((status,)), response])
+                except OSError:
+                    return
+            finally:
+                # Every view into recv_buf must be gone before the next
+                # read grows it, or bytearray.extend raises BufferError.
+                del body, response
+                view.release()
 
     def close(self) -> None:
         if not self._closed.is_set():
@@ -221,7 +281,16 @@ class _ConnectionPool:
 
 
 class TcpChannel(Channel):
-    """Binary formatter over framed TCP — the fast remoting configuration."""
+    """Binary formatter over framed TCP — the fast remoting configuration.
+
+    ``fastpath=True`` (the default) selects the zero-copy wire path: the
+    formatter becomes :class:`FastBinaryFormatter` (same wire format,
+    compiled codecs), requests are built in pooled ``bytearray``\\ s with
+    the frame header patched in place, and responses are decoded from
+    ``memoryview``\\ s of a reusable receive buffer.  ``fastpath=False``
+    restores the legacy copy-per-stage path; the two interoperate on the
+    wire in either direction.
+    """
 
     scheme = "tcp"
 
@@ -231,13 +300,20 @@ class TcpChannel(Channel):
         *,
         max_idle_per_authority: int = DEFAULT_MAX_IDLE_PER_AUTHORITY,
         max_idle_s: float = DEFAULT_MAX_IDLE_SECONDS,
+        fastpath: bool = True,
     ) -> None:
-        super().__init__(formatter if formatter is not None else BinaryFormatter())
+        if formatter is None:
+            formatter = FastBinaryFormatter() if fastpath else BinaryFormatter()
+        super().__init__(formatter)
+        # The zero-copy encode path needs a formatter that can append into
+        # a shared buffer; anything else silently keeps the generic path.
+        self._fastpath = fastpath and hasattr(self.formatter, "dumps_into")
         self._pool = _ConnectionPool(max_idle_per_authority, max_idle_s)
+        self._buffers = BufferPool()
 
     def listen(self, authority: str, handler: RequestHandler) -> ServerBinding:
         host, port = parse_host_port(authority)
-        return _TcpBinding(host, port, handler)
+        return _TcpBinding(host, port, handler, fastpath=self._fastpath)
 
     def call(
         self,
@@ -252,17 +328,69 @@ class TcpChannel(Channel):
             write_frame(conn, request)
             _flags, payload = read_frame(conn)
         except (OSError, ChannelError) as exc:
-            self._pool.forget(conn)
-            conn.close()
-            if self._pool.closed and not isinstance(exc, ChannelClosedError):
-                # The pool was closed under us (cluster shutdown): the
-                # socket error is a symptom, report the real cause.
-                raise ChannelClosedError(
-                    f"channel closed while calling {authority}/{path}"
-                ) from exc
+            self._handle_call_error(conn, authority, path, exc)
             raise
         self._pool.checkin(authority, conn)
         return decode_response(payload)
+
+    def _handle_call_error(
+        self, conn: socket.socket, authority: str, path: str, exc: Exception
+    ) -> None:
+        """Common transport-failure cleanup for ``call``/``round_trip``."""
+        self._pool.forget(conn)
+        conn.close()
+        if self._pool.closed and not isinstance(exc, ChannelClosedError):
+            # The pool was closed under us (cluster shutdown): the
+            # socket error is a symptom, report the real cause.
+            raise ChannelClosedError(
+                f"channel closed while calling {authority}/{path}"
+            ) from exc
+
+    def round_trip(
+        self,
+        authority: str,
+        path: str,
+        message: object,
+        headers: Mapping[str, str] | None = None,
+    ):
+        """Zero-copy request/response exchange.
+
+        The whole request frame — ``[header][path+headers][body]`` — is
+        built in one pooled ``bytearray`` (the header is reserved up front
+        and patched in place once the length is known) and sent with a
+        single ``sendall``; the response frame lands in a second pooled
+        buffer and is deserialized straight from a ``memoryview``.  The
+        only per-call heap traffic left is the decoded result itself.
+        """
+        if not self._fastpath:
+            return super().round_trip(authority, path, message, headers)
+        send_buf = self._buffers.acquire()
+        recv_buf = self._buffers.acquire()
+        view = body = None
+        try:
+            send_buf += b"\x00" * HEADER_SIZE
+            encode_request_meta(send_buf, path, dict(headers or {}))
+            body_start = len(send_buf)
+            self.formatter.dumps_into(send_buf, message)
+            self.last_request_bytes = len(send_buf) - body_start
+            pack_header_into(send_buf, 0, 0, len(send_buf) - HEADER_SIZE)
+            conn = self._pool.checkout(authority)
+            try:
+                conn.sendall(send_buf)
+                _flags, view = read_frame_into(conn, recv_buf)
+            except (OSError, ChannelError) as exc:
+                self._handle_call_error(conn, authority, path, exc)
+                raise
+            self._pool.checkin(authority, conn)
+            body = decode_response_view(view)
+            return self.formatter.loads(body)
+        finally:
+            if body is not None:
+                body.release()
+            if view is not None:
+                view.release()
+            self._buffers.release(recv_buf)
+            self._buffers.release(send_buf)
 
     def close(self) -> None:
         self._pool.close()

@@ -64,6 +64,7 @@ class Cluster:
         chaos_plan: "FaultPlan | None" = None,
         chaos_controller: "ChaosController | None" = None,
         telemetry: TelemetryConfig | None = None,
+        wire_fastpath: bool = True,
     ) -> None:
         """*worker_processes* additional nodes run as separate OS
         processes over TCP (see :mod:`repro.cluster.proc`); they import
@@ -97,6 +98,12 @@ class Cluster:
         self.num_nodes = num_nodes
         self.channel_kind = channel_kind
         self.heartbeat_s = heartbeat_s
+        # Zero-copy wire fast path; only the socket transports take the
+        # knob (loopback has no wire, http keeps its legacy framing).
+        self.wire_fastpath = wire_fastpath
+        fastpath_opts = (
+            {"fastpath": wire_fastpath} if base_kind in ("tcp", "aio") else {}
+        )
         self.metrics = MetricsRegistry()
         self.chaos_controller = chaos_controller
         self.chaos_plan = chaos_plan
@@ -123,6 +130,7 @@ class Cluster:
             chaos_controller=chaos_controller,
             breaker_policy=breaker,
             metrics=self.metrics,
+            **fastpath_opts,
         )
         self.client_channel = client
         self.services.register_channel(client)
@@ -142,6 +150,7 @@ class Cluster:
                 channel = create_channel(
                     f"chaos+{base_kind}" if chaos else base_kind,
                     metrics=self.metrics if chaos else None,
+                    **fastpath_opts,
                 )
                 self.nodes.append(
                     Node(

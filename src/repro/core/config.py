@@ -67,6 +67,11 @@ class ParcConfig:
     chaos_plan: Any = None
     #: Runtime fault controller for ``chaos+*`` channels.
     chaos_controller: Any = None
+    #: Zero-copy wire fast path: compiled codecs + pooled buffers on the
+    #: socket transports and columnar ``processN`` aggregates.  ``False``
+    #: selects the legacy copy-per-stage path (same wire format — the two
+    #: interoperate, so mixed clusters are fine).
+    wire_fastpath: bool = True
     #: Distributed tracing and metrics (disabled by default).
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 

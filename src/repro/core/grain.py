@@ -69,6 +69,10 @@ class _ClassStats:
 
     avg_exec_s: float = 0.0
     samples: int = 0
+    # Measured wire cost: EWMA of serialized bytes per aggregated call,
+    # fed by the PO sender (0.0 until a send has been observed).
+    avg_call_bytes: float = 0.0
+    byte_samples: int = 0
 
     def observe(self, exec_s: float, alpha: float) -> None:
         if self.samples == 0:
@@ -76,6 +80,15 @@ class _ClassStats:
         else:
             self.avg_exec_s = alpha * exec_s + (1.0 - alpha) * self.avg_exec_s
         self.samples += 1
+
+    def observe_bytes(self, call_bytes: float, alpha: float) -> None:
+        if self.byte_samples == 0:
+            self.avg_call_bytes = call_bytes
+        else:
+            self.avg_call_bytes = (
+                alpha * call_bytes + (1.0 - alpha) * self.avg_call_bytes
+            )
+        self.byte_samples += 1
 
 
 @dataclass
@@ -96,6 +109,14 @@ class AdaptiveGrainController:
     controller stays conservative: no agglomeration, mild aggregation
     (``bootstrap_max_calls``) — the paper's RTS likewise starts parallel
     and packs as evidence accumulates.
+
+    When ``wire_bandwidth_Bps`` is set *and* the PO sender has reported
+    serialized sizes (:meth:`observe_call_bytes`), the per-call wire time
+    ``avg_call_bytes / wire_bandwidth_Bps`` joins the execution time in
+    the packing formula: heavy arguments amortize the per-message
+    overhead by themselves, so fewer calls are packed.  With the
+    bandwidth unset (the default) decisions are byte-blind and exactly
+    match the historical formula.
     """
 
     overhead_s: float = 500e-6
@@ -105,6 +126,9 @@ class AdaptiveGrainController:
     min_samples: int = 8
     bootstrap_max_calls: int = 4
     ewma_alpha: float = 0.25
+    #: Assumed wire bandwidth in bytes/second; ``None`` disables the
+    #: measured-bytes term in :meth:`decide`.
+    wire_bandwidth_Bps: float | None = None
 
     def __post_init__(self) -> None:
         if self.overhead_s <= 0:
@@ -122,6 +146,21 @@ class AdaptiveGrainController:
             stats = self._stats.setdefault(class_name, _ClassStats())
             stats.observe(exec_s, self.ewma_alpha)
 
+    def observe_call_bytes(
+        self, class_name: str, total_bytes: int, calls: int
+    ) -> None:
+        """Feed one send's serialized size back (request bytes, calls).
+
+        Called by the PO sender after each successful ship; the per-call
+        figure (``total_bytes / calls``) enters a separate EWMA so batch
+        and single sends weigh equally per call.
+        """
+        if calls <= 0 or total_bytes < 0:
+            return
+        with self._lock:
+            stats = self._stats.setdefault(class_name, _ClassStats())
+            stats.observe_bytes(total_bytes / calls, self.ewma_alpha)
+
     def stats_for(self, class_name: str) -> tuple[float, int]:
         """(avg execution seconds, sample count) for *class_name*."""
         with self._lock:
@@ -129,6 +168,14 @@ class AdaptiveGrainController:
             if stats is None:
                 return 0.0, 0
             return stats.avg_exec_s, stats.samples
+
+    def call_bytes_for(self, class_name: str) -> tuple[float, int]:
+        """(avg serialized bytes per call, sample count) for *class_name*."""
+        with self._lock:
+            stats = self._stats.get(class_name)
+            if stats is None:
+                return 0.0, 0
+            return stats.avg_call_bytes, stats.byte_samples
 
     def merge_remote_stats(
         self, class_name: str, avg_exec_s: float, samples: int
@@ -155,7 +202,15 @@ class AdaptiveGrainController:
                 agglomerate=False,
                 max_calls=min(self.bootstrap_max_calls, self.max_calls_cap),
             )
-        max_calls = math.ceil(self.pack_factor * self.overhead_s / avg_exec_s)
+        # Per-call cost that amortizes the per-message overhead: execution
+        # time plus (when measured and a bandwidth is configured) the time
+        # the call's serialized bytes occupy the wire.
+        per_call_s = avg_exec_s
+        if self.wire_bandwidth_Bps:
+            avg_bytes, byte_samples = self.call_bytes_for(class_name)
+            if byte_samples > 0:
+                per_call_s += avg_bytes / self.wire_bandwidth_Bps
+        max_calls = math.ceil(self.pack_factor * self.overhead_s / per_call_s)
         max_calls = max(1, min(max_calls, self.max_calls_cap))
         agglomerate = (
             avg_exec_s * self.max_calls_cap

@@ -26,6 +26,7 @@ from typing import Any, Callable
 
 from repro.errors import ScooppError
 from repro.remoting import MarshalByRefObject
+from repro.serialization.codec import unpack_columns
 from repro.telemetry.context import current_context
 from repro.telemetry.tracer import current_tracer_var, get_global_tracer
 
@@ -68,6 +69,9 @@ class ImplementationObject(MarshalByRefObject):
     * ``enqueue_batch(method, batch)`` — post an aggregated call (the
       paper's ``processN``, Fig. 7): *batch* is a list of
       ``(args, kwargs)`` pairs, executed back-to-back;
+    * ``enqueue_columns(method, count, columns)`` — the columnar form of
+      the same aggregate: positional argument columns instead of repeated
+      per-call tuples (smaller on the wire for homogeneous batches);
     * ``invoke(method, args, kwargs)`` — synchronous call: queued behind
       pending work, result returned (program order is preserved);
     * ``drain()`` — block until the mailbox is empty;
@@ -135,6 +139,18 @@ class ImplementationObject(MarshalByRefObject):
             self._ensure_running()
             self._queue.extend(tasks)
             self._work_available.notify()
+
+    def enqueue_columns(
+        self, method: str, count: int, columns: list = ()
+    ) -> None:
+        """Post an aggregate shipped in columnar form.
+
+        The PO sender packs a homogeneous batch as per-parameter columns
+        (method name, schema and trace header encoded once); this
+        rebuilds the ``(args, kwargs)`` pairs and joins the ordinary
+        :meth:`enqueue_batch` path, so execution semantics are identical.
+        """
+        self.enqueue_batch(method, unpack_columns(count, list(columns)))
 
     def invoke(self, method: str, args: tuple = (), kwargs: dict | None = None) -> Any:
         task = _Task(

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time as _time
 from collections import deque
 from typing import Any
 
@@ -34,11 +35,13 @@ from repro.errors import (
     ChannelError,
     GrainError,
     NodeLostError,
+    RemoteInvocationError,
     RemotingError,
     ScooppError,
 )
 from repro.remoting.objref import ObjRef
 from repro.remoting.proxy import RemoteProxy
+from repro.serialization.codec import method_column_plan, pack_columns
 from repro.serialization.registry import Surrogate, default_registry
 from repro.telemetry.context import activate, current_context
 from repro.telemetry.tracer import active_tracer
@@ -110,8 +113,23 @@ class RemoteGrain:
             flush_after_s if flush_after_s is not None else self.FLUSH_AFTER_S
         )
         self.grain_id = next(_grain_ids)
+        # Messages shipped, split by kind.  ``batches_sent`` remains the
+        # historical total (singles + batches) for back-compat; the split
+        # counters are what metrics_snapshot exposes.
         self.batches_sent = 0
+        self.batches = 0
+        self.singles = 0
         self.calls_posted = 0
+        # Columnar aggregates: enabled by the runtime when the wire fast
+        # path is on.  *impl_class* (the user class, set by the runtime)
+        # supplies method signatures for column planning.
+        self.columnar = False
+        self.impl_class: type | None = None
+        self._column_plans: dict[str, Any] = {}
+        # Observer fed (serialized request bytes, calls carried) after
+        # each successful send — the adaptive grain controller's
+        # bytes-per-call input.
+        self.wire_observer = None
         # Crash-recovery hooks, set by the runtime after construction:
         # *spec* is the (info, args, kwargs) needed to re-create the IO,
         # *recoverer* is ``runtime.recover_grain`` (returns True once the
@@ -162,8 +180,6 @@ class RemoteGrain:
             if self._buffer_method not in (None, method):
                 self._flush_locked()
             if not self._buffer:
-                import time as _time
-
                 self._buffer_since = _time.monotonic()
                 self._buffer_ctx = ctx
                 # Wake the sender so it can arm the auto-flush timer.
@@ -348,6 +364,10 @@ class RemoteGrain:
     def _enqueue_locked(self, item: tuple) -> None:
         self._outbox.append(item)
         self.batches_sent += 1
+        if item[0] == "batch":
+            self.batches += 1
+        else:
+            self.singles += 1
         self._outbox_cv.notify_all()
 
     def _wait_outbox_empty(self) -> None:
@@ -361,8 +381,6 @@ class RemoteGrain:
             self._ensure_usable()
 
     def _send_loop(self) -> None:
-        import time as _time
-
         while True:
             with self._outbox_cv:
                 while not self._outbox and not self._released:
@@ -387,18 +405,58 @@ class RemoteGrain:
                     if kind == "single":
                         args, kwargs = payload
                         self.impl.enqueue(method, args, kwargs)
+                        calls = 1
                     else:
-                        self.impl.enqueue_batch(method, payload)
+                        self._send_batch(method, payload)
+                        calls = len(payload)
             except BaseException as exc:  # noqa: BLE001 - surfaced on next use
                 with self._outbox_cv:
                     self._sender_error = exc
                     self._outbox.clear()
                     self._outbox_cv.notify_all()
                 continue
+            if self.wire_observer is not None:
+                nbytes = getattr(self.impl, "_parc_last_wire_bytes", 0)
+                try:
+                    self.wire_observer(nbytes, calls)
+                except Exception:  # noqa: BLE001 - stats must never kill work
+                    pass
             with self._outbox_cv:
                 self._outbox.popleft()
                 if not self._outbox:
                     self._outbox_cv.notify_all()
+
+    def _send_batch(self, method: str, batch: list) -> None:
+        """Ship one aggregate, columnar when the batch shape allows it.
+
+        Columnar packing encodes the method name, trace header and
+        argument schema once and each parameter as one contiguous column
+        (Fig. 7's parameter array, transposed).  Heterogeneous batches —
+        kwargs, mixed arity — fall back to the row form transparently.  A
+        remote refusal (an older peer without ``enqueue_columns``) also
+        falls back and disables columnar for this grain; the failed call
+        enqueued nothing, so re-sending as rows cannot duplicate work.
+        """
+        if self.columnar:
+            columns = pack_columns(batch, self._plan_for(method))
+            if columns is not None:
+                try:
+                    self.impl.enqueue_columns(
+                        method, len(batch), list(columns)
+                    )
+                    return
+                except RemoteInvocationError:
+                    self.columnar = False
+        self.impl.enqueue_batch(method, batch)
+
+    def _plan_for(self, method: str):  # type: ignore[no-untyped-def]
+        try:
+            return self._column_plans[method]
+        except KeyError:
+            func = getattr(self.impl_class, method, None)
+            plan = method_column_plan(func) if callable(func) else None
+            self._column_plans[method] = plan
+            return plan
 
 
 class ProxyObject:
@@ -591,8 +649,9 @@ class ProxyObjectSurrogate(Surrogate):
         )
         # No creation spec travels with a reference, so the rebuilt grain
         # cannot be respawned — but tracking it means node death marks it
-        # lost promptly instead of leaving calls to time out.
-        runtime.adopt_grain(grain)
+        # lost promptly instead of leaving calls to time out.  Passing
+        # *info* still wires up columnar aggregates and byte feedback.
+        runtime.adopt_grain(grain, info=info)
         po._parc_grain = grain
         return po
 

@@ -165,6 +165,7 @@ class ParcRuntime:
         grain: RemoteGrain,
         spec: tuple | None = None,
         restartable: bool = False,
+        info: ParallelClassInfo | None = None,
     ) -> None:
         """Track *grain* for crash recovery and give it the recoverer.
 
@@ -172,10 +173,30 @@ class ParcRuntime:
         reference that crossed the wire) cannot be respawned — only the
         creating runtime knows the constructor arguments — so they are
         marked lost instead when their node dies.
+
+        When the grain's class is known (*spec* or *info*) the wire fast
+        path is wired up too: columnar aggregates (the user class
+        supplies method signatures for column planning) and, under an
+        adaptive grain controller, the bytes-per-call feedback loop.
         """
         grain.spec = spec
         grain.restartable = restartable and spec is not None
         grain.recoverer = self.recover_grain
+        if info is None and spec is not None:
+            info = spec[0]
+        if info is not None:
+            grain.impl_class = info.cls
+            grain.columnar = bool(
+                getattr(self.cluster, "wire_fastpath", False)
+            )
+            controller = getattr(self.cluster, "grain", None)
+            if isinstance(controller, AdaptiveGrainController):
+                class_name = info.wire_name
+
+                def _observe(nbytes: int, calls: int) -> None:
+                    controller.observe_call_bytes(class_name, nbytes, calls)
+
+                grain.wire_observer = _observe
         self._grains.add(grain)
 
     def recover_grain(self, grain: RemoteGrain, cause: BaseException) -> bool:
@@ -379,7 +400,22 @@ class ParcRuntime:
         shared = getattr(self.cluster, "metrics", None)
         if shared is not None:
             exports.append(shared.export())
-        return {"nodes": nodes, "cluster": merge_exports(exports)}
+        merged = merge_exports(exports)
+        # PO aggregation counters, summed over the grains this runtime
+        # tracks: how many aggregate messages left versus unbatched
+        # singles (the split behind the historical batches_sent total).
+        grains = list(self._grains)
+        merged["po.batches"] = {
+            "type": "counter",
+            "value": sum(g.batches for g in grains),
+            "help": "aggregate (processN) messages shipped by live POs",
+        }
+        merged["po.singles"] = {
+            "type": "counter",
+            "value": sum(g.singles for g in grains),
+            "help": "single-call messages shipped by live POs",
+        }
+        return {"nodes": nodes, "cluster": merged}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -488,6 +524,7 @@ def init(
             chaos_plan=config.chaos_plan,
             chaos_controller=config.chaos_controller,
             telemetry=config.telemetry,
+            wire_fastpath=config.wire_fastpath,
         )
         _runtime = ParcRuntime(cluster)
         return _runtime

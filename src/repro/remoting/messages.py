@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.serialization import serializable
+from repro.serialization import register_codec, serializable
 
 
 @serializable(name="parc.remoting.Call")
@@ -74,3 +74,11 @@ class ReturnMessage:
     @property
     def is_error(self) -> bool:
         return self.error is not None
+
+
+# The protocol messages dominate the wire hot path, so all three get
+# compiled codecs: encode skips the per-value type ladder, decode installs
+# fields directly.  Payloads stay byte-identical to the generic formatter.
+register_codec(CallMessage)
+register_codec(RemoteErrorInfo)
+register_codec(ReturnMessage)

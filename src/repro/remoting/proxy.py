@@ -52,6 +52,9 @@ class RemoteProxy:
         self._parc_host = host
         self._parc_lock = threading.Lock()
         self._parc_route = None  # cached (channel, authority, path)
+        # Serialized size of the last request body sent through this proxy
+        # (best-effort statistic; feeds the adaptive grain controller).
+        self._parc_last_wire_bytes = 0
 
     # -- plumbing ------------------------------------------------------------
 
@@ -105,9 +108,15 @@ class RemoteProxy:
                 ctx = current_context.get()
                 if ctx is not None:
                     headers[TRACE_HEADER] = to_header(ctx)
-                body = channel.formatter.dumps(call)
-                response = channel.call(authority, path, body, headers=headers)
-                result = channel.formatter.loads(response)
+                # round_trip lets socket transports use their zero-copy
+                # encode/decode path; wrapper channels fall back to the
+                # dumps -> call -> loads composition automatically.
+                result = channel.round_trip(
+                    authority, path, call, headers=headers
+                )
+                self._parc_last_wire_bytes = getattr(
+                    channel, "last_request_bytes", 0
+                )
         finally:
             current_host.reset(token)
         if not isinstance(result, ReturnMessage):

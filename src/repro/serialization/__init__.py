@@ -27,15 +27,29 @@ from repro.serialization.registry import (
     serializable,
 )
 from repro.serialization.binary import BinaryFormatter
+from repro.serialization.codec import (
+    CodecRegistry,
+    CompiledCodec,
+    FastBinaryFormatter,
+    compile_codec,
+    default_codec_registry,
+    register_codec,
+)
 from repro.serialization.soap import SoapFormatter
 from repro.serialization.base import Formatter
 
 __all__ = [
     "BinaryFormatter",
+    "CodecRegistry",
+    "CompiledCodec",
+    "FastBinaryFormatter",
     "Formatter",
     "SerializationRegistry",
     "SoapFormatter",
     "Surrogate",
+    "compile_codec",
+    "default_codec_registry",
     "default_registry",
+    "register_codec",
     "serializable",
 ]

@@ -96,6 +96,44 @@ def read_uvarint(buf: io.BytesIO) -> int:
             raise WireFormatError("varint too long")
 
 
+def append_uvarint(out: bytearray, value: int) -> None:
+    """Append *value* (non-negative) as a LEB128 varint to a bytearray.
+
+    The allocation-free sibling of :func:`write_uvarint`, used by the
+    zero-copy fast path (:mod:`repro.serialization.codec`).  Both emit
+    identical bytes.
+    """
+    if value < 0:
+        raise SerializationError(f"uvarint cannot encode negative {value}")
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def uvarint_from(buf: Any, pos: int) -> tuple[int, int]:
+    """Read a LEB128 varint from a buffer at *pos*; returns (value, pos').
+
+    *buf* may be ``bytes``, ``bytearray`` or a ``memoryview`` — indexing
+    yields ints either way, so the fast decode path never materialises an
+    intermediate ``BytesIO``.
+    """
+    shift = 0
+    result = 0
+    size = len(buf)
+    while True:
+        if pos >= size:
+            raise WireFormatError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 630:  # ints are unbounded but varints here are lengths
+            raise WireFormatError("varint too long")
+
+
 def zigzag(value: int) -> int:
     return (value << 1) ^ (value >> 63) if value >= 0 else (value << 1) ^ -1
 

@@ -1,0 +1,944 @@
+"""Compiled per-class codecs and the zero-copy binary fast path.
+
+The generic :class:`~repro.serialization.binary.BinaryFormatter` walks a
+per-value type ladder into a fresh ``BytesIO`` for every encode and copies
+every slice on decode.  That is fine for arbitrary object graphs, but the
+wire hot path (remoting call/return messages, aggregated ``processN``
+batches) is dominated by a handful of *fixed-shape* registered classes
+whose field layout is known ahead of time.  This module compiles those
+classes once:
+
+* :func:`compile_codec` inspects a registered dataclass and builds a
+  :class:`CompiledCodec` — the object-tag prefix, wire name and per-field
+  name prefixes are precomputed constant byte strings, and each field gets
+  a specialized encoder/decoder picked from its annotation (zigzag-varint
+  ints, ``struct``-packed floats, raw utf-8 strings), so encoding an
+  instance is a handful of ``bytearray`` appends with **no per-value type
+  ladder** and no state-dict allocation.
+* :class:`FastBinaryFormatter` emits and accepts the *same* tagged wire
+  format as :class:`BinaryFormatter` — byte-for-byte — but encodes into a
+  caller-supplied ``bytearray`` (:meth:`FastBinaryFormatter.dumps_into`)
+  and decodes from a ``memoryview`` with no intermediate ``BytesIO`` or
+  slice copies.  Old and new payloads interoperate on the wire in both
+  directions (fuzz-tested in ``tests/unit/test_codec.py``).
+* :class:`CodecRegistry` keys codecs by class (encode) and wire name
+  (decode); unregistered classes fall back transparently to the generic
+  object path, so the fast formatter never rejects what the generic one
+  accepts.
+
+Identity semantics are preserved: the reference memo is maintained in the
+same pre-order as the generic encoder (a compiled object still occupies a
+memo slot), so shared sub-objects and back-references decode identically
+whichever side compiled the class.  A class whose instances are expected
+to form reference-heavy graphs can be registered with ``graph=True`` to
+skip compilation and keep the fully general memoized object path.
+
+The module also hosts the *method-signature* half of the fast path:
+:func:`method_column_plan` derives per-argument column kinds from a
+``@parallel`` method's annotations, and :func:`pack_columns` transposes a
+homogeneous aggregation batch into columns (``array('d')`` blobs for
+all-float columns) so a ``processN`` flush encodes the argument schema
+once instead of one tuple+dict wrapper per call.
+"""
+
+from __future__ import annotations
+
+import array
+import dataclasses
+import inspect
+import struct
+import threading
+import typing
+from operator import attrgetter
+from typing import Any, Callable, Sequence
+
+from repro.errors import SerializationError, WireFormatError
+from repro.serialization.binary import (
+    _ARRAY_TYPECODES,
+    _Placeholder,
+    BinaryFormatter,
+    append_uvarint,
+    uvarint_from,
+    zigzag,
+)
+from repro.serialization.registry import (
+    SerializationRegistry,
+    default_registry,
+)
+
+try:  # numpy is an optional but supported payload type (int[] workloads)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
+# Integer tag values (the decode ladder indexes memoryviews, which yield
+# ints); byte values below must stay in lockstep with binary.py's tags.
+_O_NONE = ord("N")
+_O_TRUE = ord("T")
+_O_FALSE = ord("F")
+_O_INT = ord("i")
+_O_BIGINT = ord("l")
+_O_FLOAT = ord("d")
+_O_COMPLEX = ord("c")
+_O_STR = ord("s")
+_O_BYTES = ord("b")
+_O_BYTEARRAY = ord("y")
+_O_LIST = ord("L")
+_O_TUPLE = ord("U")
+_O_DICT = ord("D")
+_O_SET = ord("S")
+_O_FROZENSET = ord("z")
+_O_ARRAY = ord("A")
+_O_NDARRAY = ord("M")
+_O_OBJECT = ord("O")
+_O_REF = ord("R")
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+_DOUBLE = struct.Struct(">d")
+_TAGGED_DOUBLE = struct.Struct(">cd")  # tag byte + IEEE-754 double, one pack
+_TAGGED_COMPLEX = struct.Struct(">cdd")
+
+_OBJECT_GETSTATE = getattr(object, "__getstate__", None)
+
+
+def _uvarint_bytes(value: int) -> bytes:
+    out = bytearray()
+    append_uvarint(out, value)
+    return bytes(out)
+
+
+# -- specialized field encoders/decoders -------------------------------------
+#
+# One pair per annotation kind.  Encoders verify the runtime type before
+# taking the specialized path — an ``int``-annotated field holding a float
+# (Python does not enforce annotations) falls back to the generic ladder,
+# so compiled output is always exactly what the generic encoder would emit.
+
+
+def _enc_any(fmt: "FastBinaryFormatter", out: bytearray, value: Any,
+             memo: dict) -> None:
+    fmt._encode_fast(out, value, memo)
+
+
+def _enc_int(fmt: "FastBinaryFormatter", out: bytearray, value: Any,
+             memo: dict) -> None:
+    if type(value) is int and _I64_MIN <= value <= _I64_MAX:
+        out.append(_O_INT)
+        value = (value << 1) ^ (value >> 63)
+        while value > 0x7F:
+            out.append((value & 0x7F) | 0x80)
+            value >>= 7
+        out.append(value)
+    else:
+        fmt._encode_fast(out, value, memo)
+
+
+def _enc_float(fmt: "FastBinaryFormatter", out: bytearray, value: Any,
+               memo: dict) -> None:
+    if type(value) is float:
+        out += _TAGGED_DOUBLE.pack(b"d", value)
+    else:
+        fmt._encode_fast(out, value, memo)
+
+
+def _enc_bool(fmt: "FastBinaryFormatter", out: bytearray, value: Any,
+              memo: dict) -> None:
+    if value is True:
+        out.append(_O_TRUE)
+    elif value is False:
+        out.append(_O_FALSE)
+    else:
+        fmt._encode_fast(out, value, memo)
+
+
+def _enc_str(fmt: "FastBinaryFormatter", out: bytearray, value: Any,
+             memo: dict) -> None:
+    if type(value) is str:
+        encoded = value.encode("utf-8")
+        out.append(_O_STR)
+        append_uvarint(out, len(encoded))
+        out += encoded
+    else:
+        fmt._encode_fast(out, value, memo)
+
+
+def _enc_bytes(fmt: "FastBinaryFormatter", out: bytearray, value: Any,
+               memo: dict) -> None:
+    if type(value) is bytes:
+        out.append(_O_BYTES)
+        append_uvarint(out, len(value))
+        out += value
+    else:
+        fmt._encode_fast(out, value, memo)
+
+
+def _dec_any(fmt: "FastBinaryFormatter", buf: Any, pos: int,
+             refs: list) -> tuple[Any, int]:
+    return fmt._decode_fast(buf, pos, refs)
+
+
+def _dec_int(fmt: "FastBinaryFormatter", buf: Any, pos: int,
+             refs: list) -> tuple[Any, int]:
+    if buf[pos] == _O_INT:
+        value, pos = uvarint_from(buf, pos + 1)
+        return (value >> 1) ^ -(value & 1), pos
+    return fmt._decode_fast(buf, pos, refs)
+
+
+def _dec_float(fmt: "FastBinaryFormatter", buf: Any, pos: int,
+               refs: list) -> tuple[Any, int]:
+    if buf[pos] == _O_FLOAT:
+        return _DOUBLE.unpack_from(buf, pos + 1)[0], pos + 9
+    return fmt._decode_fast(buf, pos, refs)
+
+
+def _dec_bool(fmt: "FastBinaryFormatter", buf: Any, pos: int,
+              refs: list) -> tuple[Any, int]:
+    tag = buf[pos]
+    if tag == _O_TRUE:
+        return True, pos + 1
+    if tag == _O_FALSE:
+        return False, pos + 1
+    return fmt._decode_fast(buf, pos, refs)
+
+
+def _dec_str(fmt: "FastBinaryFormatter", buf: Any, pos: int,
+             refs: list) -> tuple[Any, int]:
+    if buf[pos] == _O_STR:
+        size, pos = uvarint_from(buf, pos + 1)
+        end = pos + size
+        if end > len(buf):
+            raise WireFormatError("truncated string payload")
+        return str(buf[pos:end], "utf-8"), end
+    return fmt._decode_fast(buf, pos, refs)
+
+
+def _dec_bytes(fmt: "FastBinaryFormatter", buf: Any, pos: int,
+               refs: list) -> tuple[Any, int]:
+    if buf[pos] == _O_BYTES:
+        size, pos = uvarint_from(buf, pos + 1)
+        end = pos + size
+        if end > len(buf):
+            raise WireFormatError("truncated bytes payload")
+        return bytes(buf[pos:end]), end
+    return fmt._decode_fast(buf, pos, refs)
+
+
+_FIELD_CODECS: dict[type, tuple[Callable, Callable]] = {
+    int: (_enc_int, _dec_int),
+    float: (_enc_float, _dec_float),
+    bool: (_enc_bool, _dec_bool),
+    str: (_enc_str, _dec_str),
+    bytes: (_enc_bytes, _dec_bytes),
+}
+
+
+def _annotation_kind(annotation: Any) -> tuple[Callable, Callable]:
+    """Specialized (encoder, decoder) for a field annotation, or generic."""
+    return _FIELD_CODECS.get(annotation, (_enc_any, _dec_any))
+
+
+def _resolved_hints(obj: Any) -> dict[str, Any]:
+    """Best-effort annotation resolution (PEP 563 strings and all)."""
+    try:
+        return typing.get_type_hints(obj)
+    except Exception:  # noqa: BLE001 - unresolvable hints mean "no hints"
+        return {}
+
+
+@dataclasses.dataclass(frozen=True)
+class _FieldCodec:
+    """One compiled field: constant name prefix + specialized enc/dec."""
+
+    name: str
+    prefix: bytes  # uvarint(len(name)) + utf-8 name, as the wire carries it
+    enc: Callable
+    dec: Callable
+
+
+class CompiledCodec:
+    """Specialized encoder/decoder for one registered dataclass.
+
+    The compiled encode path appends the class's precomputed object-tag
+    prefix (tag + wire name + field count) and then, per field, a constant
+    name prefix plus the field's specialized value encoding — matching the
+    generic formatter byte-for-byte.  Decode walks the same layout; when a
+    payload does not match the compiled shape (an old peer sent a renamed
+    or missing field) it degrades to the generic state-dict path, keeping
+    the registry's schema-evolution rules (`__parc_upgrade__`, defaults).
+    """
+
+    __slots__ = (
+        "cls", "wire_name", "name_bytes", "prefix", "fields", "_getter",
+        "_direct",
+    )
+
+    def __init__(self, cls: type, wire_name: str,
+                 fields: Sequence[_FieldCodec]) -> None:
+        self.cls = cls
+        self.wire_name = wire_name
+        self.name_bytes = wire_name.encode("utf-8")
+        self.fields = tuple(fields)
+        prefix = bytearray()
+        prefix.append(_O_OBJECT)
+        append_uvarint(prefix, len(self.name_bytes))
+        prefix += self.name_bytes
+        append_uvarint(prefix, len(self.fields))
+        self.prefix = bytes(prefix)
+        names = [f.name for f in self.fields]
+        if len(names) == 1:
+            single = attrgetter(names[0])
+            self._getter = lambda obj: (single(obj),)
+        elif names:
+            self._getter = attrgetter(*names)
+        else:
+            self._getter = lambda obj: ()
+        # Direct field installation is only safe without restore hooks.
+        self._direct = getattr(cls, "__parc_upgrade__", None) is None
+
+    def encode(self, out: bytearray, obj: Any, fmt: "FastBinaryFormatter",
+               memo: dict) -> None:
+        out += self.prefix
+        for field, value in zip(self.fields, self._getter(obj)):
+            out += field.prefix
+            field.enc(fmt, out, value, memo)
+
+    def decode(self, fmt: "FastBinaryFormatter", buf: Any, pos: int,
+               refs: list) -> tuple[Any, int]:
+        cls = self.cls
+        obj = cls.__new__(cls)
+        refs.append(obj)  # same pre-order slot as the generic decoder
+        count, pos = uvarint_from(buf, pos)
+        values: list[Any] = []
+        matched = 0
+        if count == len(self.fields):
+            for field in self.fields:
+                end = pos + len(field.prefix)
+                if buf[pos:end] == field.prefix:
+                    value, pos = field.dec(fmt, buf, end, refs)
+                    values.append(value)
+                    matched += 1
+                else:
+                    break
+            if matched == count and self._direct:
+                set_attr = object.__setattr__
+                for field, value in zip(self.fields, values):
+                    set_attr(obj, field.name, value)
+                return obj, pos
+        # Shape mismatch (schema drift) or a restore hook: fall back to the
+        # registry's state-dict path for the remaining fields.
+        state = {
+            self.fields[i].name: values[i] for i in range(matched)
+        }
+        for _ in range(count - matched):
+            size, pos = uvarint_from(buf, pos)
+            end = pos + size
+            if end > len(buf):
+                raise WireFormatError("truncated field name")
+            name = str(buf[pos:end], "utf-8")
+            state[name], pos = fmt._decode_fast(buf, end, refs)
+        fmt.registry.restore_state(obj, state)
+        return obj, pos
+
+
+def compile_codec(
+    cls: type,
+    registry: SerializationRegistry | None = None,
+) -> CompiledCodec:
+    """Compile a specialized wire codec for registered dataclass *cls*.
+
+    Requirements (violations raise :class:`SerializationError`):
+
+    * *cls* is registered in *registry* (its wire name pins the prefix);
+    * *cls* is a dataclass — the field list is the wire schema, and the
+      generic encoder serializes dataclasses in field order, so the two
+      paths agree byte-for-byte;
+    * *cls* has no custom ``__getstate__``/``__setstate__`` — those hooks
+      define a dynamic wire shape the compiler cannot precompute (such
+      classes simply stay on the generic path).
+    """
+    registry = registry if registry is not None else default_registry
+    wire_name = registry.wire_name_of(cls)
+    if not dataclasses.is_dataclass(cls):
+        raise SerializationError(
+            f"cannot compile a codec for {cls.__qualname__}: codec "
+            f"compilation requires a dataclass (the field list is the "
+            f"wire schema)"
+        )
+    getstate = getattr(cls, "__getstate__", None)
+    if getstate is not None and getstate is not _OBJECT_GETSTATE:
+        raise SerializationError(
+            f"cannot compile a codec for {cls.__qualname__}: custom "
+            f"__getstate__ defines a dynamic wire shape"
+        )
+    if getattr(cls, "__setstate__", None) is not None:
+        raise SerializationError(
+            f"cannot compile a codec for {cls.__qualname__}: custom "
+            f"__setstate__ defines a dynamic wire shape"
+        )
+    hints = _resolved_hints(cls)
+    fields = []
+    for field in dataclasses.fields(cls):
+        enc, dec = _annotation_kind(hints.get(field.name, None))
+        name_bytes = field.name.encode("utf-8")
+        fields.append(
+            _FieldCodec(
+                name=field.name,
+                prefix=_uvarint_bytes(len(name_bytes)) + name_bytes,
+                enc=enc,
+                dec=dec,
+            )
+        )
+    return CompiledCodec(cls, wire_name, fields)
+
+
+class CodecRegistry:
+    """Compiled codecs keyed by class (encode) and wire name (decode).
+
+    The mutable dicts are shared by reference with every
+    :class:`FastBinaryFormatter` constructed against this registry, so
+    codecs registered after a formatter exists are picked up immediately.
+    Registration is idempotent per class.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.by_class: dict[type, CompiledCodec] = {}
+        self.by_name: dict[bytes, CompiledCodec] = {}
+        self._graph: set[type] = set()
+
+    def register(
+        self,
+        cls: type,
+        *,
+        graph: bool = False,
+        registry: SerializationRegistry | None = None,
+    ) -> CompiledCodec | None:
+        """Compile and install a codec for *cls*; returns it.
+
+        ``graph=True`` marks the class graph-shaped instead: no codec is
+        compiled and instances keep the fully general memoized object
+        path (returns ``None``).  Only classes that are *not* claimed by
+        a :class:`~repro.serialization.registry.Surrogate` may be
+        compiled — surrogates rewrite instances before encoding, which a
+        per-class codec would bypass.
+        """
+        if graph:
+            with self._lock:
+                codec = self.by_class.pop(cls, None)
+                if codec is not None:
+                    self.by_name.pop(codec.name_bytes, None)
+                self._graph.add(cls)
+            return None
+        codec = compile_codec(cls, registry)
+        with self._lock:
+            self._graph.discard(cls)
+            self.by_class[cls] = codec
+            self.by_name[codec.name_bytes] = codec
+        return codec
+
+    def unregister(self, cls: type) -> None:
+        with self._lock:
+            self._graph.discard(cls)
+            codec = self.by_class.pop(cls, None)
+            if codec is not None:
+                self.by_name.pop(codec.name_bytes, None)
+
+    def codec_for(self, cls: type) -> CompiledCodec | None:
+        return self.by_class.get(cls)
+
+    def is_graph(self, cls: type) -> bool:
+        return cls in self._graph
+
+    def __len__(self) -> int:
+        return len(self.by_class)
+
+
+#: Process-wide codec registry used by :func:`register_codec` and, by
+#: default, by every :class:`FastBinaryFormatter`.
+default_codec_registry = CodecRegistry()
+
+
+def register_codec(
+    cls: type,
+    *,
+    graph: bool = False,
+    registry: SerializationRegistry | None = None,
+) -> CompiledCodec | None:
+    """Compile a wire codec for *cls* into the default codec registry.
+
+    The class must already be ``@serializable``.  See
+    :meth:`CodecRegistry.register`.
+    """
+    return default_codec_registry.register(cls, graph=graph, registry=registry)
+
+
+class FastBinaryFormatter(BinaryFormatter):
+    """Zero-copy drop-in for :class:`BinaryFormatter` (same wire format).
+
+    * encode appends to a ``bytearray`` (reusable via :meth:`dumps_into`)
+      instead of a fresh ``BytesIO``;
+    * decode walks a ``memoryview`` with explicit positions — no stream
+      object, no slice copies for scalars;
+    * instances of codec-compiled classes skip the per-value type ladder
+      entirely.
+
+    ``content_type`` is inherited unchanged: both formatters speak
+    ``application/x-parc-binary`` and interoperate on the wire.
+    """
+
+    def __init__(
+        self,
+        registry: SerializationRegistry | None = None,
+        codecs: CodecRegistry | None = None,
+    ) -> None:
+        super().__init__(registry)
+        self.codecs = codecs if codecs is not None else default_codec_registry
+        # Bound dict references: one attribute load on the hot path.
+        self._codec_by_class = self.codecs.by_class
+        self._codec_by_name = self.codecs.by_name
+
+    # -- encoding -----------------------------------------------------------
+
+    def dumps(self, obj: Any) -> bytes:
+        out = bytearray()
+        self._encode_fast(out, obj, {})
+        return bytes(out)
+
+    def dumps_into(self, out: bytearray, obj: Any) -> None:
+        """Append the encoding of *obj* to *out* (no intermediate bytes)."""
+        self._encode_fast(out, obj, {})
+
+    def _encode_fast(self, out: bytearray, obj: Any, memo: dict) -> None:
+        if obj is None:
+            out.append(_O_NONE)
+            return
+        if obj is True:
+            out.append(_O_TRUE)
+            return
+        if obj is False:
+            out.append(_O_FALSE)
+            return
+        kind = type(obj)
+        if kind is int:
+            if _I64_MIN <= obj <= _I64_MAX:
+                out.append(_O_INT)
+                obj = (obj << 1) ^ (obj >> 63)
+                while obj > 0x7F:
+                    out.append((obj & 0x7F) | 0x80)
+                    obj >>= 7
+                out.append(obj)
+            else:
+                blob = obj.to_bytes(
+                    (obj.bit_length() + 8) // 8, "big", signed=True
+                )
+                out.append(_O_BIGINT)
+                append_uvarint(out, len(blob))
+                out += blob
+            return
+        if kind is float:
+            out += _TAGGED_DOUBLE.pack(b"d", obj)
+            return
+        if kind is complex:
+            out += _TAGGED_COMPLEX.pack(b"c", obj.real, obj.imag)
+            return
+        if kind is str:
+            encoded = obj.encode("utf-8")
+            out.append(_O_STR)
+            append_uvarint(out, len(encoded))
+            out += encoded
+            return
+        if kind is bytes:
+            out.append(_O_BYTES)
+            append_uvarint(out, len(obj))
+            out += obj
+            return
+        # Everything below is identity-tracked, in the same pre-order as
+        # the generic encoder so back-reference indices line up on both
+        # sides whichever formatter produced the payload.
+        ref = memo.get(id(obj))
+        if ref is not None:
+            out.append(_O_REF)
+            append_uvarint(out, ref)
+            return
+        memo[id(obj)] = len(memo)
+        if kind is tuple:
+            out.append(_O_TUPLE)
+            append_uvarint(out, len(obj))
+            for item in obj:
+                self._encode_fast(out, item, memo)
+            return
+        if kind is list:
+            out.append(_O_LIST)
+            append_uvarint(out, len(obj))
+            for item in obj:
+                self._encode_fast(out, item, memo)
+            return
+        if kind is dict:
+            out.append(_O_DICT)
+            append_uvarint(out, len(obj))
+            for key, value in obj.items():
+                self._encode_fast(out, key, memo)
+                self._encode_fast(out, value, memo)
+            return
+        codec = self._codec_by_class.get(kind)
+        if codec is not None:
+            codec.encode(out, obj, self, memo)
+            return
+        if kind is bytearray:
+            out.append(_O_BYTEARRAY)
+            append_uvarint(out, len(obj))
+            out += obj
+            return
+        if kind is set or kind is frozenset:
+            out.append(_O_SET if kind is set else _O_FROZENSET)
+            append_uvarint(out, len(obj))
+            for item in obj:
+                self._encode_fast(out, item, memo)
+            return
+        if kind is array.array:
+            if obj.typecode not in _ARRAY_TYPECODES:
+                raise SerializationError(
+                    f"unsupported array typecode {obj.typecode!r}"
+                )
+            out.append(_O_ARRAY)
+            out += obj.typecode.encode("ascii")
+            append_uvarint(out, len(obj) * obj.itemsize)
+            out += obj.tobytes()
+            return
+        if _np is not None and kind is _np.ndarray:
+            self._encode_ndarray_fast(out, obj)
+            return
+        self._encode_object_fast(out, obj, memo)
+
+    def _encode_ndarray_fast(self, out: bytearray, arr: Any) -> None:
+        if arr.dtype.hasobject:
+            raise SerializationError("object-dtype ndarrays are not portable")
+        contiguous = _np.ascontiguousarray(arr)
+        dtype = contiguous.dtype.str.encode("ascii")
+        out.append(_O_NDARRAY)
+        append_uvarint(out, len(dtype))
+        out += dtype
+        append_uvarint(out, contiguous.ndim)
+        for dim in contiguous.shape:
+            append_uvarint(out, dim)
+        append_uvarint(out, contiguous.nbytes)
+        out += contiguous.data.cast("B")  # one memcpy, no tobytes() copy
+
+    def _encode_object_fast(self, out: bytearray, obj: Any,
+                            memo: dict) -> None:
+        surrogate = self.registry.surrogate_for(obj)
+        if surrogate is not None:
+            wire_name = surrogate.wire_name
+            state = surrogate.encode(obj)
+        else:
+            wire_name = self.registry.wire_name_of(type(obj))
+            state = self.registry.state_of(obj)
+        name_bytes = wire_name.encode("utf-8")
+        out.append(_O_OBJECT)
+        append_uvarint(out, len(name_bytes))
+        out += name_bytes
+        append_uvarint(out, len(state))
+        for field, value in state.items():
+            encoded = field.encode("utf-8")
+            append_uvarint(out, len(encoded))
+            out += encoded
+            self._encode_fast(out, value, memo)
+
+    # -- decoding -----------------------------------------------------------
+
+    def loads(self, data: Any) -> Any:
+        """Decode *data* (``bytes``, ``bytearray`` or ``memoryview``)."""
+        buf = data if isinstance(data, memoryview) else memoryview(data)
+        try:
+            value, pos = self._decode_fast(buf, 0, [])
+        except SerializationError:
+            raise
+        except (ValueError, TypeError, OverflowError, UnicodeDecodeError,
+                IndexError, struct.error) as exc:
+            # Corrupted payloads must surface as wire errors, never as
+            # raw codec/numpy exceptions (fuzz-tested contract).
+            raise WireFormatError(f"malformed payload: {exc}") from exc
+        if pos != len(buf):
+            raise WireFormatError("trailing bytes after value")
+        return value
+
+    def _decode_fast(self, buf: Any, pos: int, refs: list) -> tuple[Any, int]:
+        if pos >= len(buf):
+            raise WireFormatError("truncated value (missing tag)")
+        tag = buf[pos]
+        pos += 1
+        if tag == _O_NONE:
+            return None, pos
+        if tag == _O_TRUE:
+            return True, pos
+        if tag == _O_FALSE:
+            return False, pos
+        if tag == _O_INT:
+            value, pos = uvarint_from(buf, pos)
+            return (value >> 1) ^ -(value & 1), pos
+        if tag == _O_FLOAT:
+            if pos + 8 > len(buf):
+                raise WireFormatError("truncated float payload")
+            return _DOUBLE.unpack_from(buf, pos)[0], pos + 8
+        if tag == _O_STR:
+            size, pos = uvarint_from(buf, pos)
+            end = pos + size
+            if end > len(buf):
+                raise WireFormatError("truncated string payload")
+            return str(buf[pos:end], "utf-8"), end
+        if tag == _O_BYTES:
+            size, pos = uvarint_from(buf, pos)
+            end = pos + size
+            if end > len(buf):
+                raise WireFormatError("truncated bytes payload")
+            return bytes(buf[pos:end]), end
+        if tag == _O_REF:
+            index, pos = uvarint_from(buf, pos)
+            if index >= len(refs):
+                raise WireFormatError(f"back-reference {index} out of range")
+            value = refs[index]
+            if isinstance(value, _Placeholder):
+                raise WireFormatError(
+                    "cycle through an immutable container cannot be decoded"
+                )
+            return value, pos
+        if tag == _O_TUPLE:
+            count, pos = uvarint_from(buf, pos)
+            slot = len(refs)
+            refs.append(_Placeholder())
+            items = []
+            for _ in range(count):
+                value, pos = self._decode_fast(buf, pos, refs)
+                items.append(value)
+            value = tuple(items)
+            refs[slot] = value
+            return value, pos
+        if tag == _O_LIST:
+            count, pos = uvarint_from(buf, pos)
+            items = []
+            refs.append(items)
+            for _ in range(count):
+                value, pos = self._decode_fast(buf, pos, refs)
+                items.append(value)
+            return items, pos
+        if tag == _O_DICT:
+            count, pos = uvarint_from(buf, pos)
+            mapping: dict[Any, Any] = {}
+            refs.append(mapping)
+            for _ in range(count):
+                key, pos = self._decode_fast(buf, pos, refs)
+                mapping[key], pos = self._decode_fast(buf, pos, refs)
+            return mapping, pos
+        if tag == _O_OBJECT:
+            return self._decode_object_fast(buf, pos, refs)
+        if tag == _O_BIGINT:
+            size, pos = uvarint_from(buf, pos)
+            end = pos + size
+            if end > len(buf):
+                raise WireFormatError("truncated bigint payload")
+            return int.from_bytes(buf[pos:end], "big", signed=True), end
+        if tag == _O_COMPLEX:
+            if pos + 16 > len(buf):
+                raise WireFormatError("truncated complex payload")
+            real = _DOUBLE.unpack_from(buf, pos)[0]
+            imag = _DOUBLE.unpack_from(buf, pos + 8)[0]
+            return complex(real, imag), pos + 16
+        if tag == _O_BYTEARRAY:
+            size, pos = uvarint_from(buf, pos)
+            end = pos + size
+            if end > len(buf):
+                raise WireFormatError("truncated bytearray payload")
+            value = bytearray(buf[pos:end])
+            refs.append(value)
+            return value, end
+        if tag == _O_SET:
+            count, pos = uvarint_from(buf, pos)
+            result: set[Any] = set()
+            refs.append(result)
+            for _ in range(count):
+                value, pos = self._decode_fast(buf, pos, refs)
+                result.add(value)
+            return result, pos
+        if tag == _O_FROZENSET:
+            count, pos = uvarint_from(buf, pos)
+            slot = len(refs)
+            refs.append(_Placeholder())
+            items = []
+            for _ in range(count):
+                value, pos = self._decode_fast(buf, pos, refs)
+                items.append(value)
+            value = frozenset(items)
+            refs[slot] = value
+            return value, pos
+        if tag == _O_ARRAY:
+            if pos >= len(buf):
+                raise WireFormatError("truncated array typecode")
+            typecode = chr(buf[pos])
+            if typecode not in _ARRAY_TYPECODES:
+                raise WireFormatError(f"bad array typecode {typecode!r}")
+            size, pos = uvarint_from(buf, pos + 1)
+            end = pos + size
+            if end > len(buf):
+                raise WireFormatError("truncated array payload")
+            value = array.array(typecode)
+            value.frombytes(buf[pos:end])
+            refs.append(value)
+            return value, end
+        if tag == _O_NDARRAY:
+            return self._decode_ndarray_fast(buf, pos, refs)
+        raise WireFormatError(f"unknown tag byte {bytes((tag,))!r}")
+
+    def _decode_ndarray_fast(self, buf: Any, pos: int,
+                             refs: list) -> tuple[Any, int]:
+        if _np is None:  # pragma: no cover - numpy is installed in CI
+            raise WireFormatError("ndarray on the wire but numpy unavailable")
+        size, pos = uvarint_from(buf, pos)
+        end = pos + size
+        if end > len(buf):
+            raise WireFormatError("truncated ndarray dtype")
+        dtype = str(buf[pos:end], "ascii")
+        ndim, pos = uvarint_from(buf, end)
+        shape = []
+        for _ in range(ndim):
+            dim, pos = uvarint_from(buf, pos)
+            shape.append(dim)
+        size, pos = uvarint_from(buf, pos)
+        end = pos + size
+        if end > len(buf):
+            raise WireFormatError("truncated ndarray payload")
+        value = _np.frombuffer(buf[pos:end], dtype=_np.dtype(dtype))
+        value = value.reshape(tuple(shape)).copy()  # decouple from the view
+        refs.append(value)
+        return value, end
+
+    def _decode_object_fast(self, buf: Any, pos: int,
+                            refs: list) -> tuple[Any, int]:
+        size, pos = uvarint_from(buf, pos)
+        end = pos + size
+        if end > len(buf):
+            raise WireFormatError("truncated object wire name")
+        name_raw = bytes(buf[pos:end])
+        pos = end
+        codec = self._codec_by_name.get(name_raw)
+        if codec is not None:
+            return codec.decode(self, buf, pos, refs)
+        wire_name = name_raw.decode("utf-8")
+        surrogate = self.registry.surrogate_by_name(wire_name)
+        if surrogate is not None:
+            # The final value only exists after decode(), so back-references
+            # into a surrogate-encoded object are unsupported (placeholder
+            # makes that a clear error rather than silent corruption).
+            slot = len(refs)
+            refs.append(_Placeholder())
+            count, pos = uvarint_from(buf, pos)
+            state: dict[str, Any] = {}
+            for _ in range(count):
+                size, pos = uvarint_from(buf, pos)
+                end = pos + size
+                if end > len(buf):
+                    raise WireFormatError("truncated field name")
+                field = str(buf[pos:end], "utf-8")
+                state[field], pos = self._decode_fast(buf, end, refs)
+            value = surrogate.decode(state)
+            refs[slot] = value
+            return value, pos
+        obj = self.registry.new_instance(wire_name)
+        refs.append(obj)
+        count, pos = uvarint_from(buf, pos)
+        state = {}
+        for _ in range(count):
+            size, pos = uvarint_from(buf, pos)
+            end = pos + size
+            if end > len(buf):
+                raise WireFormatError("truncated field name")
+            field = str(buf[pos:end], "utf-8")
+            state[field], pos = self._decode_fast(buf, end, refs)
+        self.registry.restore_state(obj, state)
+        return obj, pos
+
+
+# -- columnar batch packing (the processN aggregate fast path) ---------------
+
+
+def method_column_plan(func: Any) -> tuple[str | None, ...] | None:
+    """Column kinds for a ``@parallel`` method's positional parameters.
+
+    Compiled once per (class, method) by the proxy-object layer; each
+    entry is ``"float"``/``"int"``/``None`` per parameter after ``self``.
+    Returns ``None`` when the method has no usable signature, which makes
+    :func:`pack_columns` probe column types dynamically instead.
+    """
+    if func is None:
+        return None
+    try:
+        signature = inspect.signature(func)
+    except (TypeError, ValueError):
+        return None
+    hints = _resolved_hints(func)
+    plan: list[str | None] = []
+    parameters = list(signature.parameters.values())
+    if parameters and parameters[0].name in ("self", "cls"):
+        parameters = parameters[1:]
+    for parameter in parameters:
+        if parameter.kind not in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            return None  # *args/keyword-only: shape not statically known
+        annotation = hints.get(parameter.name)
+        if annotation is float:
+            plan.append("float")
+        elif annotation is int:
+            plan.append("int")
+        else:
+            plan.append(None)
+    return tuple(plan)
+
+
+def pack_columns(
+    batch: Sequence[tuple[tuple, dict]],
+    plan: tuple[str | None, ...] | None = None,
+) -> tuple | None:
+    """Transpose a homogeneous aggregation batch into argument columns.
+
+    *batch* is the proxy object's buffered ``[(args, kwargs), ...]``.
+    Returns one column per positional argument — a ``list``, or an
+    ``array('d')`` blob when every value in the column is a float (8
+    bytes/value on the wire in one memcpy, versus a 9-byte tagged double
+    each) — or ``None`` when the batch is heterogeneous (any kwargs, or
+    mixed arity) and must travel as a classic ``[(args, kwargs)]`` batch.
+
+    *plan* is an optional :func:`method_column_plan`; a column whose
+    annotation already rules out floats skips the type scan.
+    """
+    if not batch:
+        return None
+    arity = len(batch[0][0])
+    for args, kwargs in batch:
+        if kwargs or len(args) != arity:
+            return None
+    columns = []
+    for index in range(arity):
+        column = [args[index] for args, _kwargs in batch]
+        kind = plan[index] if plan is not None and index < len(plan) else None
+        if kind != "int" and all(type(value) is float for value in column):
+            columns.append(array.array("d", column))
+        else:
+            columns.append(column)
+    return tuple(columns)
+
+
+def unpack_columns(count: int, columns: Sequence) -> list[tuple[tuple, dict]]:
+    """Rebuild the ``[(args, kwargs), ...]`` batch from columnar form."""
+    if not columns:
+        return [((), {}) for _ in range(count)]
+    batch = [(args, {}) for args in zip(*columns)]
+    if len(batch) != count:
+        raise SerializationError(
+            f"columnar batch length mismatch: header says {count} calls, "
+            f"columns carry {len(batch)}"
+        )
+    return batch

@@ -1,0 +1,139 @@
+"""Property tests: compiled codecs vs the generic binary formatter.
+
+Satellite coverage for the wire fast path — fuzzes registered-class
+round-trips and asserts *byte-level* interop in both directions (old
+encoder → new decoder, new encoder → old decoder), plus graceful fallback
+behaviour on unregistered classes and corrupted payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import SerializationError, UnknownTypeError
+from repro.serialization import (
+    BinaryFormatter,
+    CodecRegistry,
+    FastBinaryFormatter,
+    serializable,
+)
+
+
+@serializable(name="test.codecprops.Record")
+@dataclass
+class Record:
+    count: int
+    ratio: float
+    label: str
+    blob: bytes
+    flag: bool
+    payload: object = None
+
+
+@serializable(name="test.codecprops.Pair")
+@dataclass
+class Pair:
+    left: Record
+    right: Record
+    tags: list = field(default_factory=list)
+
+
+class NeverRegistered:
+    pass
+
+
+_codecs = CodecRegistry()
+_codecs.register(Record)
+_codecs.register(Pair)
+
+generic = BinaryFormatter()
+fast = FastBinaryFormatter(codecs=_codecs)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.tuples(children, children),
+    ),
+    max_leaves=12,
+)
+
+records = st.builds(
+    Record,
+    count=st.integers(),
+    ratio=st.floats(allow_nan=False),
+    label=st.text(max_size=40),
+    blob=st.binary(max_size=40),
+    flag=st.booleans(),
+    payload=payloads,
+)
+
+pairs = st.builds(
+    Pair,
+    left=records,
+    right=records,
+    tags=st.lists(scalars, max_size=4),
+)
+
+compiled_values = st.one_of(records, pairs, st.lists(records, max_size=3))
+
+
+@settings(max_examples=150, deadline=None)
+@given(compiled_values)
+def test_compiled_and_generic_encodings_are_byte_identical(value):
+    assert fast.dumps(value) == generic.dumps(value)
+
+
+@settings(max_examples=150, deadline=None)
+@given(compiled_values)
+def test_old_encoder_new_decoder_roundtrip(value):
+    assert fast.loads(generic.dumps(value)) == value
+
+
+@settings(max_examples=150, deadline=None)
+@given(compiled_values)
+def test_new_encoder_old_decoder_roundtrip(value):
+    assert generic.loads(fast.dumps(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(payloads)
+def test_generic_values_stay_byte_identical_without_codecs(value):
+    assert fast.dumps(value) == generic.dumps(value)
+    assert fast.loads(generic.dumps(value)) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(records, st.data())
+def test_corrupted_payloads_raise_serialization_errors(value, data):
+    payload = bytearray(fast.dumps(value))
+    cut = data.draw(st.integers(min_value=0, max_value=len(payload)))
+    flip = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+    payload[flip] ^= data.draw(st.integers(min_value=1, max_value=255))
+    try:
+        fast.loads(bytes(payload[:cut]))
+    except SerializationError:
+        pass  # the only acceptable failure mode
+    # Any successful decode of a mutated payload is fine too (the flip may
+    # have landed in a value byte) — the contract is "no raw exceptions".
+
+
+def test_unregistered_class_fallback_matches_generic():
+    with pytest.raises(UnknownTypeError):
+        generic.dumps(NeverRegistered())
+    with pytest.raises(UnknownTypeError):
+        fast.dumps(NeverRegistered())

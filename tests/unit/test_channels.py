@@ -303,8 +303,10 @@ class TestChannelServices:
 
 
 def echo_handler(path, body, headers):
+    # `body` may be a memoryview into the server's reusable receive buffer
+    # on the fast path — bytes-like, but must be copied to concatenate.
     prefix = headers.get("prefix", "")
-    return f"{prefix}{path}:".encode() + body
+    return f"{prefix}{path}:".encode() + bytes(body)
 
 
 @pytest.fixture(params=["loopback", "tcp", "http", "aio"])

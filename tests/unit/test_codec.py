@@ -1,0 +1,289 @@
+"""Unit tests for the compiled-codec fast path (`repro.serialization.codec`)."""
+
+from __future__ import annotations
+
+import array
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.errors import SerializationError, UnknownTypeError, WireFormatError
+from repro.serialization import (
+    BinaryFormatter,
+    CodecRegistry,
+    FastBinaryFormatter,
+    SerializationRegistry,
+    compile_codec,
+    serializable,
+)
+from repro.serialization.codec import (
+    method_column_plan,
+    pack_columns,
+    unpack_columns,
+)
+
+
+@serializable(name="test.codec.Sample")
+@dataclass
+class Sample:
+    count: int
+    ratio: float
+    label: str
+    blob: bytes = b""
+    flag: bool = False
+    payload: object = None
+
+
+@serializable(name="test.codec.Nested")
+@dataclass
+class Nested:
+    inner: Sample
+    extras: list = field(default_factory=list)
+
+
+@serializable(name="test.codec.Graphish")
+@dataclass
+class Graphish:
+    items: list = field(default_factory=list)
+
+
+@serializable(name="test.codec.CustomState")
+class CustomState:
+    def __init__(self):
+        self.kept = 1
+
+    def __getstate__(self):
+        return {"kept": self.kept}
+
+    def __setstate__(self, state):
+        self.kept = state["kept"]
+
+
+class Unregistered:
+    pass
+
+
+@pytest.fixture
+def codecs():
+    registry = CodecRegistry()
+    registry.register(Sample)
+    registry.register(Nested)
+    return registry
+
+
+@pytest.fixture
+def fast(codecs):
+    return FastBinaryFormatter(codecs=codecs)
+
+
+@pytest.fixture
+def generic():
+    return BinaryFormatter()
+
+
+SAMPLES = [
+    Sample(count=7, ratio=2.5, label="hello", blob=b"\x00\xff", flag=True),
+    Sample(count=-(2**62), ratio=float("inf"), label="", payload=[1, {"k": 2}]),
+    Sample(count=2**100, ratio=1.0, label="big int falls back", flag=False),
+    Nested(inner=Sample(1, 1.0, "in"), extras=[1, "two", (3.0,)]),
+]
+
+
+@pytest.mark.parametrize("value", SAMPLES, ids=lambda v: type(v).__name__)
+def test_compiled_encode_is_byte_identical(generic, fast, value):
+    assert generic.dumps(value) == fast.dumps(value)
+
+
+@pytest.mark.parametrize("value", SAMPLES, ids=lambda v: type(v).__name__)
+def test_wire_interop_both_directions(generic, fast, value):
+    assert fast.loads(generic.dumps(value)) == value
+    assert generic.loads(fast.dumps(value)) == value
+
+
+def test_identity_memo_matches_generic(generic, fast):
+    shared = Sample(1, 1.0, "shared")
+    graph = [shared, shared, (shared, [shared])]
+    assert generic.dumps(graph) == fast.dumps(graph)
+    decoded = fast.loads(generic.dumps(graph))
+    assert decoded[0] is decoded[1]
+    assert decoded[2][0] is decoded[0]
+
+
+def test_dumps_into_appends_to_existing_buffer(fast):
+    out = bytearray(b"HDR")
+    fast.dumps_into(out, Sample(1, 2.0, "x"))
+    assert out[:3] == b"HDR"
+    assert fast.loads(memoryview(out)[3:]) == Sample(1, 2.0, "x")
+
+
+def test_loads_accepts_memoryview_and_bytearray(fast):
+    payload = fast.dumps(SAMPLES[0])
+    assert fast.loads(bytearray(payload)) == SAMPLES[0]
+    assert fast.loads(memoryview(payload)) == SAMPLES[0]
+
+
+def test_annotation_lies_fall_back_to_generic_ladder(generic, fast):
+    # `count` is annotated int but holds a float: the specialized encoder
+    # must not mis-tag it.  Payload stays byte-identical to the generic one.
+    value = Sample(count=1.5, ratio=2, label=None, blob="not-bytes")
+    assert generic.dumps(value) == fast.dumps(value)
+    assert generic.loads(fast.dumps(value)) == value
+
+
+def test_truncated_payloads_raise_wire_errors(fast):
+    payload = fast.dumps(SAMPLES[0])
+    for cut in range(len(payload)):
+        with pytest.raises(SerializationError):
+            fast.loads(payload[:cut])
+
+
+def test_unregistered_class_raises_like_generic(generic, fast):
+    with pytest.raises(UnknownTypeError):
+        generic.dumps(Unregistered())
+    with pytest.raises(UnknownTypeError):
+        fast.dumps(Unregistered())
+
+
+def test_compile_refuses_non_dataclass():
+    with pytest.raises(SerializationError, match="dataclass"):
+        compile_codec(CustomState)
+
+
+def test_compile_refuses_custom_state_hooks():
+    @dataclass
+    class Hooked:
+        kept: int = 0
+
+        def __getstate__(self):
+            return {"kept": self.kept}
+
+    registry = SerializationRegistry()
+    registry.register(Hooked, "test.codec.Hooked")
+    with pytest.raises(SerializationError, match="__getstate__"):
+        compile_codec(Hooked, registry)
+
+
+def test_graph_marker_keeps_generic_path(generic):
+    codecs = CodecRegistry()
+    codecs.register(Sample)
+    assert codecs.codec_for(Sample) is not None
+    codecs.register(Graphish, graph=True)
+    assert codecs.codec_for(Graphish) is None
+    assert codecs.is_graph(Graphish)
+    # Re-marking a compiled class as graph-shaped evicts its codec.
+    codecs.register(Sample, graph=True)
+    assert codecs.codec_for(Sample) is None
+    fmt = FastBinaryFormatter(codecs=codecs)
+    cyclic = Graphish()
+    cyclic.items.append(cyclic)
+    decoded = fmt.loads(generic.dumps(cyclic))
+    assert decoded.items[0] is decoded
+
+
+def test_codecs_registered_after_formatter_are_picked_up(generic):
+    codecs = CodecRegistry()
+    fmt = FastBinaryFormatter(codecs=codecs)
+    value = Sample(3, 3.0, "late")
+    before = fmt.dumps(value)
+    codecs.register(Sample)
+    after = fmt.dumps(value)
+    assert before == after == generic.dumps(value)
+
+
+def test_schema_drift_falls_back_to_state_restore():
+    # An "old" peer compiled (a, b); the "new" class is (a, c=9).  The field
+    # mismatch mid-decode must degrade to the registry's state-dict path:
+    # `a` keeps its value, stray `b` is attached, missing `c` gets its
+    # dataclass default.
+    @dataclass
+    class OldShape:
+        a: int
+        b: int
+
+    @dataclass
+    class NewShape:
+        a: int
+        c: int = 9
+
+    old_reg = SerializationRegistry()
+    old_reg.register(OldShape, "test.codec.Evolving")
+    old_codecs = CodecRegistry()
+    old_codecs.register(OldShape, registry=old_reg)
+    new_reg = SerializationRegistry()
+    new_reg.register(NewShape, "test.codec.Evolving")
+    new_codecs = CodecRegistry()
+    new_codecs.register(NewShape, registry=new_reg)
+
+    old_fmt = FastBinaryFormatter(old_reg, old_codecs)
+    new_fmt = FastBinaryFormatter(new_reg, new_codecs)
+    decoded = new_fmt.loads(old_fmt.dumps(OldShape(a=4, b=5)))
+    assert type(decoded) is NewShape
+    assert decoded.a == 4
+    assert decoded.c == 9
+    assert decoded.b == 5  # unknown field preserved as a plain attribute
+
+
+# -- columnar batch packing ---------------------------------------------------
+
+
+class WithSignature:
+    def step(self, x: float, n: int, anything):
+        pass
+
+    def varargs(self, *values: float):
+        pass
+
+    def kwonly(self, *, k: int = 0):
+        pass
+
+
+def test_method_column_plan_reads_annotations():
+    assert method_column_plan(WithSignature.step) == ("float", "int", None)
+    assert method_column_plan(WithSignature.varargs) is None
+    assert method_column_plan(WithSignature.kwonly) is None
+    assert method_column_plan(None) is None
+
+
+def test_pack_columns_builds_float_blobs():
+    batch = [((float(i), i, "s"), {}) for i in range(8)]
+    columns = pack_columns(batch, method_column_plan(WithSignature.step))
+    assert isinstance(columns[0], array.array)
+    assert columns[0].typecode == "d"
+    assert isinstance(columns[1], list)
+    assert unpack_columns(8, columns) == batch
+
+
+def test_pack_columns_verifies_floats_despite_plan():
+    # The plan says float, but a caller passed an int: the column must stay
+    # a list (packing into array('d') would silently coerce 1 -> 1.0).
+    batch = [((1.0,), {}), ((2,), {})]
+    columns = pack_columns(batch, ("float",))
+    assert isinstance(columns[0], list)
+    assert unpack_columns(2, columns) == batch
+
+
+def test_pack_columns_rejects_heterogeneous_batches():
+    assert pack_columns([]) is None
+    assert pack_columns([((1,), {"k": 1})]) is None
+    assert pack_columns([((1,), {}), ((1, 2), {})]) is None
+
+
+def test_pack_columns_zero_arg_batch():
+    batch = [((), {}) for _ in range(5)]
+    assert pack_columns(batch) == ()
+    assert unpack_columns(5, ()) == batch
+
+
+def test_unpack_columns_length_mismatch_raises():
+    with pytest.raises(SerializationError, match="mismatch"):
+        unpack_columns(3, ([1, 2],))
+
+
+def test_columnar_aggregate_is_materially_smaller(fast):
+    # The acceptance-style size check: a 64-call aggregate in columnar form
+    # must encode >=1.5x smaller than the legacy [(args, kwargs), ...] batch.
+    batch = [((float(i), i), {}) for i in range(64)]
+    legacy = fast.dumps(("step", batch))
+    columns = pack_columns(batch)
+    columnar = fast.dumps(("step", 64, columns))
+    assert len(legacy) / len(columnar) >= 1.5
