@@ -1,4 +1,4 @@
-"""Record wire fast-path numbers to a JSON artifact (CI trend tracking).
+"""Record wire + backplane + latency-table numbers to a JSON artifact.
 
 Usage::
 
@@ -6,9 +6,14 @@ Usage::
 
 Writes ``BENCH_wire.json`` (or the given path): ping-pong round trips per
 second for fast/legacy over tcp and aio at several payload sizes, the
-columnar-versus-row aggregate encoding sizes, and the derived ratios the
-test suite guards.  Absolute rates are this machine's; the ratios are the
-comparable shape.
+same payloads over the shm backplane, the columnar-versus-row aggregate
+encoding sizes, the TAB-LAT latency table (modeled one-way latencies and
+live localhost round trips per stack), and the derived ratios the test
+suite guards.  Absolute rates are this machine's; the ratios are the
+comparable shape.  ``cpus`` is recorded because the shm-vs-tcp ratio is
+scheduling-bound: with one CPU the spin path never runs and every round
+trip costs the same two context switches tcp pays, so only multi-core
+hosts can show the spin-path speedup the CI guardrail asserts.
 """
 
 from __future__ import annotations
@@ -20,12 +25,52 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from test_shm_backplane import pingpong_rate as backplane_pingpong_rate
 from test_wire_fastpath import PAYLOAD_BYTES, columnar_sizes, pingpong_rate
 
 from repro.aio import AioTcpChannel
+from repro.benchlib import (
+    live_pingpong_mpi,
+    live_pingpong_nio,
+    live_pingpong_remoting,
+    live_pingpong_rmi,
+)
 from repro.channels.tcp import TcpChannel
+from repro.perfmodel import JAVA_NIO, JAVA_RMI, MONO_117_TCP, MPI_MPICH
+from repro.shm import ShmChannel
 
 SIZES = (1024, 16 * 1024, PAYLOAD_BYTES)
+
+LATENCY_ROUNDS = 30
+LATENCY_N_INTS = 64
+
+
+def collect_latency_table() -> dict:
+    """The TAB-LAT rows: modeled one-way latencies + live round trips."""
+    return {
+        "modeled_one_way_s": {
+            "mpi": MPI_MPICH.one_way_latency_s,
+            "java_rmi": JAVA_RMI.one_way_latency_s,
+            "mono_tcp": MONO_117_TCP.one_way_latency_s,
+            "java_nio": JAVA_NIO.one_way_latency_s,
+        },
+        "live_round_trip_s": {
+            "mpi_threads": live_pingpong_mpi(LATENCY_N_INTS, LATENCY_ROUNDS),
+            "nio_sockets": live_pingpong_nio(LATENCY_N_INTS, LATENCY_ROUNDS),
+            "rmi_sockets": live_pingpong_rmi(LATENCY_N_INTS, LATENCY_ROUNDS),
+            "remoting_tcp": live_pingpong_remoting(
+                LATENCY_N_INTS, LATENCY_ROUNDS, "tcp"
+            ),
+            "remoting_shm": live_pingpong_remoting(
+                LATENCY_N_INTS, LATENCY_ROUNDS, "shm"
+            ),
+            "remoting_http": live_pingpong_remoting(
+                LATENCY_N_INTS, LATENCY_ROUNDS, "http"
+            ),
+        },
+        "rounds": LATENCY_ROUNDS,
+        "n_ints": LATENCY_N_INTS,
+    }
 
 
 def collect() -> dict:
@@ -44,6 +89,9 @@ def collect() -> dict:
             "aio_legacy_rt_s": pingpong_rate(
                 lambda: AioTcpChannel(fastpath=False), size
             ),
+            "shm_rt_s": backplane_pingpong_rate(
+                lambda: ShmChannel(), "auto", size
+            ),
         }
     row_bytes, columnar_bytes = columnar_sizes()
     guarded = pingpong[str(PAYLOAD_BYTES)]
@@ -51,6 +99,7 @@ def collect() -> dict:
         "benchmark": "wire_fastpath",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpus": os.cpu_count(),
         "payload_sizes": list(SIZES),
         "pingpong": pingpong,
         "columnar": {
@@ -59,6 +108,7 @@ def collect() -> dict:
             "columnar_bytes": columnar_bytes,
             "ratio": row_bytes / columnar_bytes,
         },
+        "latency_table": collect_latency_table(),
         "guarded_ratios": {
             "tcp_pingpong_64k": (
                 guarded["tcp_fast_rt_s"] / guarded["tcp_legacy_rt_s"]
@@ -66,6 +116,7 @@ def collect() -> dict:
             "aio_pingpong_64k": (
                 guarded["aio_fast_rt_s"] / guarded["aio_legacy_rt_s"]
             ),
+            "shm_vs_tcp_64k": guarded["shm_rt_s"] / guarded["tcp_fast_rt_s"],
             "columnar_size_64_calls": row_bytes / columnar_bytes,
         },
     }

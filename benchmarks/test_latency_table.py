@@ -70,6 +70,9 @@ class TestLiveLatency:
                 "remoting tcp": live_pingpong_remoting(
                     self.N_INTS, self.ROUNDS, "tcp"
                 ),
+                "remoting shm": live_pingpong_remoting(
+                    self.N_INTS, self.ROUNDS, "shm"
+                ),
                 "remoting http": live_pingpong_remoting(
                     self.N_INTS, self.ROUNDS, "http"
                 ),
@@ -93,7 +96,11 @@ class TestLiveLatency:
         socket_stacks = {
             key: value
             for key, value in times.items()
-            if key != "MPI (threads)"
+            if key not in ("MPI (threads)", "remoting shm")
         }
         assert times["remoting http"] == max(socket_stacks.values())
         assert times["nio (sockets)"] < times["remoting http"]
+        # shm skips the wire entirely: it must at least beat the
+        # text-protocol stack (a weak bound that holds even on hosts
+        # where the park path, not the spin path, carries every reply).
+        assert times["remoting shm"] < times["remoting http"]

@@ -121,13 +121,30 @@ class _EchoServer(MarshalByRefObject):
 def live_pingpong_remoting(
     n_ints: int, rounds: int = 10, channel_kind: str = "tcp"
 ) -> float:
-    """Average round-trip seconds over real sockets (remoting stack)."""
+    """Average round-trip seconds over a real transport (remoting stack).
+
+    ``channel_kind`` is any base scheme the factory knows — ``"tcp"``,
+    ``"http"``, ``"shm"`` (shared-memory rings, no wire at all), ...
+    """
     from repro.channels.services import ChannelServices
 
-    channel_cls = TcpChannel if channel_kind == "tcp" else HttpChannel
+    if channel_kind == "tcp":
+        channel_cls = TcpChannel
+    elif channel_kind == "http":
+        channel_cls = HttpChannel
+    else:
+        def channel_cls():  # type: ignore[misc]
+            return channels_create(channel_kind)
+    server_channel = channel_cls()
+    # Socket schemes bind an ephemeral port; non-socket schemes (shm,
+    # loopback) mint their own authority token.
+    if server_channel.scheme in ("tcp", "http", "aio"):
+        listen_authority = "127.0.0.1:0"
+    else:
+        listen_authority = "auto"
     server_services = ChannelServices()
     host = RemotingHost(name="pingpong-server", services=server_services)
-    binding = host.listen(channel_cls(), "127.0.0.1:0")
+    binding = host.listen(server_channel, listen_authority)
     host.register_well_known(_EchoServer, "pingpong", WellKnownObjectMode.SINGLETON)
     client_services = ChannelServices()
     client_channel = channel_cls()
@@ -185,7 +202,12 @@ def live_concurrent_pingpong(
     server_services = ChannelServices()
     host = RemotingHost(name="pingpong-server", services=server_services)
     server_channel = _channel_for(channel_kind)
-    binding = host.listen(server_channel, "127.0.0.1:0")
+    authority = (
+        "127.0.0.1:0"
+        if server_channel.scheme in ("tcp", "http", "aio")
+        else "auto"
+    )
+    binding = host.listen(server_channel, authority)
     host.register_well_known(_EchoServer, "pingpong", WellKnownObjectMode.SINGLETON)
     client_services = ChannelServices()
     client_channel = _channel_for(channel_kind)

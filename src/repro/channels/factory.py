@@ -48,6 +48,12 @@ def _make_aio(**opts: Any) -> Channel:
     return AioTcpChannel(**opts)
 
 
+def _make_shm(**opts: Any) -> Channel:
+    from repro.shm import ShmChannel
+
+    return ShmChannel(**opts)
+
+
 def _wrap_chaos(
     inner: Channel,
     *,
@@ -73,22 +79,31 @@ def _wrap_breaker(
     return BreakerChannel(inner, policy=breaker_policy, metrics=metrics)
 
 
+def _wrap_samenode(inner: Channel, *, metrics: Any = None) -> Channel:
+    from repro.shm import SameNodeChannel
+
+    return SameNodeChannel(inner, metrics=metrics)
+
+
 _SCHEMES: dict[str, Callable[..., Channel]] = {
     "loopback": _make_loopback,
     "tcp": _make_tcp,
     "http": _make_http,
     "aio": _make_aio,
+    "shm": _make_shm,
 }
 
 #: Wrapper options each prefix consumes from ``create``'s kwargs.
 _WRAPPER_OPTS = {
     "chaos": ("chaos_plan", "chaos_controller", "metrics"),
     "breaker": ("breaker_policy", "metrics"),
+    "samenode": ("metrics",),
 }
 
 _WRAPPERS: dict[str, Callable[..., Channel]] = {
     "chaos": _wrap_chaos,
     "breaker": _wrap_breaker,
+    "samenode": _wrap_samenode,
 }
 
 
@@ -178,6 +193,12 @@ def create(
     consumed = set()
     for name, _wrap, opt_names in wrappers:
         consumed.update(opt_names)
+        for opt in opt_names:
+            # Registered wrappers may declare options beyond the
+            # well-known four; those arrive through **base_opts and are
+            # claimed here so the base factory never sees them.
+            if opt not in wrapper_opts and opt in base_opts:
+                wrapper_opts[opt] = base_opts.pop(opt)
     unused = {
         opt
         for opt, value in wrapper_opts.items()
@@ -193,7 +214,7 @@ def create(
         opts = {
             opt: wrapper_opts[opt]
             for opt in opt_names
-            if wrapper_opts[opt] is not None
+            if wrapper_opts.get(opt) is not None
         }
         channel = wrap(channel, **opts)
     return channel

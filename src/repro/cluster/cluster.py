@@ -34,10 +34,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: :class:`~repro.chaos.FaultyChannel` fed by the cluster's fault plan
 #: and controller — the fault-injection configuration of the test suite.
 ChannelKind = Literal[
-    "loopback", "tcp", "aio", "chaos+loopback", "chaos+tcp", "chaos+aio"
+    "loopback",
+    "tcp",
+    "aio",
+    "shm",
+    "chaos+loopback",
+    "chaos+tcp",
+    "chaos+aio",
+    "chaos+shm",
 ]
 
-_BASE_KINDS = ("loopback", "tcp", "aio")
+_BASE_KINDS = ("loopback", "tcp", "aio", "shm")
+
+#: Base kinds whose channels take the ``fastpath=`` constructor knob.
+_FASTPATH_KINDS = ("loopback", "tcp", "aio", "shm")
+
+#: Base kinds the shm same-node backplane can ride alongside (the peer
+#: must be dialled by a socket authority for the handshake-socket probe
+#: to identify it).
+_SAMENODE_BASE_KINDS = ("tcp", "aio")
 
 
 class Cluster:
@@ -65,6 +80,7 @@ class Cluster:
         chaos_controller: "ChaosController | None" = None,
         telemetry: TelemetryConfig | None = None,
         wire_fastpath: bool = True,
+        same_node_transport: str | None = None,
     ) -> None:
         """*worker_processes* additional nodes run as separate OS
         processes over TCP (see :mod:`repro.cluster.proc`); they import
@@ -78,6 +94,12 @@ class Cluster:
         ``chaos+*`` channel kind.  *telemetry* enables distributed
         tracing and per-node metrics (see
         :class:`~repro.telemetry.TelemetryConfig`).
+
+        *same_node_transport* = ``"shm"`` gives every node a hidden
+        shared-memory listener on its socket authority and wraps the
+        client channel in a :class:`~repro.shm.SameNodeChannel`, so
+        calls between co-located processes ride ring buffers while
+        remote peers stay on the wire — no URI or directory changes.
         """
         if num_nodes < 1:
             raise ScooppError(f"cluster needs >= 1 node, got {num_nodes}")
@@ -95,14 +117,28 @@ class Cluster:
             raise ScooppError(
                 "process workers speak TCP; use channel_kind='tcp'"
             )
+        if same_node_transport not in (None, "shm"):
+            raise ScooppError(
+                "same_node_transport must be None or 'shm', got "
+                f"{same_node_transport!r}"
+            )
+        if same_node_transport and base_kind not in _SAMENODE_BASE_KINDS:
+            raise ScooppError(
+                "same_node_transport='shm' needs a socket channel kind "
+                f"({', '.join(_SAMENODE_BASE_KINDS)}); "
+                f"got {channel_kind!r}"
+            )
         self.num_nodes = num_nodes
         self.channel_kind = channel_kind
         self.heartbeat_s = heartbeat_s
-        # Zero-copy wire fast path; only the socket transports take the
-        # knob (loopback has no wire, http keeps its legacy framing).
+        self.same_node_transport = same_node_transport
+        # Zero-copy wire fast path; every bundled transport that has a
+        # codec path takes the knob (http keeps its legacy framing).
         self.wire_fastpath = wire_fastpath
         fastpath_opts = (
-            {"fastpath": wire_fastpath} if base_kind in ("tcp", "aio") else {}
+            {"fastpath": wire_fastpath}
+            if base_kind in _FASTPATH_KINDS
+            else {}
         )
         self.metrics = MetricsRegistry()
         self.chaos_controller = chaos_controller
@@ -118,8 +154,12 @@ class Cluster:
         # The shared client channel every proxy dials through, built from
         # the scheme registry.  Stacking order matters: the breaker sits
         # outside the chaos layer so injected faults count toward
-        # tripping it, exactly like organic ones.
+        # tripping it, exactly like organic ones; the same-node router
+        # sits innermost so chaos and breaker apply to shm-routed calls
+        # exactly as they do to wire calls.
         client_kind = base_kind
+        if same_node_transport:
+            client_kind = f"samenode+{client_kind}"
         if chaos:
             client_kind = f"chaos+{client_kind}"
         if breaker is not None:
@@ -136,12 +176,15 @@ class Cluster:
         self.services.register_channel(client)
         run_id = uuid.uuid4().hex[:8]
         self.nodes: list[Node] = []
+        self._backplane_channels: list[Channel] = []
         self._installed_tracer = None
         self._prev_sample_rate: float | None = None
         try:
             for index in range(num_nodes):
                 if base_kind == "loopback":
                     authority = f"parc-{run_id}-n{index}"
+                elif base_kind == "shm":
+                    authority = "auto"
                 else:
                     authority = "127.0.0.1:0"
                 # Server-side chaos wrapper: zero-fault, only contributes
@@ -152,19 +195,32 @@ class Cluster:
                     metrics=self.metrics if chaos else None,
                     **fastpath_opts,
                 )
-                self.nodes.append(
-                    Node(
-                        index=index,
-                        channel=channel,
-                        authority=authority,
-                        services=self.services,
-                        grain=self.grain,
-                        placement=self.placement,
-                        dispatch_pool_size=dispatch_pool_size,
-                        metrics=self.metrics,
-                        telemetry=self.telemetry,
-                    )
+                node = Node(
+                    index=index,
+                    channel=channel,
+                    authority=authority,
+                    services=self.services,
+                    grain=self.grain,
+                    placement=self.placement,
+                    dispatch_pool_size=dispatch_pool_size,
+                    metrics=self.metrics,
+                    telemetry=self.telemetry,
                 )
+                self.nodes.append(node)
+                if same_node_transport == "shm":
+                    # Hidden backplane: a second listener serving the
+                    # same host under the node's *socket* authority, so
+                    # the SameNodeChannel's handshake-socket probe finds
+                    # it.  advertise=False keeps the shm scheme out of
+                    # node URIs — remote peers never learn about it.
+                    from repro.shm import ShmChannel
+
+                    backplane = ShmChannel(
+                        fastpath=wire_fastpath, metrics=self.metrics
+                    )
+                    bound = node.base_uri.split("://", 1)[1]
+                    node.host.listen(backplane, bound, advertise=False)
+                    self._backplane_channels.append(backplane)
         except Exception:
             self.close()
             raise
@@ -182,6 +238,7 @@ class Cluster:
                     placement_name=placement_name,
                     dispatch_pool_size=dispatch_pool_size,
                     telemetry=self.telemetry,
+                    same_node_transport=same_node_transport,
                 )
             except Exception:
                 self.close()
@@ -300,6 +357,15 @@ class Cluster:
             except Exception:  # noqa: BLE001 - teardown must finish
                 pass
         self.services.close_all()
+        # Hidden backplane listeners: ChannelServices only adopts the
+        # first channel per scheme, so every node's shm listener past
+        # the first needs an explicit close to unlink its handshake
+        # socket and release the ring segments.
+        for backplane in getattr(self, "_backplane_channels", []):
+            try:
+                backplane.close()
+            except Exception:  # noqa: BLE001 - teardown must finish
+                pass
         for node in self.nodes:
             try:
                 node.close()

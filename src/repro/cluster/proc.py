@@ -79,6 +79,9 @@ class WorkerConfig:
     dispatch_pool_size: int = 16
     extra_sys_path: tuple[str, ...] = field(default_factory=tuple)
     telemetry: TelemetryConfig | None = None
+    #: ``"shm"`` makes the worker dial same-node peers over shared
+    #: memory and serve a hidden shm listener next to its TCP port.
+    same_node_transport: str | None = None
 
 
 def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore[no-untyped-def]
@@ -98,7 +101,10 @@ def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore
         from repro.cluster.placement import make_placement
 
         services = ChannelServices()
-        services.register_channel(create_channel("tcp"))
+        client_kind = (
+            "samenode+tcp" if config.same_node_transport == "shm" else "tcp"
+        )
+        services.register_channel(create_channel(client_kind))
         node = Node(
             index=config.index,
             channel=create_channel("tcp"),
@@ -109,6 +115,16 @@ def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore
             dispatch_pool_size=config.dispatch_pool_size,
             telemetry=config.telemetry,
         )
+        if config.same_node_transport == "shm":
+            # Hidden backplane (see Cluster.__init__): serve the same
+            # host over shm under the worker's TCP authority so the
+            # parent and sibling processes on this machine skip the
+            # wire; the shm scheme never appears in the worker's URIs.
+            node.host.listen(
+                create_channel("shm"),
+                node.base_uri.split("://", 1)[1],
+                advertise=False,
+            )
     except BaseException as exc:  # noqa: BLE001 - boot failure report
         ready.put(("error", f"{type(exc).__name__}: {exc}"))
         return
@@ -228,6 +244,7 @@ def spawn_workers(
     placement_name: str,
     dispatch_pool_size: int,
     telemetry: TelemetryConfig | None = None,
+    same_node_transport: str | None = None,
 ) -> list[ProcessNodeHandle]:
     """Spawn *count* worker nodes; returns their handles (booted)."""
     context = multiprocessing.get_context("spawn")
@@ -244,6 +261,7 @@ def spawn_workers(
                 dispatch_pool_size=dispatch_pool_size,
                 extra_sys_path=sys_paths,
                 telemetry=telemetry,
+                same_node_transport=same_node_transport,
             )
             handles.append(ProcessNodeHandle(config, context))
     except Exception:

@@ -72,6 +72,11 @@ class ParcConfig:
     #: selects the legacy copy-per-stage path (same wire format — the two
     #: interoperate, so mixed clusters are fine).
     wire_fastpath: bool = True
+    #: Same-node transport negotiation: ``"shm"`` routes calls between
+    #: co-located processes through shared-memory ring buffers
+    #: (:mod:`repro.shm`) while remote peers stay on the socket channel;
+    #: ``None`` (default) keeps everything on the wire.
+    same_node_transport: str | None = None
     #: Distributed tracing and metrics (disabled by default).
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
@@ -81,6 +86,11 @@ class ParcConfig:
         if self.worker_processes < 0:
             raise ScooppError("worker_processes cannot be negative")
         self.worker_modules = tuple(self.worker_modules)
+        if self.same_node_transport not in (None, "shm"):
+            raise ScooppError(
+                "same_node_transport must be None or 'shm', got "
+                f"{self.same_node_transport!r}"
+            )
         if not isinstance(self.telemetry, TelemetryConfig):
             raise ScooppError(
                 "telemetry must be a TelemetryConfig, got "

@@ -525,6 +525,7 @@ def init(
             chaos_controller=config.chaos_controller,
             telemetry=config.telemetry,
             wire_fastpath=config.wire_fastpath,
+            same_node_transport=config.same_node_transport,
         )
         _runtime = ParcRuntime(cluster)
         return _runtime

@@ -65,6 +65,15 @@ class AddressError(ChannelError):
     """A remoting URI or endpoint address could not be parsed or resolved."""
 
 
+class ShmSetupError(ChannelError):
+    """A shared-memory handshake or segment attach failed.
+
+    Raised strictly *before* any request bytes were sent, so the
+    same-node router may retry the call over the wire without risking
+    double execution (see :mod:`repro.shm.router`).
+    """
+
+
 class RemotingError(ParcError):
     """Base error of the .Net remoting analog (unchecked, like C#)."""
 

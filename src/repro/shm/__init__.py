@@ -1,0 +1,57 @@
+"""Same-node shared-memory backplane.
+
+The ``shm`` channel scheme moves the existing frame format through SPSC
+ring buffers in ``multiprocessing.shared_memory`` instead of sockets —
+same payload codec, same wrapper composition
+(``channels.create("breaker+shm")``), no wire.  ``SameNodeChannel``
+makes adoption automatic: wrapped around tcp/aio it detects co-located
+peers by their handshake socket and routes their calls through shm
+while remote peers stay on the wire.  The cluster enables it with
+``ParcConfig(same_node_transport="shm")``.
+
+Layers:
+
+* :mod:`repro.shm.ring` — segment layout and the SPSC ring halves;
+* :mod:`repro.shm.doorbell` — eventfd/pipe wakeups for the park side of
+  the busy/park hybrid wait;
+* :mod:`repro.shm.channel` — the :class:`ShmChannel` transport;
+* :mod:`repro.shm.router` — :class:`SameNodeChannel` auto-negotiation.
+"""
+
+from repro.shm.channel import (
+    DEFAULT_SPIN,
+    ShmChannel,
+    shm_available,
+    shm_socket_dir,
+    socket_path_for,
+)
+from repro.shm.doorbell import Doorbell
+from repro.shm.ring import (
+    DEFAULT_RING_SIZE,
+    RingReader,
+    RingWriter,
+    client_rings,
+    init_segment,
+    read_segment_header,
+    segment_size,
+    server_rings,
+)
+from repro.shm.router import SameNodeChannel
+
+__all__ = [
+    "DEFAULT_RING_SIZE",
+    "DEFAULT_SPIN",
+    "Doorbell",
+    "RingReader",
+    "RingWriter",
+    "SameNodeChannel",
+    "ShmChannel",
+    "client_rings",
+    "init_segment",
+    "read_segment_header",
+    "segment_size",
+    "server_rings",
+    "shm_available",
+    "shm_socket_dir",
+    "socket_path_for",
+]

@@ -1,0 +1,94 @@
+"""Doorbells: the park/wake half of the shm channel's hybrid wait.
+
+A doorbell is a kernel-wakeable object with two ends: the *ring* end
+(held by the peer, written to wake us) and the *wait* end (what we poll
+while parked).  On Linux both ends are one ``eventfd`` — a single fd
+that accumulates rings and drains with one read; elsewhere a pipe pair
+stands in.  Both ends are plain file descriptors, so the handshake can
+pass them to the peer process over a Unix socket with ``SCM_RIGHTS``
+(:func:`socket.send_fds`) and the rings themselves never touch a
+syscall unless someone is actually parked.
+
+The wait protocol that makes a missed ring harmless lives in
+:mod:`repro.shm.channel`: waiters set their park flag in the shared
+segment *before* re-checking the ring and poll with a bounded timeout,
+so the worst case for any flag/ring race is one timeout's extra
+latency, never a hang.
+"""
+
+from __future__ import annotations
+
+import os
+
+_COUNT_ONE = (1).to_bytes(8, "little")  # eventfd increments by this much
+
+
+class Doorbell:
+    """One wakeup line; may hold only the end(s) this process uses."""
+
+    __slots__ = ("_ring_fd", "_wait_fd", "_closed")
+
+    def __init__(self, ring_fd: int | None, wait_fd: int | None) -> None:
+        self._ring_fd = ring_fd
+        self._wait_fd = wait_fd
+        self._closed = False
+
+    @classmethod
+    def create(cls) -> "Doorbell":
+        """New doorbell with both ends: eventfd preferred, pipe fallback."""
+        if hasattr(os, "eventfd"):
+            fd = os.eventfd(0, os.EFD_NONBLOCK | os.EFD_CLOEXEC)
+            return cls(fd, fd)
+        read_fd, write_fd = os.pipe()
+        os.set_blocking(read_fd, False)
+        os.set_blocking(write_fd, False)
+        return cls(write_fd, read_fd)
+
+    @classmethod
+    def ring_only(cls, fd: int) -> "Doorbell":
+        """Wrap a received fd used solely to ring the peer."""
+        return cls(fd, None)
+
+    @classmethod
+    def wait_only(cls, fd: int) -> "Doorbell":
+        """Wrap a received fd used solely to park on."""
+        os.set_blocking(fd, False)
+        return cls(None, fd)
+
+    def fds(self) -> tuple[int, int]:
+        """``(ring_fd, wait_fd)`` for SCM_RIGHTS transfer (may be equal)."""
+        assert self._ring_fd is not None and self._wait_fd is not None
+        return self._ring_fd, self._wait_fd
+
+    def fileno(self) -> int:
+        assert self._wait_fd is not None
+        return self._wait_fd
+
+    def ring(self) -> None:
+        """Wake the waiter.  Never blocks; a full pipe already woke them."""
+        if self._closed or self._ring_fd is None:
+            return
+        try:
+            os.write(self._ring_fd, _COUNT_ONE)
+        except (BlockingIOError, OSError):
+            pass
+
+    def drain(self) -> None:
+        """Clear pending rings after waking so the next park blocks."""
+        if self._closed or self._wait_fd is None:
+            return
+        try:
+            while os.read(self._wait_fd, 8):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for fd in {self._ring_fd, self._wait_fd} - {None}:
+            try:
+                os.close(fd)
+            except OSError:
+                pass

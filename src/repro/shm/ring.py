@@ -1,0 +1,225 @@
+"""SPSC byte-stream rings inside a ``multiprocessing.shared_memory`` segment.
+
+One shm segment backs one connection and holds two independent
+single-producer/single-consumer rings — client→server and server→client —
+so neither direction ever contends with the other.  Indices are monotonic
+unsigned 64-bit byte counters (they never wrap in practice: 2^64 bytes at
+10 GB/s is half a century of traffic); the physical position is simply
+``index % ring_size``.  The writer owns ``tail``, the reader owns
+``head``, and each index plus each park flag sits on its own 64-byte
+span so the two sides never write the same cache line.
+
+Segment layout::
+
+    0    magic    4 bytes  "PSHM"
+    4    version  2 bytes  little-endian
+    6    (reserved)
+    8    ring_size u64     bytes per direction
+    16   closed   u32      either side sets 1 on close
+    64   c2s head u64      (server advances)
+    128  c2s tail u64      (client advances)
+    192  c2s reader_waiting u32 / 196 c2s writer_waiting u32
+    256  s2c head u64      (client advances)
+    320  s2c tail u64      (server advances)
+    384  s2c reader_waiting u32 / 388 s2c writer_waiting u32
+    512  c2s data ring     ring_size bytes
+    512 + ring_size  s2c data ring
+
+Correctness note: index loads/stores are plain ``struct`` pack/unpack on
+the shared mapping.  That is safe for this SPSC discipline on CPython —
+each 8-byte store is a single aligned write, exactly one process writes
+each field, and the GIL plus the kernel's cross-core coherence give the
+reader an eventually-current value; a momentarily stale index only makes
+the peer under-estimate available bytes/space, never corrupt them.  The
+park flags are advisory (a missed doorbell is recovered by the waiter's
+bounded poll timeout), so they need no stronger ordering either.
+"""
+
+from __future__ import annotations
+
+import struct
+
+MAGIC = b"PSHM"
+VERSION = 1
+
+_PREAMBLE = struct.Struct("<4sHxxQ")  # magic, version, pad, ring_size
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+CLOSED_OFFSET = 16
+
+#: Control-block offsets for the two directions (see module docstring).
+C2S_CONTROL = 64
+S2C_CONTROL = 256
+
+_HEAD = 0          # relative to a control block
+_TAIL = 64
+_READER_WAITING = 128
+_WRITER_WAITING = 132
+
+DATA_OFFSET = 512
+
+#: Bytes per direction unless the channel overrides it.
+DEFAULT_RING_SIZE = 1 << 20
+
+
+def segment_size(ring_size: int) -> int:
+    """Total shm segment bytes for two *ring_size* data rings."""
+    return DATA_OFFSET + 2 * ring_size
+
+
+def init_segment(buf, ring_size: int) -> None:
+    """Stamp a freshly created segment's preamble (creator side).
+
+    ``shared_memory`` hands back zero-filled pages, so only the preamble
+    needs writing — zeroed indices and flags are the correct initial
+    state for both rings.
+    """
+    _PREAMBLE.pack_into(buf, 0, MAGIC, VERSION, ring_size)
+
+
+def read_segment_header(buf) -> int:
+    """Validate an attached segment's preamble; returns its ring size."""
+    magic, version, ring_size = _PREAMBLE.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise ValueError(f"bad shm segment magic {magic!r}")
+    if version != VERSION:
+        raise ValueError(f"unsupported shm segment version {version}")
+    return ring_size
+
+
+def is_closed(buf) -> bool:
+    return _U32.unpack_from(buf, CLOSED_OFFSET)[0] != 0
+
+
+def mark_closed(buf) -> None:
+    _U32.pack_into(buf, CLOSED_OFFSET, 1)
+
+
+class RingWriter:
+    """Producer half of one SPSC ring (owns ``tail``)."""
+
+    __slots__ = ("_buf", "_control", "_data", "size")
+
+    def __init__(self, buf: memoryview, control: int, data: int, size: int) -> None:
+        self._buf = buf
+        self._control = control
+        self._data = buf[data : data + size]
+        self.size = size
+
+    def space(self) -> int:
+        head = _U64.unpack_from(self._buf, self._control + _HEAD)[0]
+        tail = _U64.unpack_from(self._buf, self._control + _TAIL)[0]
+        return self.size - (tail - head)
+
+    def used(self) -> int:
+        return self.size - self.space()
+
+    def write_some(self, src) -> int:
+        """Copy as much of *src* as fits; returns bytes written (may be 0)."""
+        head = _U64.unpack_from(self._buf, self._control + _HEAD)[0]
+        tail = _U64.unpack_from(self._buf, self._control + _TAIL)[0]
+        count = min(self.size - (tail - head), len(src))
+        if count == 0:
+            return 0
+        position = tail % self.size
+        first = min(count, self.size - position)
+        self._data[position : position + first] = src[:first]
+        if count > first:
+            self._data[: count - first] = src[first:count]
+        _U64.pack_into(self._buf, self._control + _TAIL, tail + count)
+        return count
+
+    def reader_waiting(self) -> bool:
+        return _U32.unpack_from(self._buf, self._control + _READER_WAITING)[0] != 0
+
+    def set_waiting(self, waiting: bool) -> None:
+        _U32.pack_into(
+            self._buf, self._control + _WRITER_WAITING, 1 if waiting else 0
+        )
+
+    def release(self) -> None:
+        self._data.release()
+
+
+class RingReader:
+    """Consumer half of one SPSC ring (owns ``head``)."""
+
+    __slots__ = ("_buf", "_control", "_data", "size")
+
+    def __init__(self, buf: memoryview, control: int, data: int, size: int) -> None:
+        self._buf = buf
+        self._control = control
+        self._data = buf[data : data + size]
+        self.size = size
+
+    def used(self) -> int:
+        head = _U64.unpack_from(self._buf, self._control + _HEAD)[0]
+        tail = _U64.unpack_from(self._buf, self._control + _TAIL)[0]
+        return tail - head
+
+    def read_into(self, dest) -> int:
+        """Copy up to ``len(dest)`` available bytes out; returns the count."""
+        head = _U64.unpack_from(self._buf, self._control + _HEAD)[0]
+        tail = _U64.unpack_from(self._buf, self._control + _TAIL)[0]
+        count = min(tail - head, len(dest))
+        if count == 0:
+            return 0
+        position = head % self.size
+        first = min(count, self.size - position)
+        dest[:first] = self._data[position : position + first]
+        if count > first:
+            dest[first:count] = self._data[: count - first]
+        _U64.pack_into(self._buf, self._control + _HEAD, head + count)
+        return count
+
+    def can_view(self, length: int) -> bool:
+        """True when the next *length* bytes will be physically contiguous.
+
+        Depends only on the current head position, not on how much data
+        has arrived yet — callers decide up front whether to wait for a
+        zero-copy view or stream through a bounce buffer.
+        """
+        head = _U64.unpack_from(self._buf, self._control + _HEAD)[0]
+        return (head % self.size) + length <= self.size
+
+    def view(self, length: int) -> memoryview:
+        """Zero-copy window over the next *length* bytes (no consume).
+
+        Caller must have checked :meth:`can_view` and waited until
+        :meth:`used` covers *length*, must release the view, and must
+        then call :meth:`consume` — in that order, or the writer could
+        scribble over bytes the view still exposes.
+        """
+        position = _U64.unpack_from(self._buf, self._control + _HEAD)[0] % self.size
+        return self._data[position : position + length]
+
+    def consume(self, length: int) -> None:
+        """Advance ``head`` past bytes already seen via :meth:`view`."""
+        head = _U64.unpack_from(self._buf, self._control + _HEAD)[0]
+        _U64.pack_into(self._buf, self._control + _HEAD, head + length)
+
+    def writer_waiting(self) -> bool:
+        return _U32.unpack_from(self._buf, self._control + _WRITER_WAITING)[0] != 0
+
+    def set_waiting(self, waiting: bool) -> None:
+        _U32.pack_into(
+            self._buf, self._control + _READER_WAITING, 1 if waiting else 0
+        )
+
+    def release(self) -> None:
+        self._data.release()
+
+
+def client_rings(buf: memoryview, ring_size: int) -> tuple[RingWriter, RingReader]:
+    """(tx, rx) pair for the connecting side: writes c2s, reads s2c."""
+    tx = RingWriter(buf, C2S_CONTROL, DATA_OFFSET, ring_size)
+    rx = RingReader(buf, S2C_CONTROL, DATA_OFFSET + ring_size, ring_size)
+    return tx, rx
+
+
+def server_rings(buf: memoryview, ring_size: int) -> tuple[RingWriter, RingReader]:
+    """(tx, rx) pair for the accepting side: writes s2c, reads c2s."""
+    tx = RingWriter(buf, S2C_CONTROL, DATA_OFFSET + ring_size, ring_size)
+    rx = RingReader(buf, C2S_CONTROL, DATA_OFFSET, ring_size)
+    return tx, rx

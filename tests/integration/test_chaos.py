@@ -261,7 +261,7 @@ class TestClusterCloseOrdering:
             channel.call(authority, "om", b"")
 
 
-def _chaos_workload(seed):
+def _chaos_workload(seed, channel="chaos+loopback"):
     """Random-fault workload: correct answers or ParcError, never a hang."""
     plan = plan_from_percentages(
         seed=seed,
@@ -275,7 +275,7 @@ def _chaos_workload(seed):
     )
     parc.init(
         nodes=2,
-        channel="chaos+loopback",
+        channel=channel,
         grain=GrainPolicy(),
         chaos_plan=plan,
     )
@@ -307,6 +307,12 @@ class TestSeededChaosWorkload:
     @pytest.mark.parametrize("seed", FIXED_SEEDS)
     def test_fixed_seed_workload(self, seed):
         completed, _faulted = _chaos_workload(seed)
+        assert completed > 0, "every single call faulted; rates are modest"
+
+    @pytest.mark.parametrize("seed", FIXED_SEEDS)
+    def test_fixed_seed_workload_over_shm(self, seed):
+        """Fault injection composes over the shared-memory transport."""
+        completed, _faulted = _chaos_workload(seed, channel="chaos+shm")
         assert completed > 0, "every single call faulted; rates are modest"
 
     def test_random_seed_workload(self):

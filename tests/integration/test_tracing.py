@@ -15,7 +15,7 @@ import repro.core as parc
 from repro.core import GrainPolicy, ParcConfig, TelemetryConfig
 from repro.telemetry import get_global_tracer
 
-CHANNEL_KINDS = ["tcp", "aio", "chaos+tcp", "chaos+aio"]
+CHANNEL_KINDS = ["tcp", "aio", "shm", "chaos+tcp", "chaos+aio", "chaos+shm"]
 
 
 @parc.parallel(

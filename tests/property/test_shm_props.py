@@ -1,0 +1,141 @@
+"""Property-based tests: shm ring byte-stream integrity under fuzzing.
+
+The ring is an SPSC byte stream with monotonic u64 indices; whatever
+interleaving of writes and reads happens, the bytes must come out in
+order, exactly once, across any number of physical wrap-arounds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.shm.ring import client_rings, init_segment, segment_size, server_rings
+
+RING = 32  # tiny: nearly every example wraps
+
+
+def make_pair(ring_size=RING):
+    buf = memoryview(bytearray(segment_size(ring_size)))
+    init_segment(buf, ring_size)
+    tx, _ = client_rings(buf, ring_size)
+    _, rx = server_rings(buf, ring_size)
+    return tx, rx
+
+
+class TestStreamProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=2 * RING), max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_chunked_writes_reassemble(self, chunks):
+        """Any chunking in, any chunking out: the stream is preserved."""
+        tx, rx = make_pair()
+        expected = b"".join(chunks)
+        received = bytearray()
+        pending = list(chunks)
+        src = memoryview(b"")
+        offset = 0
+        stalled = 0
+        while len(received) < len(expected) or pending or offset < len(src):
+            popped = False
+            if offset == len(src) and pending:
+                src = memoryview(pending.pop(0))
+                offset = 0
+                popped = True
+            wrote = tx.write_some(src[offset:]) if offset < len(src) else 0
+            offset += wrote
+            out = bytearray(7)  # odd read size: misaligned wraps
+            count = rx.read_into(out)
+            received += out[:count]
+            progress = popped or wrote or count
+            stalled = 0 if progress else stalled + 1
+            assert stalled < 3, "ring deadlocked with data outstanding"
+        assert received == expected
+
+    @given(
+        st.binary(min_size=1, max_size=RING),
+        st.integers(min_value=0, max_value=10 * RING),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_at_arbitrary_ring_offset(self, payload, advance):
+        """Payloads survive regardless of where the indices sit."""
+        tx, rx = make_pair()
+        # Slide the indices forward so the payload lands at an arbitrary
+        # physical position (including straddling the boundary).
+        scratch = bytearray(RING)
+        moved = 0
+        while moved < advance:
+            step = min(advance - moved, RING)
+            assert tx.write_some(bytes(step)) == step
+            assert rx.read_into(memoryview(scratch)[:step]) == step
+            moved += step
+        assert tx.write_some(payload) == len(payload)
+        out = bytearray(len(payload))
+        assert rx.read_into(out) == len(payload)
+        assert out == payload
+
+    @given(
+        st.binary(min_size=1, max_size=RING),
+        st.integers(min_value=0, max_value=RING - 1),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_view_consume_matches_read(self, payload, start_offset):
+        """The zero-copy view path sees the same bytes read_into would."""
+        tx, rx = make_pair()
+        scratch = bytearray(RING)
+        if start_offset:
+            tx.write_some(bytes(start_offset))
+            rx.read_into(memoryview(scratch)[:start_offset])
+        tx.write_some(payload)
+        if rx.can_view(len(payload)):
+            view = rx.view(len(payload))
+            got = bytes(view)
+            view.release()
+            rx.consume(len(payload))
+        else:
+            out = bytearray(len(payload))
+            rx.read_into(out)
+            got = bytes(out)
+        assert got == payload
+        assert rx.used() == 0
+
+
+class ShmRingMachine(RuleBasedStateMachine):
+    """Stateful fuzz: interleaved writes/reads against a Python model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tx, self.rx = make_pair()
+        self.model = bytearray()  # bytes written but not yet read
+
+    @rule(data=st.binary(min_size=0, max_size=RING + 8))
+    def write(self, data):
+        wrote = self.tx.write_some(data)
+        assert wrote == min(len(data), RING - len(self.model))
+        self.model += data[:wrote]
+
+    @rule(count=st.integers(min_value=0, max_value=RING + 8))
+    def read(self, count):
+        out = bytearray(count)
+        got = self.rx.read_into(out)
+        assert got == min(count, len(self.model))
+        assert out[:got] == self.model[:got]
+        del self.model[:got]
+
+    @rule(count=st.integers(min_value=1, max_value=RING))
+    def view_consume(self, count):
+        if count <= len(self.model) and self.rx.can_view(count):
+            view = self.rx.view(count)
+            assert bytes(view) == bytes(self.model[:count])
+            view.release()
+            self.rx.consume(count)
+            del self.model[:count]
+
+    @invariant()
+    def occupancy_agrees(self):
+        assert self.rx.used() == len(self.model)
+        assert self.tx.space() == RING - len(self.model)
+
+
+TestShmRingMachine = ShmRingMachine.TestCase
+TestShmRingMachine.settings = settings(max_examples=60, deadline=None)

@@ -22,6 +22,7 @@ class TestBaseSchemes:
             "tcp",
             "http",
             "aio",
+            "shm",
         }
         assert isinstance(channels.create("loopback"), LoopbackChannel)
         assert isinstance(channels.create("http"), HttpChannel)
@@ -30,6 +31,11 @@ class TestBaseSchemes:
             assert isinstance(tcp, TcpChannel)
         finally:
             tcp.close()
+        shm = channels.create("shm")
+        try:
+            assert shm.scheme == "shm"
+        finally:
+            shm.close()
 
     def test_unknown_base_rejected_with_catalog(self):
         with pytest.raises(ChannelError, match="loopback"):
@@ -68,6 +74,32 @@ class TestWrappers:
         assert isinstance(channel, BreakerChannel)
         assert isinstance(channel.inner, FaultyChannel)
         assert isinstance(channel.inner.inner, LoopbackChannel)
+
+    def test_samenode_wraps_socket_base(self):
+        from repro.shm import SameNodeChannel
+
+        channel = channels.create("samenode+tcp")
+        try:
+            assert isinstance(channel, SameNodeChannel)
+            # Presents the inner scheme: slots into tcp URI routing.
+            assert channel.scheme == "tcp"
+        finally:
+            channel.close()
+
+    def test_full_backplane_stack(self):
+        from repro.shm import SameNodeChannel
+
+        channel = channels.create(
+            "breaker+chaos+samenode+tcp",
+            chaos_plan=FaultPlan(seed=1),
+            breaker_policy=BreakerPolicy(),
+        )
+        try:
+            assert isinstance(channel, BreakerChannel)
+            assert isinstance(channel.inner, FaultyChannel)
+            assert isinstance(channel.inner.inner, SameNodeChannel)
+        finally:
+            channel.close()
 
     def test_unknown_wrapper_rejected(self):
         with pytest.raises(ChannelError, match="wrapper"):

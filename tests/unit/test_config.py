@@ -25,6 +25,7 @@ class TestParcConfig:
         assert config.breaker is None
         assert config.chaos_plan is None
         assert config.chaos_controller is None
+        assert config.same_node_transport is None
         assert config.telemetry == TelemetryConfig()
         assert config.telemetry.enabled is False
 
@@ -35,6 +36,9 @@ class TestParcConfig:
             ParcConfig(worker_processes=-1)
         with pytest.raises(ScooppError, match="telemetry"):
             ParcConfig(telemetry=True)  # type: ignore[arg-type]
+        with pytest.raises(ScooppError, match="same_node_transport"):
+            ParcConfig(same_node_transport="smoke-signals")
+        assert ParcConfig(same_node_transport="shm").same_node_transport == "shm"
 
     def test_worker_modules_normalized_to_tuple(self):
         config = ParcConfig(worker_modules=["a", "b"])

@@ -1,0 +1,361 @@
+"""Unit tests for the shm channel, doorbells, and same-node routing."""
+
+from __future__ import annotations
+
+import os
+import select
+import threading
+
+import pytest
+
+from repro.channels.buffers import BufferPool
+from repro.channels.factory import create
+from repro.channels.tcp import TcpChannel
+from repro.errors import ChannelClosedError, ChannelError, RemoteInvocationError
+from repro.shm import (
+    Doorbell,
+    SameNodeChannel,
+    ShmChannel,
+    shm_available,
+    socket_path_for,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def echo_handler(path, body, headers):
+    prefix = headers.get("prefix", "")
+    return f"{prefix}{path}:".encode() + bytes(body)
+
+
+@pytest.fixture
+def shm_pair():
+    channel = ShmChannel(ring_size=16 * 1024)
+    binding = channel.listen("auto", echo_handler)
+    yield channel, binding
+    binding.close()
+    channel.close()
+
+
+class TestShmChannel:
+    def test_echo(self, shm_pair):
+        channel, binding = shm_pair
+        assert channel.call(binding.authority, "obj/1", b"hi") == b"obj/1:hi"
+
+    def test_headers_delivered(self, shm_pair):
+        channel, binding = shm_pair
+        result = channel.call(
+            binding.authority, "p", b"x", headers={"prefix": ">"}
+        )
+        assert result == b">p:x"
+
+    def test_empty_body(self, shm_pair):
+        channel, binding = shm_pair
+        assert channel.call(binding.authority, "p", b"") == b"p:"
+
+    def test_body_larger_than_ring_streams_through(self, shm_pair):
+        """A payload several times the ring size must flow via wrap/park."""
+        channel, binding = shm_pair
+        body = bytes(range(256)) * 512  # 128 KiB through a 16 KiB ring
+        result = channel.call(binding.authority, "big", body)
+        assert result == b"big:" + body
+
+    def test_sequential_reuse_pools_connection(self, shm_pair):
+        channel, binding = shm_pair
+        for index in range(20):
+            payload = str(index).encode()
+            assert channel.call(binding.authority, "n", payload) == b"n:" + payload
+
+    def test_concurrent_clients(self, shm_pair):
+        channel, binding = shm_pair
+        errors = []
+
+        def worker(tag):
+            try:
+                for index in range(10):
+                    payload = f"{tag}-{index}".encode()
+                    got = channel.call(binding.authority, "c", payload)
+                    assert got == b"c:" + payload
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_handler_error_propagates(self):
+        def boom(path, body, headers):
+            raise RuntimeError("kaput")
+
+        channel = ShmChannel()
+        binding = channel.listen("auto", boom)
+        try:
+            with pytest.raises((ChannelError, RemoteInvocationError)):
+                channel.round_trip(binding.authority, "p", {"x": 1})
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_round_trip_structured(self, shm_pair):
+        channel, binding = shm_pair
+
+        # round_trip runs the payload codec over the frame body; echo
+        # hands back path-prefixed bytes, so serve a real responder.
+        def responder(path, body, headers):
+            request = channel.formatter.loads(bytes(body))
+            return channel.formatter.dumps(request * 2)
+
+        binding2 = channel.listen("auto", responder)
+        try:
+            assert channel.round_trip(binding2.authority, "p", 21) == 42
+        finally:
+            binding2.close()
+
+    def test_unknown_authority_raises(self):
+        channel = ShmChannel()
+        try:
+            with pytest.raises(ChannelError):
+                channel.call("no-such-authority", "p", b"")
+        finally:
+            channel.close()
+
+    def test_duplicate_authority_rejected(self, shm_pair):
+        channel, binding = shm_pair
+        with pytest.raises(ChannelError, match="already bound"):
+            channel.listen(binding.authority, echo_handler)
+
+    def test_closed_channel_rejects_calls(self):
+        channel = ShmChannel()
+        binding = channel.listen("auto", echo_handler)
+        authority = binding.authority
+        binding.close()
+        channel.close()
+        with pytest.raises((ChannelClosedError, ChannelError)):
+            channel.call(authority, "p", b"")
+
+    def test_authority_reusable_after_close(self):
+        channel = ShmChannel()
+        binding = channel.listen("reuse-me", echo_handler)
+        binding.close()
+        binding2 = channel.listen("reuse-me", echo_handler)
+        try:
+            assert channel.call("reuse-me", "p", b"y") == b"p:y"
+        finally:
+            binding2.close()
+            channel.close()
+
+    def test_tiny_ring_rejected(self):
+        with pytest.raises(ChannelError, match="ring_size"):
+            ShmChannel(ring_size=128)
+
+    def test_shm_available_tracks_listener(self):
+        channel = ShmChannel()
+        binding = channel.listen("auto", echo_handler)
+        authority = binding.authority
+        assert shm_available(authority)
+        binding.close()
+        channel.close()
+        assert not shm_available(authority)
+
+    def test_metrics_exposed(self):
+        registry = MetricsRegistry()
+        channel = ShmChannel(metrics=registry)
+        binding = channel.listen("auto", echo_handler)
+        try:
+            channel.call(binding.authority, "p", bytes(1024))
+        finally:
+            binding.close()
+            channel.close()
+        snap = registry.snapshot()
+        assert snap["shm.frames"] >= 2  # request + response
+        assert snap["shm.bytes"] > 2048
+        assert "shm.doorbell.rings" in snap
+        assert "shm.wait.parks" in snap
+        assert "shm.ring.occupancy_mean" in snap
+
+    def test_legacy_formatter_path(self):
+        """fastpath=False still interoperates over the same rings."""
+        channel = ShmChannel(fastpath=False)
+        binding = channel.listen("auto", echo_handler)
+        try:
+            assert channel.call(binding.authority, "p", b"z") == b"p:z"
+        finally:
+            binding.close()
+            channel.close()
+
+
+class TestFactoryComposition:
+    def test_create_shm(self):
+        channel = create("shm")
+        try:
+            assert channel.scheme == "shm"
+        finally:
+            channel.close()
+
+    def test_breaker_shm_stack(self):
+        channel = create("breaker+shm")
+        binding = channel.listen("auto", echo_handler)
+        try:
+            assert channel.call(binding.authority, "p", b"b") == b"p:b"
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_chaos_shm_stack(self):
+        channel = create("chaos+shm")
+        binding = channel.listen("auto", echo_handler)
+        try:
+            assert channel.call(binding.authority, "p", b"c") == b"p:c"
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_samenode_tcp_stack(self):
+        channel = create("samenode+tcp")
+        try:
+            assert isinstance(channel, SameNodeChannel)
+            assert channel.scheme == "tcp"  # presents the inner scheme
+        finally:
+            channel.close()
+
+
+class TestSameNodeRouting:
+    def test_remote_authority_stays_on_wire(self):
+        registry = MetricsRegistry()
+        tcp = TcpChannel()
+        binding = tcp.listen("127.0.0.1:0", echo_handler)
+        router = SameNodeChannel(tcp, metrics=registry)
+        try:
+            # No shm handshake socket for this authority: wire route.
+            assert router.call(binding.authority, "p", b"w") == b"p:w"
+            snap = registry.snapshot()
+            assert snap["shm.router.wire_calls"] == 1
+            assert snap["shm.router.shm_calls"] == 0
+        finally:
+            binding.close()
+            router.close()
+
+    def test_colocated_authority_routes_shm(self):
+        registry = MetricsRegistry()
+        tcp = TcpChannel()
+        binding = tcp.listen("127.0.0.1:0", echo_handler)
+        router = SameNodeChannel(tcp, metrics=registry)
+        shm_binding = router.shm.listen(binding.authority, echo_handler)
+        try:
+            assert router.call(binding.authority, "p", b"s") == b"p:s"
+            snap = registry.snapshot()
+            assert snap["shm.router.shm_calls"] == 1
+            assert snap["shm.router.wire_calls"] == 0
+        finally:
+            shm_binding.close()
+            binding.close()
+            router.close()
+
+    def test_setup_failure_demotes_to_wire(self, tmp_path):
+        """A stale handshake socket file must not strand the authority."""
+        registry = MetricsRegistry()
+        tcp = TcpChannel()
+        binding = tcp.listen("127.0.0.1:0", echo_handler)
+        router = SameNodeChannel(tcp, metrics=registry)
+        # Fake a dead co-located peer: the path exists but nothing
+        # accepts, so shm establishment fails before any bytes move.
+        path = socket_path_for(binding.authority)
+        with open(path, "w"):
+            pass
+        try:
+            assert router.call(binding.authority, "p", b"f") == b"p:f"
+            snap = registry.snapshot()
+            assert snap["shm.router.fallbacks"] == 1
+            assert snap["shm.router.wire_calls"] == 1
+            # Demoted: later calls skip the probe entirely.
+            assert router.call(binding.authority, "p", b"g") == b"p:g"
+            assert registry.snapshot()["shm.router.wire_calls"] == 2
+        finally:
+            os.unlink(path)
+            binding.close()
+            router.close()
+
+    def test_listen_delegates_to_inner(self):
+        tcp = TcpChannel()
+        router = SameNodeChannel(tcp)
+        binding = router.listen("127.0.0.1:0", echo_handler)
+        try:
+            assert ":" in binding.authority  # a real socket authority
+        finally:
+            binding.close()
+            router.close()
+
+
+class TestDoorbell:
+    def test_ring_makes_fd_readable(self):
+        bell = Doorbell.create()
+        try:
+            readable, _, _ = select.select([bell.fileno()], [], [], 0)
+            assert not readable
+            bell.ring()
+            readable, _, _ = select.select([bell.fileno()], [], [], 1)
+            assert readable
+        finally:
+            bell.close()
+
+    def test_drain_clears_pending_rings(self):
+        bell = Doorbell.create()
+        try:
+            bell.ring()
+            bell.ring()
+            bell.drain()
+            readable, _, _ = select.select([bell.fileno()], [], [], 0)
+            assert not readable
+        finally:
+            bell.close()
+
+    def test_ring_after_close_is_noop(self):
+        bell = Doorbell.create()
+        bell.close()
+        bell.ring()  # must not raise
+        bell.drain()
+
+
+class TestBufferPoolConcurrency:
+    def test_concurrent_checkout_return(self):
+        """Hammer acquire/release from many threads; every buffer the
+        pool hands out must come back empty and never be shared."""
+        pool = BufferPool(max_buffers=8)
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def worker(tag):
+            try:
+                barrier.wait()
+                for index in range(300):
+                    buf = pool.acquire()
+                    assert len(buf) == 0, "pool handed out a dirty buffer"
+                    marker = f"{tag}:{index}".encode()
+                    buf += marker
+                    assert bytes(buf) == marker, "buffer shared across threads"
+                    pool.release(buf)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(pool) <= 8
+
+    def test_release_with_live_view_drops_buffer(self):
+        pool = BufferPool()
+        buf = pool.acquire()
+        buf += b"data"
+        view = memoryview(buf)
+        pool.release(buf)  # cannot clear: must be dropped, not pooled
+        assert len(pool) == 0
+        view.release()

@@ -1,0 +1,202 @@
+"""Unit tests for the shm segment layout and SPSC ring halves."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.shm.ring import (
+    DATA_OFFSET,
+    RingReader,
+    RingWriter,
+    client_rings,
+    init_segment,
+    is_closed,
+    mark_closed,
+    read_segment_header,
+    segment_size,
+    server_rings,
+)
+
+RING = 64  # tiny ring so wrap-around is cheap to hit
+
+
+def make_segment(ring_size: int = RING) -> memoryview:
+    buf = memoryview(bytearray(segment_size(ring_size)))
+    init_segment(buf, ring_size)
+    return buf
+
+
+class TestSegmentHeader:
+    def test_init_and_read_roundtrip(self):
+        buf = make_segment(4096)
+        assert read_segment_header(buf) == 4096
+
+    def test_bad_magic_rejected(self):
+        buf = make_segment()
+        buf[0:4] = b"NOPE"
+        with pytest.raises(ValueError, match="magic"):
+            read_segment_header(buf)
+
+    def test_bad_version_rejected(self):
+        buf = make_segment()
+        buf[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            read_segment_header(buf)
+
+    def test_segment_size_covers_both_rings(self):
+        assert segment_size(RING) == DATA_OFFSET + 2 * RING
+
+    def test_closed_flag(self):
+        buf = make_segment()
+        assert not is_closed(buf)
+        mark_closed(buf)
+        assert is_closed(buf)
+
+
+class TestRingRoundTrip:
+    def test_simple_write_read(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        assert tx.write_some(b"hello") == 5
+        out = bytearray(5)
+        assert rx.read_into(out) == 5
+        assert out == b"hello"
+
+    def test_directions_are_independent(self):
+        buf = make_segment()
+        c_tx, c_rx = client_rings(buf, RING)
+        s_tx, s_rx = server_rings(buf, RING)
+        c_tx.write_some(b"ping")
+        s_tx.write_some(b"pong")
+        out = bytearray(4)
+        s_rx.read_into(out)
+        assert out == b"ping"
+        c_rx.read_into(out)
+        assert out == b"pong"
+
+    def test_write_bounded_by_space(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        assert tx.write_some(bytes(RING + 10)) == RING
+        assert tx.space() == 0
+        assert tx.write_some(b"x") == 0
+
+    def test_space_reclaimed_after_read(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        tx.write_some(bytes(RING))
+        out = bytearray(10)
+        rx.read_into(out)
+        assert tx.space() == 10
+
+    def test_wrap_around_preserves_byte_stream(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        # Advance the indices to just before the physical boundary, then
+        # push a chunk that must split across the wrap.
+        tx.write_some(bytes(RING - 5))
+        out = bytearray(RING - 5)
+        rx.read_into(out)
+        payload = bytes(range(20))
+        assert tx.write_some(payload) == 20
+        got = bytearray(20)
+        assert rx.read_into(got) == 20
+        assert got == payload
+
+    def test_partial_read(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        tx.write_some(b"abcdef")
+        out = bytearray(4)
+        assert rx.read_into(out) == 4
+        assert out == b"abcd"
+        assert rx.used() == 2
+
+
+class TestZeroCopyView:
+    def test_view_then_consume(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        tx.write_some(b"payload!")
+        assert rx.can_view(8)
+        view = rx.view(8)
+        assert bytes(view) == b"payload!"
+        view.release()
+        rx.consume(8)
+        assert rx.used() == 0
+
+    def test_can_view_false_across_boundary(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        tx.write_some(bytes(RING - 5))
+        out = bytearray(RING - 5)
+        rx.read_into(out)
+        # Head now sits 5 bytes before the boundary: a 20-byte span
+        # cannot be contiguous, a 5-byte one can.
+        assert not rx.can_view(20)
+        assert rx.can_view(5)
+
+    def test_view_does_not_consume(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        tx.write_some(b"abcd")
+        view = rx.view(4)
+        view.release()
+        assert rx.used() == 4
+
+
+class TestWaitingFlags:
+    def test_reader_flag_visible_to_writer(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        assert not tx.reader_waiting()
+        rx.set_waiting(True)
+        assert tx.reader_waiting()
+        rx.set_waiting(False)
+        assert not tx.reader_waiting()
+
+    def test_writer_flag_visible_to_reader(self):
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        tx.set_waiting(True)
+        assert rx.writer_waiting()
+        tx.set_waiting(False)
+        assert not rx.writer_waiting()
+
+
+class TestConcurrentStream:
+    def test_threaded_producer_consumer(self):
+        """A full SPSC stream across threads survives many wraps."""
+        buf = make_segment()
+        tx, _ = client_rings(buf, RING)
+        _, rx = server_rings(buf, RING)
+        total = 50_000
+        payload = bytes(range(256)) * (total // 256 + 1)
+        payload = payload[:total]
+
+        def produce():
+            sent = 0
+            src = memoryview(payload)
+            while sent < total:
+                sent += tx.write_some(src[sent:])
+
+        received = bytearray()
+        worker = threading.Thread(target=produce)
+        worker.start()
+        chunk = bytearray(37)  # odd size: forces misaligned wraps
+        while len(received) < total:
+            count = rx.read_into(chunk)
+            received += chunk[:count]
+        worker.join()
+        assert received == payload
