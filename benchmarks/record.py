@@ -3,6 +3,7 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/record.py [output.json]
+    PYTHONPATH=src python benchmarks/record.py overload [output.json]
 
 Writes ``BENCH_wire.json`` (or the given path): ping-pong round trips per
 second for fast/legacy over tcp and aio at several payload sizes, the
@@ -14,6 +15,11 @@ comparable shape.  ``cpus`` is recorded because the shm-vs-tcp ratio is
 scheduling-bound: with one CPU the spin path never runs and every round
 trip costs the same two context switches tcp pays, so only multi-core
 hosts can show the spin-path speedup the CI guardrail asserts.
+
+The ``overload`` suite writes ``BENCH_overload.json`` instead: the
+credits-on/off ping-pong rates (the flow-control overhead guardrail),
+admitted/shed latency percentiles for a saturated bounded mailbox, and
+the elastic scale-out/in cycle's call accounting.
 """
 
 from __future__ import annotations
@@ -122,9 +128,58 @@ def collect() -> dict:
     }
 
 
+def collect_overload() -> dict:
+    from test_overload import (
+        CALLERS,
+        MAILBOX_DEPTH,
+        SERVICE_S,
+        _percentile,
+        credit_rates,
+        elastic_cycle_stats,
+        saturation_latencies,
+    )
+
+    rates = credit_rates()
+    saturation = saturation_latencies()
+    elastic = elastic_cycle_stats()
+    admitted = saturation["admitted"]
+    shed = saturation["shed"]
+    return {
+        "benchmark": "overload",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "credit_pingpong": rates,
+        "saturation": {
+            "service_s": SERVICE_S,
+            "mailbox_depth": MAILBOX_DEPTH,
+            "callers": CALLERS,
+            "admitted": len(admitted),
+            "shed": len(shed),
+            "server_shed": saturation["server_shed"],
+            "admitted_p50_s": _percentile(admitted, 0.50),
+            "admitted_p99_s": _percentile(admitted, 0.99),
+            "shed_p99_s": _percentile(shed, 0.99) if shed else None,
+        },
+        "elastic_cycle": elastic,
+        "guarded_ratios": {
+            "credits_on_vs_off": (
+                rates["credits-on"] / rates["credits-off"]
+            ),
+            "elastic_tested_vs_posted": (
+                elastic["tested"] / elastic["posted"]
+            ),
+        },
+    }
+
+
 def main(argv: list[str]) -> int:
-    out_path = argv[0] if argv else "BENCH_wire.json"
-    document = collect()
+    if argv and argv[0] == "overload":
+        out_path = argv[1] if len(argv) > 1 else "BENCH_overload.json"
+        document = collect_overload()
+    else:
+        out_path = argv[0] if argv else "BENCH_wire.json"
+        document = collect()
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

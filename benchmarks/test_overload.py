@@ -1,0 +1,334 @@
+"""OVERLOAD — flow-control guardrails: credit overhead, shed latency, elasticity.
+
+Three claims, asserted on this machine:
+
+* credit-based backpressure is close to free when the cluster is NOT
+  saturated: ping-pong throughput with credits on is >= 0.95x the
+  credits-off rate (the exchange adds one flag bit on requests, four
+  bytes on responses, and an uncontended gate acquire/release);
+* a bounded mailbox keeps latency bounded under saturating load: the
+  p99 of *admitted* calls stays within the budget implied by the lane
+  depth and service time, and shed calls fail fast instead of queueing
+  (an unbounded mailbox would stretch every caller's latency with the
+  full backlog);
+* the elastic worker loop loses nothing: a saturating prime-farm burst
+  scales the cluster out, draining it scales back in, and every posted
+  candidate was tested exactly once through the whole cycle.
+
+Like every suite here the assertions are shapes and ratios, never
+absolute rates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import repro.core as parc
+from repro.apps.primes import PrimeServer
+from repro.benchlib.tables import format_table
+from repro.channels.tcp import TcpChannel
+from repro.core import GrainPolicy
+from repro.errors import OverloadError, ParcError
+from repro.flow import CreditGrantor
+from repro.remoting.messages import CallMessage
+
+PAYLOAD_BYTES = 1024
+ROUNDS = 400
+TRIALS = 5
+ATTEMPTS = 3
+
+#: Admission-control scenario: service time, lane bound, concurrency.
+SERVICE_S = 0.02
+MAILBOX_DEPTH = 4
+CALLERS = 24
+
+
+def _granting_echo():
+    """Echo handler advertising credits, as a real remoting host does."""
+
+    def handler(path, body, headers):  # type: ignore[no-untyped-def]
+        return bytes(body)
+
+    handler.credit_grantor = CreditGrantor()
+    return handler
+
+
+def credit_pingpong_rate(
+    credits: bool, payload_size: int = PAYLOAD_BYTES, trials: int = TRIALS
+) -> float:
+    """Round trips/second with the credit exchange on or off.
+
+    The server always has a grantor (the deployed configuration); only
+    the client side toggles, so the comparison prices exactly what a
+    credit-aware client adds: the request flag, the gate bookkeeping,
+    and the four-byte grant parsed off every response.
+    """
+    server = TcpChannel(credits=credits)
+    client = TcpChannel(credits=credits)
+    binding = server.listen("127.0.0.1:0", _granting_echo())
+    message = CallMessage(
+        uri="pingpong", method="echo", args=(bytes(payload_size),)
+    )
+    try:
+        client.round_trip(binding.authority, "pingpong", message)  # warm up
+        best = float("inf")
+        for _ in range(trials):
+            started = time.perf_counter()
+            for _ in range(ROUNDS):
+                result = client.round_trip(
+                    binding.authority, "pingpong", message
+                )
+            best = min(best, time.perf_counter() - started)
+        assert result.args == message.args
+        return ROUNDS / best
+    finally:
+        client.close()
+        binding.close()
+        server.close()
+
+
+def credit_rates() -> dict[str, float]:
+    """Best-of-TRIALS rates, credits-on/off trials interleaved."""
+    rates = {"credits-on": 0.0, "credits-off": 0.0}
+    for _ in range(TRIALS):
+        rates["credits-on"] = max(
+            rates["credits-on"], credit_pingpong_rate(True, trials=1)
+        )
+        rates["credits-off"] = max(
+            rates["credits-off"], credit_pingpong_rate(False, trials=1)
+        )
+    return rates
+
+
+@parc.parallel(name="bench.overload.Slow", sync_methods=["slow"])
+class Slow:
+    """Fixed service time per call: queueing is the only variable."""
+
+    def slow(self, value, delay=SERVICE_S):
+        time.sleep(delay)
+        return value * 2
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def saturation_latencies() -> dict:
+    """Saturate one bounded node; time every call by outcome.
+
+    Returns admitted/shed latency lists plus the server-side shed count
+    — callers cross-check that nothing was silently dropped.
+    """
+    rt = parc.init(
+        nodes=1,
+        channel="tcp",
+        grain=GrainPolicy(),
+        mailbox_depth=MAILBOX_DEPTH,
+    )
+    admitted: list[float] = []
+    shed: list[float] = []
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+    try:
+        po = parc.new(Slow)
+        po.slow(0)  # warm the connection + worker thread
+
+        def one(index):
+            started = time.perf_counter()
+            try:
+                value = po.slow(index)
+                elapsed = time.perf_counter() - started
+                with lock:
+                    assert value == index * 2
+                    admitted.append(elapsed)
+            except OverloadError:
+                elapsed = time.perf_counter() - started
+                with lock:
+                    shed.append(elapsed)
+            except ParcError as exc:  # anything else is a lost call
+                with lock:
+                    failures.append(exc)
+
+        threads = [
+            threading.Thread(target=one, args=(index,), daemon=True)
+            for index in range(CALLERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads), "a call hung"
+        server_shed = sum(row.get("shed", 0) for row in rt.cluster.stats())
+    finally:
+        parc.shutdown()
+    return {
+        "admitted": admitted,
+        "shed": shed,
+        "failures": failures,
+        "server_shed": server_shed,
+    }
+
+
+def _find_big_prime(floor: int = 10**10) -> int:
+    """Smallest prime above *floor* — one trial division costs ~tens of ms."""
+    from repro.apps.primes import is_prime
+
+    candidate = floor + 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def elastic_cycle_stats() -> dict:
+    """Saturate an elastic cluster, then drain it; account for every call.
+
+    Scale-in retires the *newest* worker — the one spawned by the loop,
+    which placement never assigned a grain to — so the accounting needs
+    no respawn machinery: every posted candidate must be tested exactly
+    once.
+    """
+    prime = _find_big_prime()
+    rt = parc.init(
+        nodes=1,
+        channel="tcp",
+        grain=GrainPolicy(),
+        worker_processes=1,
+        worker_modules=("repro.apps.primes",),
+        elastic=(1, 2),
+    )
+    try:
+        cluster = rt.cluster
+        cluster._elastic_interval_s = 0.05  # re-read on every loop wait
+        servers = [parc.new(PrimeServer) for _ in range(4)]
+        posted = 0
+        deadline = time.monotonic() + 60.0
+        while (
+            cluster.metrics.snapshot().get("cluster.elastic.scale_out", 0)
+            == 0
+        ):
+            if time.monotonic() > deadline:
+                raise AssertionError("elastic loop never scaled out")
+            # Top the queues up instead of flooding: deep enough to read
+            # as sustained pressure, shallow enough to drain promptly
+            # once the load stops (each candidate is ~ms of division).
+            if cluster.home_node.stats()["queued"] < 50:
+                for server in servers:
+                    server.process([prime, prime])
+                    posted += 2
+            else:
+                time.sleep(0.01)
+        workers_peak = len(cluster.worker_handles)
+
+        deadline = time.monotonic() + 60.0
+        while (
+            cluster.metrics.snapshot().get("cluster.elastic.scale_in", 0) == 0
+        ):
+            if time.monotonic() > deadline:
+                raise AssertionError("elastic loop never scaled back in")
+            time.sleep(0.05)
+        workers_settled = len(cluster.worker_handles)
+
+        for server in servers:
+            server.parc_wait()
+        tested = sum(server.count() for server in servers)
+        snapshot = cluster.metrics.snapshot()
+        for server in servers:
+            server.parc_release()
+    finally:
+        parc.shutdown()
+    return {
+        "posted": posted,
+        "tested": tested,
+        "workers_peak": workers_peak,
+        "workers_settled": workers_settled,
+        "scale_out": snapshot.get("cluster.elastic.scale_out", 0),
+        "scale_in": snapshot.get("cluster.elastic.scale_in", 0),
+    }
+
+
+class TestCreditOverhead:
+    def test_unsaturated_credit_overhead_under_5_percent(self):
+        ratio = 0.0
+        for _ in range(ATTEMPTS):
+            rates = credit_rates()
+            ratio = rates["credits-on"] / rates["credits-off"]
+            if ratio >= 0.95:
+                break
+        print()
+        print(
+            format_table(
+                ["config", "round trips/s"],
+                [
+                    [name, f"{rate:,.0f}"]
+                    for name, rate in sorted(rates.items())
+                ],
+            )
+        )
+        print(f"credits-on / credits-off: {ratio:.3f}")
+        assert ratio >= 0.95, (
+            f"credit exchange cost {1 - ratio:.1%} unsaturated "
+            f"(budget 5%): {rates}"
+        )
+
+
+class TestBoundedLatency:
+    def test_admitted_p99_bounded_and_sheds_fail_fast(self):
+        stats = saturation_latencies()
+        assert not stats["failures"], stats["failures"]
+        admitted, shed = stats["admitted"], stats["shed"]
+        assert admitted, "saturation must still admit work"
+        assert shed, (
+            f"{CALLERS} callers into a depth-{MAILBOX_DEPTH} lane must shed"
+        )
+        # Nothing lost, and the server counted every shed the clients saw.
+        assert len(admitted) + len(shed) == CALLERS
+        assert stats["server_shed"] == len(shed)
+        # An admitted call waits at most for the bounded backlog (depth
+        # tasks plus the executing one), with generous dispatch headroom.
+        budget = (MAILBOX_DEPTH + 2) * SERVICE_S * 4
+        p99_admitted = _percentile(admitted, 0.99)
+        p99_shed = _percentile(shed, 0.99)
+        print()
+        print(
+            format_table(
+                ["outcome", "count", "p99 (s)"],
+                [
+                    ["admitted", str(len(admitted)), f"{p99_admitted:.4f}"],
+                    ["shed", str(len(shed)), f"{p99_shed:.4f}"],
+                ],
+            )
+        )
+        assert p99_admitted <= budget, (
+            f"admitted p99 {p99_admitted:.3f}s blew the bounded-mailbox "
+            f"budget {budget:.3f}s"
+        )
+        # Fail-fast means a shed call never sat behind the backlog.
+        assert p99_shed <= budget / 2, (
+            f"shed p99 {p99_shed:.3f}s — rejections queued instead of "
+            f"failing fast"
+        )
+
+
+class TestElasticCycle:
+    def test_zero_lost_calls_through_scale_out_and_in(self):
+        stats = elastic_cycle_stats()
+        print()
+        print(
+            format_table(
+                ["metric", "value"],
+                [[key, str(value)] for key, value in sorted(stats.items())],
+            )
+        )
+        assert stats["scale_out"] >= 1
+        assert stats["scale_in"] >= 1
+        assert stats["workers_peak"] == 2
+        assert stats["workers_settled"] == 1
+        # The guardrail: every candidate posted through the cycle was
+        # tested exactly once — scale-out/in lost (and duplicated) nothing.
+        assert stats["tested"] == stats["posted"], (
+            f"lost calls through the elastic cycle: posted "
+            f"{stats['posted']}, tested {stats['tested']}"
+        )

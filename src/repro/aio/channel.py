@@ -55,12 +55,14 @@ from repro.channels.base import Channel, RequestHandler, ServerBinding
 from repro.channels.framing import (
     CORRELATION_SIZE,
     FLAG_CORRELATED,
+    FLAG_CREDIT,
     HEADER_SIZE,
     append_frame,
     encode_frame,
     pack_correlation_into,
     pack_header_into,
     parse_header_from,
+    split_credit,
 )
 from repro.channels.request import (
     STATUS_ERROR,
@@ -166,7 +168,7 @@ class _FrameReceiver(asyncio.Protocol):
                     correlation_id = None
                     body = bytes(buffer[start:end])
                 offset = end
-                self.frame_received(correlation_id, body)
+                self.frame_received(correlation_id, body, flags)
         except WireFormatError:
             if self.transport is not None:
                 self.transport.close()
@@ -175,7 +177,9 @@ class _FrameReceiver(asyncio.Protocol):
             if offset:
                 del buffer[:offset]
 
-    def frame_received(self, correlation_id: int | None, body: bytes) -> None:
+    def frame_received(
+        self, correlation_id: int | None, body: bytes, flags: int
+    ) -> None:
         raise NotImplementedError
 
 
@@ -201,8 +205,10 @@ class _ClientProtocol(_FrameReceiver):
         super().__init__()
         self._connection = connection
 
-    def frame_received(self, correlation_id: int | None, body: bytes) -> None:
-        self._connection._on_frame(correlation_id, body)
+    def frame_received(
+        self, correlation_id: int | None, body: bytes, flags: int
+    ) -> None:
+        self._connection._on_frame(correlation_id, body, flags)
 
     def connection_lost(self, exc: Exception | None) -> None:
         self._connection._on_lost(exc)
@@ -218,13 +224,22 @@ class _AioConnection:
     """
 
     def __init__(
-        self, authority: str, window: int, metrics: _ClientMetrics
+        self,
+        authority: str,
+        window: int,
+        metrics: _ClientMetrics,
+        credits: bool = True,
     ) -> None:
         self.authority = authority
         self.broken: ChannelError | None = None
         self._transport: asyncio.Transport | None = None
         self._loop = asyncio.get_running_loop()
         self._window = window
+        # With credits enabled every request advertises FLAG_CREDIT and
+        # the window tracks the server's grants (repro.flow): a loaded
+        # server shrinks it, an idle one restores it.  The configured
+        # window is only the starting value.
+        self._request_flags = FLAG_CREDIT if credits else 0
         self._metrics = metrics
         self._in_flight = 0
         self._pending: dict[int, concurrent.futures.Future] = {}
@@ -240,10 +255,14 @@ class _AioConnection:
 
     @classmethod
     async def open(
-        cls, authority: str, window: int, metrics: _ClientMetrics
+        cls,
+        authority: str,
+        window: int,
+        metrics: _ClientMetrics,
+        credits: bool = True,
     ) -> "_AioConnection":
         host, port = parse_host_port(authority)
-        connection = cls(authority, window, metrics)
+        connection = cls(authority, window, metrics, credits)
         loop = asyncio.get_running_loop()
         try:
             transport, _protocol = await loop.create_connection(
@@ -295,7 +314,11 @@ class _AioConnection:
             self._write_buffer.append(request)
         else:
             self._write_buffer.append(
-                encode_frame(request, correlation_id=correlation_id)
+                encode_frame(
+                    request,
+                    self._request_flags,
+                    correlation_id=correlation_id,
+                )
             )
         if not self._flush_scheduled:
             self._flush_scheduled = True
@@ -348,7 +371,16 @@ class _AioConnection:
 
     # -- receive ---------------------------------------------------------
 
-    def _on_frame(self, correlation_id: int | None, body: bytes) -> None:
+    def _on_frame(
+        self, correlation_id: int | None, body: bytes, flags: int = 0
+    ) -> None:
+        if flags & FLAG_CREDIT:
+            credit, body = split_credit(flags, body)
+            if credit is not None:
+                # The server's grant *is* the window; a grown window is
+                # applied before the pump below so backlog entries can
+                # ride the freed slots immediately.
+                self._window = max(1, credit)
         future = self._pending.pop(correlation_id, None)
         if future is None:
             return  # response to an abandoned request
@@ -454,7 +486,9 @@ class _ServerProtocol(_FrameReceiver):
     def __init__(self, binding: "_AioBinding") -> None:
         super().__init__()
         self._binding = binding
-        self._ordered: collections.deque[bytes] = collections.deque()
+        self._ordered: collections.deque[tuple[bytes, bool]] = (
+            collections.deque()
+        )
         self._ordered_busy = False
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
@@ -464,43 +498,62 @@ class _ServerProtocol(_FrameReceiver):
     def connection_lost(self, exc: Exception | None) -> None:
         self._binding._transports.discard(self.transport)
 
-    def frame_received(self, correlation_id: int | None, body: bytes) -> None:
+    def frame_received(
+        self, correlation_id: int | None, body: bytes, flags: int
+    ) -> None:
         binding = self._binding
         binding._in_flight.add(1)
+        # The client opted into credit grants (repro.flow); responses to
+        # it carry a window grant when the binding has a grantor.
+        wants_credit = bool(flags & FLAG_CREDIT) and binding._grantor is not None
         if correlation_id is None:
-            self._ordered.append(body)
+            self._ordered.append((body, wants_credit))
             if not self._ordered_busy:
                 self._ordered_busy = True
                 self._next_ordered()
             return
         accepted = binding._pool.submit(
             body,
-            lambda status, response, cid=correlation_id:
-                binding._respond_later(self.transport, cid, status, response),
+            lambda status, response, cid=correlation_id, wc=wants_credit:
+                binding._respond_later(
+                    self.transport, cid, status, response, wc
+                ),
         )
         if not accepted:  # pool shut down: binding is closing
             binding._in_flight.add(-1)
             self.transport.close()
 
     def _next_ordered(self) -> None:
-        body = self._ordered.popleft()
-        accepted = self._binding._pool.submit(body, self._ordered_done)
+        body, wants_credit = self._ordered.popleft()
+        accepted = self._binding._pool.submit(
+            body,
+            lambda status, response, wc=wants_credit:
+                self._ordered_done(status, response, wc),
+        )
         if not accepted:
             self._binding._in_flight.add(-1)
             self.transport.close()
 
-    def _ordered_done(self, status: int, response: bytes) -> None:
+    def _ordered_done(
+        self, status: int, response: bytes, wants_credit: bool
+    ) -> None:
         # Runs on a dispatch worker; hop to the loop to write in order.
         try:
             self._binding._loop.call_soon_threadsafe(
-                self._ordered_complete, status, response
+                self._ordered_complete, status, response, wants_credit
             )
         except RuntimeError:
             pass  # loop already closed
 
-    def _ordered_complete(self, status: int, response: bytes) -> None:
-        self._binding._in_flight.add(-1)
-        self._binding._write_response(self.transport, None, status, response)
+    def _ordered_complete(
+        self, status: int, response: bytes, wants_credit: bool
+    ) -> None:
+        binding = self._binding
+        binding._in_flight.add(-1)
+        credit = binding._grantor.grant() if wants_credit else None
+        binding._write_response(
+            self.transport, None, status, response, credit
+        )
         if self._ordered:
             self._next_ordered()
         else:
@@ -524,6 +577,9 @@ class _AioBinding(ServerBinding):
         handler: RequestHandler,
     ) -> None:
         self._handler = handler
+        # Attached by RemotingHost.listen; plain handlers have none and
+        # their responses carry no credit grants.
+        self._grantor = getattr(handler, "credit_grantor", None)
         self._fastpath = channel._fastpath
         self._loop_thread = channel._ensure_loop()
         self._loop = self._loop_thread.loop
@@ -568,13 +624,16 @@ class _AioBinding(ServerBinding):
         correlation_id: int,
         status: int,
         response: bytes,
+        wants_credit: bool = False,
     ) -> None:
         """Dispatch-pool completion (worker thread): queue the response.
 
         Scheduling is coalesced: the first completion after a drain wakes
         the loop, completions racing in behind it ride the same wake-up.
         """
-        self._responses.append((transport, correlation_id, status, response))
+        self._responses.append(
+            (transport, correlation_id, status, response, wants_credit)
+        )
         if not self._responses_scheduled:
             self._responses_scheduled = True
             try:
@@ -586,9 +645,12 @@ class _AioBinding(ServerBinding):
         self._responses_scheduled = False
         buffers: dict[asyncio.Transport, bytearray] = {}
         drained = 0
+        # One grant covers every credited response in this drain cycle:
+        # pressure does not move faster than a loop wake-up.
+        grant: int | None = None
         while True:
             try:
-                transport, correlation_id, status, response = (
+                transport, correlation_id, status, response, wants_credit = (
                     self._responses.popleft()
                 )
             except IndexError:
@@ -596,6 +658,11 @@ class _AioBinding(ServerBinding):
             drained += 1
             if transport.is_closing():
                 continue
+            credit = None
+            if wants_credit:
+                if grant is None:
+                    grant = self._grantor.grant()
+                credit = grant
             # Frames are appended straight into one buffer per connection
             # — no per-response bytes objects, no final join.
             frames = buffers.get(transport)
@@ -605,6 +672,7 @@ class _AioBinding(ServerBinding):
                 frames,
                 (_STATUS_BYTES[status], response),
                 correlation_id=correlation_id,
+                credit=credit,
             )
         if drained:
             self._in_flight.add(-drained)
@@ -621,6 +689,7 @@ class _AioBinding(ServerBinding):
         correlation_id: int | None,
         status: int,
         response: bytes,
+        credit: int | None = None,
     ) -> None:
         if transport.is_closing():
             return
@@ -629,6 +698,7 @@ class _AioBinding(ServerBinding):
             frame,
             (_STATUS_BYTES[status], response),
             correlation_id=correlation_id,
+            credit=credit,
         )
         try:
             transport.write(frame)
@@ -668,7 +738,15 @@ class AioTcpChannel(Channel):
     window:
         Max concurrent in-flight requests per client connection; further
         requests queue in a backlog (backpressure) and the wait counts
-        toward their deadline.
+        toward their deadline.  With *credits* enabled this is only the
+        starting value — server grants resize it per connection.
+    credits:
+        Credit-based backpressure (:mod:`repro.flow`): requests advertise
+        :data:`~repro.channels.framing.FLAG_CREDIT` and the in-flight
+        window follows the server's response grants, so a loaded server
+        throttles this client without dropping anything.  Responses from
+        servers that predate credits (or have no grantor) leave the
+        window at its configured value.
     request_timeout:
         Per-request deadline in seconds, covering backlog wait + send +
         response (and connection establishment when one must be opened).
@@ -694,6 +772,7 @@ class AioTcpChannel(Channel):
         dispatch_workers: int = DEFAULT_DISPATCH_WORKERS,
         metrics: MetricsRegistry | None = None,
         fastpath: bool = True,
+        credits: bool = True,
     ) -> None:
         if formatter is None:
             formatter = FastBinaryFormatter() if fastpath else BinaryFormatter()
@@ -702,6 +781,10 @@ class AioTcpChannel(Channel):
         if window < 1:
             raise ChannelError("window must be at least 1")
         self.window = window
+        self.credits = credits
+        self._request_flags = FLAG_CORRELATED | (
+            FLAG_CREDIT if credits else 0
+        )
         self.request_timeout = request_timeout
         self.connect_timeout = connect_timeout
         self.dispatch_workers = dispatch_workers
@@ -771,7 +854,7 @@ class AioTcpChannel(Channel):
         self.formatter.dumps_into(request, message)
         self.last_request_bytes = len(request) - body_start
         pack_header_into(
-            request, 0, FLAG_CORRELATED, len(request) - HEADER_SIZE
+            request, 0, self._request_flags, len(request) - HEADER_SIZE
         )
         payload = self._exchange(authority, request, prebuilt=True)
         return self.formatter.loads(decode_response_view(payload))
@@ -863,7 +946,10 @@ class AioTcpChannel(Channel):
             try:
                 connection = await asyncio.wait_for(
                     _AioConnection.open(
-                        authority, self.window, self._client_metrics
+                        authority,
+                        self.window,
+                        self._client_metrics,
+                        self.credits,
                     ),
                     timeout=self.connect_timeout,
                 )

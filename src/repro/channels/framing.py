@@ -17,6 +17,15 @@ the matching response frame, so a multiplexing client
 socket and accept the responses out of order.  Frames without the flag are
 the classic strictly-ordered request/response exchange of
 :class:`repro.channels.tcp.TcpChannel`; the two interoperate on the wire.
+
+Bit 1 (:data:`FLAG_CREDIT`) carries credit-based backpressure
+(:mod:`repro.flow`) and is deliberately asymmetric so old peers keep
+working: on a *request* the flag alone says "this client understands
+credits" — the payload is unchanged, so a server that predates the flag
+just ignores the bit.  On a *response* the flag means a 4-byte
+big-endian window grant follows the optional correlation id; servers
+only ever set it when the request carried the bit, so a client that
+predates credits never sees the extra bytes.
 """
 
 from __future__ import annotations
@@ -39,19 +48,35 @@ CORRELATION_SIZE = _CORRELATION.size
 #: Flag bit: payload is prefixed with an 8-byte correlation id.
 FLAG_CORRELATED = 0x01
 
+#: Flag bit: credit-based backpressure.  Requests: flag only (the client
+#: opts in).  Responses: a 4-byte window grant follows the correlation id.
+FLAG_CREDIT = 0x02
+
+_CREDIT = struct.Struct(">I")
+
+#: Byte size of the optional response credit grant.
+CREDIT_SIZE = _CREDIT.size
+
 #: Refuse absurd frames rather than allocating gigabytes on a bad length.
 MAX_FRAME = 256 * 1024 * 1024
 
 
 def encode_frame(
-    payload: bytes, flags: int = 0, correlation_id: int | None = None
+    payload: bytes,
+    flags: int = 0,
+    correlation_id: int | None = None,
+    credit: int | None = None,
 ) -> bytes:
     """Build a complete frame for *payload*.
 
     Passing *correlation_id* sets :data:`FLAG_CORRELATED` and prepends the
     id to the payload; :func:`split_correlation` recovers it on the far
-    side.
+    side.  Passing *credit* sets :data:`FLAG_CREDIT` and inserts the grant
+    after the correlation id (response frames only; see module docstring).
     """
+    if credit is not None:
+        flags |= FLAG_CREDIT
+        payload = _CREDIT.pack(credit) + payload
     if correlation_id is not None:
         flags |= FLAG_CORRELATED
         payload = _CORRELATION.pack(correlation_id) + payload
@@ -91,6 +116,30 @@ def split_correlation(flags: int, payload: bytes) -> tuple[int | None, bytes]:
         )
     (correlation_id,) = _CORRELATION.unpack_from(payload)
     return correlation_id, payload[CORRELATION_SIZE:]
+
+
+def split_credit(flags: int, payload):  # type: ignore[no-untyped-def]
+    """Extract ``(credit_grant, body)`` from a *response* payload.
+
+    Call after :func:`split_correlation` (the grant sits between the
+    correlation id and the body).  Returns ``(None, payload)`` when the
+    response carries no grant — an old server, or one without a grantor.
+    Accepts ``bytes`` or ``memoryview`` and slices without copying.
+    """
+    if not flags & FLAG_CREDIT:
+        return None, payload
+    if len(payload) < CREDIT_SIZE:
+        raise WireFormatError(
+            f"credited frame payload of {len(payload)} bytes is shorter "
+            f"than the {CREDIT_SIZE}-byte grant"
+        )
+    (credit,) = _CREDIT.unpack_from(payload)
+    return credit, payload[CREDIT_SIZE:]
+
+
+def pack_credit(credit: int) -> bytes:
+    """The 4-byte grant field a credited response prepends to its body."""
+    return _CREDIT.pack(credit)
 
 
 def parse_header_from(buf, offset: int = 0) -> tuple[int, int]:
@@ -136,6 +185,7 @@ def append_frame(
     parts,
     flags: int = 0,
     correlation_id: int | None = None,
+    credit: int | None = None,
 ) -> None:
     """Append one complete frame for *parts* to a shared output buffer.
 
@@ -147,6 +197,9 @@ def append_frame(
     if correlation_id is not None:
         flags |= FLAG_CORRELATED
         length += CORRELATION_SIZE
+    if credit is not None:
+        flags |= FLAG_CREDIT
+        length += CREDIT_SIZE
     if length > MAX_FRAME:
         raise WireFormatError(
             f"frame payload of {length} bytes exceeds {MAX_FRAME}"
@@ -154,6 +207,8 @@ def append_frame(
     out += _HEADER.pack(MAGIC, flags, length)
     if correlation_id is not None:
         out += _CORRELATION.pack(correlation_id)
+    if credit is not None:
+        out += _CREDIT.pack(credit)
     for part in parts:
         out += part
 
@@ -249,18 +304,22 @@ def write_frame_parts(
     parts: list,
     flags: int = 0,
     correlation_id: int | None = None,
+    credit: int | None = None,
 ) -> None:
     """Send one frame whose payload is the concatenation of *parts*.
 
     The scatter-gather sibling of :func:`write_frame`: the header (and
-    optional correlation id) is built once into a small scratch buffer and
-    the payload parts are handed to the kernel as-is.
+    optional correlation id / credit grant) is built once into a small
+    scratch buffer and the payload parts are handed to the kernel as-is.
     """
     length = sum(len(part) for part in parts)
     head = bytearray()
     if correlation_id is not None:
         flags |= FLAG_CORRELATED
         length += CORRELATION_SIZE
+    if credit is not None:
+        flags |= FLAG_CREDIT
+        length += CREDIT_SIZE
     if length > MAX_FRAME:
         raise WireFormatError(
             f"frame payload of {length} bytes exceeds {MAX_FRAME}"
@@ -268,6 +327,8 @@ def write_frame_parts(
     head += _HEADER.pack(MAGIC, flags, length)
     if correlation_id is not None:
         head += _CORRELATION.pack(correlation_id)
+    if credit is not None:
+        head += _CREDIT.pack(credit)
     sendmsg_all(sock, [head, *parts])
 
 
@@ -276,6 +337,7 @@ def write_frame(
     payload: bytes,
     flags: int = 0,
     correlation_id: int | None = None,
+    credit: int | None = None,
 ) -> None:
     """Send one complete frame."""
-    sock.sendall(encode_frame(payload, flags, correlation_id))
+    sock.sendall(encode_frame(payload, flags, correlation_id, credit))

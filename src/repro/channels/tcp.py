@@ -19,10 +19,12 @@ from typing import Callable, Mapping
 from repro.channels.base import Channel, RequestHandler, ServerBinding
 from repro.channels.buffers import BufferPool
 from repro.channels.framing import (
+    FLAG_CREDIT,
     HEADER_SIZE,
     pack_header_into,
     read_frame,
     read_frame_into,
+    split_credit,
     write_frame,
     write_frame_parts,
 )
@@ -43,6 +45,7 @@ from repro.errors import (
     ChannelError,
     WireFormatError,
 )
+from repro.flow import CreditGate
 from repro.serialization import BinaryFormatter, FastBinaryFormatter
 
 
@@ -72,6 +75,9 @@ class _TcpBinding(ServerBinding):
     ) -> None:
         self._handler = handler
         self._fastpath = fastpath
+        # Hosts that do flow control hang their CreditGrantor off the
+        # handler; a plain handler means responses stay uncredited.
+        self._grantor = getattr(handler, "credit_grantor", None)
         self._closed = threading.Event()
         self._server = socket.create_server((host, port), reuse_port=False)
         self._host, self._port = self._server.getsockname()[:2]
@@ -108,7 +114,7 @@ class _TcpBinding(ServerBinding):
                 return
             while not self._closed.is_set():
                 try:
-                    _flags, payload = read_frame(conn)
+                    flags, payload = read_frame(conn)
                 except (ChannelError, WireFormatError, OSError):
                     return  # client hung up or sent garbage
                 try:
@@ -118,8 +124,11 @@ class _TcpBinding(ServerBinding):
                 except Exception as exc:  # noqa: BLE001 - wire boundary
                     response = f"{type(exc).__name__}: {exc}".encode("utf-8")
                     status = STATUS_ERROR
+                credit = self._grant_for(flags)
                 try:
-                    write_frame(conn, encode_response(status, response))
+                    write_frame(
+                        conn, encode_response(status, response), credit=credit
+                    )
                 except OSError:
                     return
 
@@ -135,7 +144,7 @@ class _TcpBinding(ServerBinding):
         recv_buf = bytearray()
         while not self._closed.is_set():
             try:
-                _flags, view = read_frame_into(conn, recv_buf)
+                flags, view = read_frame_into(conn, recv_buf)
             except (ChannelError, WireFormatError, OSError):
                 return  # client hung up or sent garbage
             body = response = None
@@ -147,8 +156,11 @@ class _TcpBinding(ServerBinding):
                 except Exception as exc:  # noqa: BLE001 - wire boundary
                     response = f"{type(exc).__name__}: {exc}".encode("utf-8")
                     status = STATUS_ERROR
+                credit = self._grant_for(flags)
                 try:
-                    write_frame_parts(conn, [bytes((status,)), response])
+                    write_frame_parts(
+                        conn, [bytes((status,)), response], credit=credit
+                    )
                 except OSError:
                     return
             finally:
@@ -156,6 +168,17 @@ class _TcpBinding(ServerBinding):
                 # read grows it, or bytearray.extend raises BufferError.
                 del body, response
                 view.release()
+
+    def _grant_for(self, request_flags: int) -> int | None:
+        """Window grant for one response, or ``None`` to stay uncredited.
+
+        Grants only go to peers that set :data:`FLAG_CREDIT` on the
+        request — a client that predates credits must never see the
+        extra payload bytes.
+        """
+        if self._grantor is None or not request_flags & FLAG_CREDIT:
+            return None
+        return self._grantor.grant()
 
     def close(self) -> None:
         if not self._closed.is_set():
@@ -290,6 +313,14 @@ class TcpChannel(Channel):
     ``memoryview``\\ s of a reusable receive buffer.  ``fastpath=False``
     restores the legacy copy-per-stage path; the two interoperate on the
     wire in either direction.
+
+    ``credits=True`` (the default) opts into credit-based backpressure
+    (:mod:`repro.flow`): requests carry :data:`FLAG_CREDIT`, responses
+    from credit-aware servers resize a per-authority in-flight window,
+    and a saturated window stalls the sender — then sheds with
+    :class:`~repro.errors.OverloadError` once the stall budget runs out.
+    Either side may predate credits; the exchange degrades to the
+    uncredited protocol.
     """
 
     scheme = "tcp"
@@ -301,6 +332,8 @@ class TcpChannel(Channel):
         max_idle_per_authority: int = DEFAULT_MAX_IDLE_PER_AUTHORITY,
         max_idle_s: float = DEFAULT_MAX_IDLE_SECONDS,
         fastpath: bool = True,
+        credits: bool = True,
+        metrics=None,  # type: ignore[no-untyped-def]
     ) -> None:
         if formatter is None:
             formatter = FastBinaryFormatter() if fastpath else BinaryFormatter()
@@ -310,6 +343,26 @@ class TcpChannel(Channel):
         self._fastpath = fastpath and hasattr(self.formatter, "dumps_into")
         self._pool = _ConnectionPool(max_idle_per_authority, max_idle_s)
         self._buffers = BufferPool()
+        self._credits = credits
+        self._metrics = metrics
+        self._gates: dict[str, CreditGate] = {}
+        self._gates_lock = threading.Lock()
+
+    def _gate_for(self, authority: str) -> CreditGate | None:
+        if not self._credits:
+            return None
+        # Unlocked read on the hot path: dict lookups are atomic and
+        # gates, once created, are never replaced.
+        gate = self._gates.get(authority)
+        if gate is not None:
+            return gate
+        with self._gates_lock:
+            gate = self._gates.get(authority)
+            if gate is None:
+                gate = self._gates[authority] = CreditGate(
+                    metrics=self._metrics
+                )
+            return gate
 
     def listen(self, authority: str, handler: RequestHandler) -> ServerBinding:
         host, port = parse_host_port(authority)
@@ -323,14 +376,27 @@ class TcpChannel(Channel):
         headers: Mapping[str, str] | None = None,
     ) -> bytes:
         request = encode_request(path, dict(headers or {}), body)
-        conn = self._pool.checkout(authority)
+        gate = self._gate_for(authority)
+        if gate is not None:
+            gate.acquire()
         try:
-            write_frame(conn, request)
-            _flags, payload = read_frame(conn)
-        except (OSError, ChannelError) as exc:
-            self._handle_call_error(conn, authority, path, exc)
-            raise
-        self._pool.checkin(authority, conn)
+            conn = self._pool.checkout(authority)
+            try:
+                write_frame(
+                    conn, request, flags=FLAG_CREDIT if gate else 0
+                )
+                flags, payload = read_frame(conn)
+            except (OSError, ChannelError) as exc:
+                self._handle_call_error(conn, authority, path, exc)
+                raise
+            self._pool.checkin(authority, conn)
+        finally:
+            if gate is not None:
+                gate.release()
+        if gate is not None:
+            credit, payload = split_credit(flags, payload)
+            if credit is not None:
+                gate.observe_grant(credit)
         return decode_response(payload)
 
     def _handle_call_error(
@@ -366,27 +432,46 @@ class TcpChannel(Channel):
             return super().round_trip(authority, path, message, headers)
         send_buf = self._buffers.acquire()
         recv_buf = self._buffers.acquire()
-        view = body = None
+        view = payload = body = None
+        gate = self._gate_for(authority)
         try:
             send_buf += b"\x00" * HEADER_SIZE
             encode_request_meta(send_buf, path, dict(headers or {}))
             body_start = len(send_buf)
             self.formatter.dumps_into(send_buf, message)
             self.last_request_bytes = len(send_buf) - body_start
-            pack_header_into(send_buf, 0, 0, len(send_buf) - HEADER_SIZE)
-            conn = self._pool.checkout(authority)
+            pack_header_into(
+                send_buf,
+                0,
+                FLAG_CREDIT if gate is not None else 0,
+                len(send_buf) - HEADER_SIZE,
+            )
+            if gate is not None:
+                gate.acquire()
             try:
-                conn.sendall(send_buf)
-                _flags, view = read_frame_into(conn, recv_buf)
-            except (OSError, ChannelError) as exc:
-                self._handle_call_error(conn, authority, path, exc)
-                raise
-            self._pool.checkin(authority, conn)
-            body = decode_response_view(view)
+                conn = self._pool.checkout(authority)
+                try:
+                    conn.sendall(send_buf)
+                    flags, view = read_frame_into(conn, recv_buf)
+                except (OSError, ChannelError) as exc:
+                    self._handle_call_error(conn, authority, path, exc)
+                    raise
+                self._pool.checkin(authority, conn)
+            finally:
+                if gate is not None:
+                    gate.release()
+            payload = view
+            if gate is not None:
+                credit, payload = split_credit(flags, view)
+                if credit is not None:
+                    gate.observe_grant(credit)
+            body = decode_response_view(payload)
             return self.formatter.loads(body)
         finally:
             if body is not None:
                 body.release()
+            if payload is not None and payload is not view:
+                payload.release()
             if view is not None:
                 view.release()
             self._buffers.release(recv_buf)

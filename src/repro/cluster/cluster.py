@@ -7,6 +7,7 @@ directory so they can exchange loads and statistics.
 
 from __future__ import annotations
 
+import threading
 import uuid
 from typing import TYPE_CHECKING, Any, Literal
 
@@ -81,6 +82,11 @@ class Cluster:
         telemetry: TelemetryConfig | None = None,
         wire_fastpath: bool = True,
         same_node_transport: str | None = None,
+        mailbox_depth: int = 0,
+        priority: dict | None = None,
+        shed_policy: str | None = None,
+        elastic: tuple | None = None,
+        elastic_interval_s: float = 1.0,
     ) -> None:
         """*worker_processes* additional nodes run as separate OS
         processes over TCP (see :mod:`repro.cluster.proc`); they import
@@ -100,6 +106,15 @@ class Cluster:
         client channel in a :class:`~repro.shm.SameNodeChannel`, so
         calls between co-located processes ride ring buffers while
         remote peers stay on the wire — no URI or directory changes.
+
+        *mailbox_depth*, *priority* and *shed_policy* are the flow-control
+        knobs, threaded verbatim into every node (in-process and worker
+        alike); see :class:`~repro.core.config.ParcConfig`.  *elastic*
+        = ``(min, max)`` starts a control loop that samples cluster
+        queue depth and method-latency p99 every *elastic_interval_s*
+        seconds and spawns or retires worker processes within those
+        bounds (requires ``worker_processes >= 1``); the initial worker
+        count is clamped into the bounds.
         """
         if num_nodes < 1:
             raise ScooppError(f"cluster needs >= 1 node, got {num_nodes}")
@@ -128,10 +143,27 @@ class Cluster:
                 f"({', '.join(_SAMENODE_BASE_KINDS)}); "
                 f"got {channel_kind!r}"
             )
+        if elastic is not None:
+            elastic = tuple(elastic)
+            if len(elastic) != 2 or elastic[0] < 1 or elastic[1] < elastic[0]:
+                raise ScooppError(
+                    f"elastic bounds need 1 <= min <= max, got {elastic!r}"
+                )
+            if worker_processes < 1:
+                raise ScooppError(
+                    "elastic scaling needs worker_processes >= 1"
+                )
+            # The initial population must respect the bounds it will be
+            # scaled within.
+            worker_processes = max(elastic[0], min(worker_processes, elastic[1]))
         self.num_nodes = num_nodes
         self.channel_kind = channel_kind
         self.heartbeat_s = heartbeat_s
         self.same_node_transport = same_node_transport
+        self.mailbox_depth = mailbox_depth
+        self.priority = priority
+        self.shed_policy = shed_policy
+        self.elastic = elastic
         # Zero-copy wire fast path; every bundled transport that has a
         # codec path takes the knob (http keeps its legacy framing).
         self.wire_fastpath = wire_fastpath
@@ -205,6 +237,9 @@ class Cluster:
                     dispatch_pool_size=dispatch_pool_size,
                     metrics=self.metrics,
                     telemetry=self.telemetry,
+                    mailbox_depth=mailbox_depth,
+                    priority=priority,
+                    shed_policy=shed_policy,
                 )
                 self.nodes.append(node)
                 if same_node_transport == "shm":
@@ -225,20 +260,26 @@ class Cluster:
             self.close()
             raise
         self.worker_handles = []
+        # Spawn ingredients, kept for elastic scale-out re-spawns.
+        self._worker_modules = tuple(worker_modules)
+        self._dispatch_pool_size = dispatch_pool_size
+        self._placement_name = getattr(self.placement, "name", "round_robin")
         if worker_processes:
             from repro.cluster.proc import spawn_workers
 
-            placement_name = getattr(self.placement, "name", "round_robin")
             try:
                 self.worker_handles = spawn_workers(
                     count=worker_processes,
                     first_index=num_nodes,
                     modules=worker_modules,
                     grain=self.grain,
-                    placement_name=placement_name,
+                    placement_name=self._placement_name,
                     dispatch_pool_size=dispatch_pool_size,
                     telemetry=self.telemetry,
                     same_node_transport=same_node_transport,
+                    mailbox_depth=mailbox_depth,
+                    priority=priority,
+                    shed_policy=shed_policy,
                 )
             except Exception:
                 self.close()
@@ -261,6 +302,26 @@ class Cluster:
             set_sample_rate(self.telemetry.sample_rate)
             self._installed_tracer = self.home_node.telemetry.tracer
             set_global_tracer(self._installed_tracer)
+        # Elastic worker scaling: a daemon loop samples cluster pressure
+        # and spawns/retires worker processes within the elastic bounds.
+        self._elastic_lock = threading.Lock()
+        self._elastic_stop = threading.Event()
+        self._elastic_thread: threading.Thread | None = None
+        self._next_worker_index = num_nodes + len(self.worker_handles)
+        if elastic is not None:
+            from repro.flow import ElasticController, ElasticPolicy
+
+            self._elastic_controller = ElasticController(
+                ElasticPolicy(min_workers=elastic[0], max_workers=elastic[1])
+            )
+            self._elastic_interval_s = elastic_interval_s
+            self.metrics.gauge(
+                "cluster.elastic.workers", "worker processes currently live"
+            ).set(len(self.worker_handles))
+            self._elastic_thread = threading.Thread(
+                target=self._elastic_loop, name="parc-elastic", daemon=True
+            )
+            self._elastic_thread.start()
         self._closed = False
 
     @property
@@ -320,6 +381,137 @@ class Cluster:
                 continue
         return out
 
+    # -- elastic workers ---------------------------------------------------
+
+    def _elastic_loop(self) -> None:
+        """Sampling thread: pressure in, scale decisions out.
+
+        Every error is swallowed — a failed sample (a worker mid-death,
+        a stats timeout) must never kill the control loop, only skip the
+        tick.
+        """
+        while not self._elastic_stop.wait(self._elastic_interval_s):
+            try:
+                self._elastic_tick()
+            except Exception:  # noqa: BLE001 - the loop must survive
+                pass
+
+    def _elastic_tick(self) -> None:
+        """One control-loop sample: observe pressure, maybe act."""
+        queued = 0
+        p99: float | None = None
+        for row in self.stats():
+            queued += row.get("queued", 0)
+            row_p99 = row.get("p99_s")
+            if row_p99 is not None and (p99 is None or row_p99 > p99):
+                p99 = row_p99
+        with self._elastic_lock:
+            workers = len(self.worker_handles)
+        self.metrics.gauge(
+            "cluster.elastic.workers", "worker processes currently live"
+        ).set(workers)
+        decision = self._elastic_controller.observe(workers, queued, p99)
+        if decision == "out":
+            self._scale_out(queued, p99)
+        elif decision == "in":
+            self._scale_in(queued, p99)
+
+    def _scale_out(self, queued: int, p99: float | None) -> None:
+        """Spawn one more worker process and publish it to the cluster."""
+        from repro.cluster.proc import spawn_workers
+
+        with self._elastic_lock:
+            index = self._next_worker_index
+            self._next_worker_index += 1  # indices are never reused
+        handles = spawn_workers(
+            count=1,
+            first_index=index,
+            modules=self._worker_modules,
+            grain=self.grain,
+            placement_name=self._placement_name,
+            dispatch_pool_size=self._dispatch_pool_size,
+            telemetry=self.telemetry,
+            same_node_transport=self.same_node_transport,
+            mailbox_depth=self.mailbox_depth,
+            priority=self.priority,
+            shed_policy=self.shed_policy,
+        )
+        with self._elastic_lock:
+            self.worker_handles.extend(handles)
+            workers = len(self.worker_handles)
+        self._redistribute_directory()
+        self.metrics.counter(
+            "cluster.elastic.scale_out", "elastic scale-out actions"
+        ).inc()
+        self.metrics.gauge(
+            "cluster.elastic.workers", "worker processes currently live"
+        ).set(workers)
+        self._elastic_instant(
+            "cluster.elastic.scale_out",
+            worker=handles[0].base_uri,
+            workers=workers,
+            queued=queued,
+            p99_s=p99,
+        )
+
+    def _scale_in(self, queued: int, p99: float | None) -> None:
+        """Retire the newest worker process.
+
+        The directory is republished *before* the worker is told to shut
+        down so no new placement lands on it; then the survivors' object
+        managers get a ``note_dead`` for its URI, which fires the normal
+        node-down machinery — restartable grains stranded on the retiree
+        respawn on the remaining nodes.
+        """
+        with self._elastic_lock:
+            if not self.worker_handles:
+                return
+            handle = self.worker_handles.pop()
+            workers = len(self.worker_handles)
+        self._redistribute_directory()
+        try:
+            handle.shutdown()
+        except Exception:  # noqa: BLE001 - retirement is best-effort
+            pass
+        for node in self.nodes:
+            node.om.note_dead(handle.base_uri)
+        self.metrics.counter(
+            "cluster.elastic.scale_in", "elastic scale-in actions"
+        ).inc()
+        self.metrics.gauge(
+            "cluster.elastic.workers", "worker processes currently live"
+        ).set(workers)
+        self._elastic_instant(
+            "cluster.elastic.scale_in",
+            worker=handle.base_uri,
+            workers=workers,
+            queued=queued,
+            p99_s=p99,
+        )
+
+    def _redistribute_directory(self) -> None:
+        """Push the current node+worker directory to every object manager."""
+        with self._elastic_lock:
+            handles = list(self.worker_handles)
+        directory = [node.base_uri for node in self.nodes] + [
+            handle.base_uri for handle in handles
+        ]
+        for node in self.nodes:
+            node.om.set_directory(directory)
+        for handle in handles:
+            try:
+                handle.set_directory(directory)
+            except Exception:  # noqa: BLE001 - worker may be mid-death
+                pass
+
+    def _elastic_instant(self, name: str, **args: Any) -> None:
+        if not self.telemetry.enabled:
+            return
+        try:
+            self.home_node.telemetry.tracer.instant("cluster", name, **args)
+        except Exception:  # noqa: BLE001 - tracing is best-effort
+            pass
+
     def close(self) -> None:
         """Shut the cluster down without hanging on in-flight calls.
 
@@ -334,6 +526,16 @@ class Cluster:
         if getattr(self, "_closed", False):
             return
         self._closed = True
+        # The elastic loop first: it spawns and retires the very workers
+        # the rest of teardown is about to shut down.
+        stop = getattr(self, "_elastic_stop", None)
+        if stop is not None:
+            stop.set()
+        thread = getattr(self, "_elastic_thread", None)
+        if thread is not None:
+            # A tick blocked on a dying worker's stats() can hold the
+            # thread; it is a daemon, so a bounded join is enough.
+            thread.join(timeout=10.0)
         if getattr(self, "_installed_tracer", None) is not None:
             # Only undo our own installs: a nested cluster created after
             # us may have re-pointed the globals, and its close() will

@@ -20,6 +20,7 @@ from repro.core.impl import ImplementationObject
 from repro.core.model import parallel_class_table
 from repro.cluster.placement import PlacementPolicy
 from repro.errors import PlacementError, ScooppError
+from repro.flow import estimate_p99
 from repro.remoting import MarshalByRefObject, RemotingHost
 from repro.remoting.proxy import RemoteProxy
 from repro.telemetry import MetricsRegistry, TelemetryConfig
@@ -446,14 +447,23 @@ class Node:
         dispatch_pool_size: int = 16,
         metrics: MetricsRegistry | None = None,
         telemetry: TelemetryConfig | None = None,
+        mailbox_depth: int = 0,
+        priority: dict | None = None,
+        shed_policy: str | None = None,
     ) -> None:
         self.index = index
         self.services = services
+        self.mailbox_depth = mailbox_depth
+        self.priority = priority
+        self.shed_policy = shed_policy
         self.host = RemotingHost(
             name=f"parc-node-{index}",
             services=services,
             dispatch_pool_size=dispatch_pool_size,
         )
+        # Mailbox fill feeds the credit grantor alongside the host's
+        # dispatch backlog: senders are throttled before lanes overflow.
+        self.host.credit_grantor.add_source(self._mailbox_pressure)
         binding = self.host.listen(channel, authority)
         self.base_uri = f"{channel.scheme}://{binding.authority}"
         # Per-node observability state, published like om/factory so any
@@ -482,6 +492,9 @@ class Node:
             class_name,
             on_execution=self._on_execution,
             node=self,
+            mailbox_depth=self.mailbox_depth,
+            priority=self.priority,
+            shed_policy=self.shed_policy,
         )
         with self._lock:
             if self._closed:
@@ -520,17 +533,57 @@ class Node:
     def make_proxy(self, uri: str) -> RemoteProxy:
         return self.host.get_object(uri)
 
+    def _mailbox_pressure(self) -> float:
+        """Worst mailbox fill fraction across hosted IOs, in ``[0, 1]``.
+
+        With bounded mailboxes this is the literal fill ratio of the
+        fullest lane set; unbounded mailboxes report a soft signal (1000
+        queued calls reads as saturated) so credits still throttle
+        senders even when admission control is off.
+        """
+        with self._lock:
+            impls = list(self._impls)
+        worst = 0.0
+        for impl in impls:
+            queued = impl.queue_length
+            if self.mailbox_depth > 0:
+                value = queued / float(3 * self.mailbox_depth)
+            else:
+                value = queued / 1000.0
+            if value > worst:
+                worst = value
+        return min(1.0, worst)
+
     def stats(self) -> dict:
         with self._lock:
             impls = list(self._impls)
+        impl_stats = [impl.stats() for impl in impls]
         return {
             "index": self.index,
             "base_uri": self.base_uri,
             "ios": len(impls),
             "created_total": self._created_total,
-            "queued": sum(impl.queue_length for impl in impls),
-            "processed": sum(impl.stats()["processed"] for impl in impls),
+            "queued": sum(s["queued"] for s in impl_stats),
+            "processed": sum(s["processed"] for s in impl_stats),
+            "shed": sum(s["shed"] for s in impl_stats),
+            "p99_s": self.method_p99(),
         }
+
+    def method_p99(self) -> float | None:
+        """Worst per-method p99 on this node, or None with no samples.
+
+        Read from the ``parc.method.seconds.*`` histograms the IO worker
+        records (telemetry must be enabled for those to exist) — the
+        latency signal of the elastic scaling loop.
+        """
+        worst: float | None = None
+        for name, metric in self.telemetry.metrics.export().items():
+            if not name.startswith("parc.method.seconds"):
+                continue
+            estimate = estimate_p99(metric["buckets"], metric["count"])
+            if estimate is not None and (worst is None or estimate > worst):
+                worst = estimate
+        return worst
 
     def close(self) -> None:
         with self._lock:

@@ -82,6 +82,11 @@ class WorkerConfig:
     #: ``"shm"`` makes the worker dial same-node peers over shared
     #: memory and serve a hidden shm listener next to its TCP port.
     same_node_transport: str | None = None
+    #: Flow-control knobs, threaded verbatim into the worker's Node
+    #: (see :class:`~repro.core.config.ParcConfig`).
+    mailbox_depth: int = 0
+    priority: dict | None = None
+    shed_policy: str | None = None
 
 
 def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore[no-untyped-def]
@@ -114,6 +119,9 @@ def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore
             placement=make_placement(config.placement_name),
             dispatch_pool_size=config.dispatch_pool_size,
             telemetry=config.telemetry,
+            mailbox_depth=config.mailbox_depth,
+            priority=config.priority,
+            shed_policy=config.shed_policy,
         )
         if config.same_node_transport == "shm":
             # Hidden backplane (see Cluster.__init__): serve the same
@@ -245,6 +253,9 @@ def spawn_workers(
     dispatch_pool_size: int,
     telemetry: TelemetryConfig | None = None,
     same_node_transport: str | None = None,
+    mailbox_depth: int = 0,
+    priority: dict | None = None,
+    shed_policy: str | None = None,
 ) -> list[ProcessNodeHandle]:
     """Spawn *count* worker nodes; returns their handles (booted)."""
     context = multiprocessing.get_context("spawn")
@@ -262,6 +273,9 @@ def spawn_workers(
                 extra_sys_path=sys_paths,
                 telemetry=telemetry,
                 same_node_transport=same_node_transport,
+                mailbox_depth=mailbox_depth,
+                priority=priority,
+                shed_policy=shed_policy,
             )
             handles.append(ProcessNodeHandle(config, context))
     except Exception:

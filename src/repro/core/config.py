@@ -79,6 +79,23 @@ class ParcConfig:
     same_node_transport: str | None = None
     #: Distributed tracing and metrics (disabled by default).
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    #: Bound on each IO mailbox priority lane, in queued calls; 0 keeps
+    #: the paper's unbounded FIFO.  A full lane sheds new calls with
+    #: :class:`~repro.errors.OverloadError` (see :mod:`repro.flow`).
+    mailbox_depth: int = 0
+    #: Method-name → lane mapping (``"high"``/``"normal"``/``"low"``);
+    #: keys may be bare method names or ``Class.method``.  Mailboxes
+    #: drain high before normal before low, FIFO within a lane.
+    priority: dict | None = None
+    #: What a bounded mailbox does with excess work: ``"fail_fast"``
+    #: (default) or ``"deadline:<seconds>"`` — see
+    #: :class:`repro.flow.ShedPolicy`.
+    shed_policy: str | None = None
+    #: ``(min, max)`` worker-process bounds for elastic scaling; ``None``
+    #: keeps the worker count fixed.  Requires ``worker_processes >= 1``
+    #: (the initial count, clamped into the bounds); retirement announces
+    #: the node down so restartable grains respawn on survivors.
+    elastic: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -96,6 +113,45 @@ class ParcConfig:
                 "telemetry must be a TelemetryConfig, got "
                 f"{type(self.telemetry).__qualname__}"
             )
+        if self.mailbox_depth < 0:
+            raise ScooppError("mailbox_depth cannot be negative")
+        if self.priority is not None:
+            bad = sorted(
+                lane
+                for lane in set(self.priority.values())
+                if lane not in ("high", "normal", "low")
+            )
+            if bad:
+                raise ScooppError(
+                    f"priority lanes must be high/normal/low, got {bad}"
+                )
+        if self.shed_policy is not None:
+            from repro.flow.policy import ShedPolicy
+
+            try:
+                ShedPolicy.parse(self.shed_policy)
+            except ValueError as exc:
+                raise ScooppError(str(exc)) from exc
+        if self.elastic is not None:
+            self.elastic = tuple(self.elastic)
+            if (
+                len(self.elastic) != 2
+                or not all(isinstance(n, int) for n in self.elastic)
+            ):
+                raise ScooppError(
+                    f"elastic must be a (min, max) int pair, got "
+                    f"{self.elastic!r}"
+                )
+            low, high = self.elastic
+            if low < 1 or high < low:
+                raise ScooppError(
+                    f"elastic bounds need 1 <= min <= max, got {self.elastic}"
+                )
+            if self.worker_processes < 1:
+                raise ScooppError(
+                    "elastic scaling needs worker_processes >= 1 "
+                    "(the initial worker count)"
+                )
 
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "ParcConfig":

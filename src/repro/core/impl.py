@@ -2,7 +2,7 @@
 
 §3.1: parallel objects are "active objects ... having its own thread of
 control".  An :class:`ImplementationObject` hosts one user instance (the
-IO of Fig. 3) behind a FIFO mailbox drained by a dedicated worker thread:
+IO of Fig. 3) behind a mailbox drained by a dedicated worker thread:
 calls — single or aggregated — execute strictly in arrival order, one at a
 time, which is what makes SCOOPP's asynchronous invocations safe without
 user locking.
@@ -12,6 +12,13 @@ loop; in ParC#/here "the C# remoting [the remoting host] implements this
 loop" for the *transport*, and the container supplies only the
 active-object queue (§3.2: "The ParC# implementation no longer requires
 SO objects").
+
+The mailbox itself (:class:`_IOMailbox`) is where admission control
+lives: an optional depth bound per priority lane, fail-fast rejection
+with :class:`~repro.errors.OverloadError` when a lane saturates, and an
+optional deadline shed that drops queued work already past its latency
+budget (see :mod:`repro.flow`).  Unbounded FIFO — the paper's model —
+remains the default.
 """
 
 from __future__ import annotations
@@ -22,9 +29,10 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
-from repro.errors import ScooppError
+from repro.errors import OverloadError, ScooppError
+from repro.flow.policy import DEADLINE, ShedPolicy
 from repro.remoting import MarshalByRefObject
 from repro.serialization.codec import unpack_columns
 from repro.telemetry.context import current_context
@@ -43,6 +51,9 @@ executing_impl: contextvars.ContextVar[Any] = contextvars.ContextVar(
     "parc_executing_impl", default=None
 )
 
+#: Priority lanes in drain order.
+LANES = ("high", "normal", "low")
+
 
 @dataclass
 class _Task:
@@ -58,6 +69,123 @@ class _Task:
     # thread serving the remote call, or the local caller).  Re-activated
     # on the worker thread so the io span chains to its remote parent.
     trace: Any = None
+    # When the task entered the mailbox (monotonic seconds); the
+    # deadline shed policy compares queue age against its budget.
+    posted_at: float = 0.0
+
+
+class _IOMailbox:
+    """Bounded, priority-laned mailbox feeding one worker thread.
+
+    Entries are *batches* (lists of :class:`_Task`): an aggregated
+    ``processN`` message stays one entry, so its calls execute
+    back-to-back exactly as Fig. 7 requires.  Drain order is
+    high → normal → low, FIFO within a lane.
+
+    ``depth`` bounds each lane in *tasks* (0 = unbounded, the paper's
+    semantics).  A full lane rejects new work with
+    :class:`OverloadError` — admission control happens here, on the
+    dispatch thread serving the remote ``enqueue``, so the typed error
+    travels back to the caller synchronously.
+
+    Accounting invariant: ``_active`` covers every task of a dequeued
+    batch from the moment :meth:`pop` hands it out (incremented under
+    the same lock that pops the entry) until :meth:`batch_done` returns
+    it.  ``drain()`` waits for lanes empty *and* ``_active == 0``, so it
+    can never return while a dequeued batch is still executing.
+    """
+
+    def __init__(self, depth: int = 0, lane_of: Mapping[str, str] | None = None) -> None:
+        self.depth = depth
+        self._lane_of = dict(lane_of or {})
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._lanes: dict[str, deque[list[_Task]]] = {
+            lane: deque() for lane in LANES
+        }
+        self._queued: dict[str, int] = {lane: 0 for lane in LANES}
+        self._active = 0  # tasks dequeued but not yet finished
+        self._stopped = False
+
+    def lane_for(self, method: str) -> str:
+        lane = self._lane_of.get(method, "normal")
+        return lane if lane in self._lanes else "normal"
+
+    def put(self, method: str, tasks: list[_Task]) -> None:
+        """Admit one entry (single call or aggregate batch).
+
+        Raises :class:`OverloadError` when the target lane cannot hold
+        the entry, :class:`ScooppError` after :meth:`stop`.
+        """
+        lane = self.lane_for(method)
+        with self._work_available:
+            if self._stopped:
+                raise ScooppError("mailbox is disposed")
+            if self.depth and self._queued[lane] + len(tasks) > self.depth:
+                raise OverloadError(
+                    f"mailbox lane {lane!r} is full "
+                    f"({self._queued[lane]}/{self.depth} queued); "
+                    f"call to {method!r} shed"
+                )
+            self._lanes[lane].append(tasks)
+            self._queued[lane] += len(tasks)
+            self._work_available.notify()
+
+    def pop(self) -> list[_Task] | None:
+        """Next entry in priority order; ``None`` once stopped and empty.
+
+        The batch's tasks are added to ``_active`` *before* the lock is
+        released — the window where work is neither queued nor active is
+        exactly what would let ``drain()`` return early.
+        """
+        with self._work_available:
+            while True:
+                for lane in LANES:
+                    entries = self._lanes[lane]
+                    if entries:
+                        batch = entries.popleft()
+                        self._queued[lane] -= len(batch)
+                        self._active += len(batch)
+                        return batch
+                if self._stopped:
+                    self._idle.notify_all()
+                    return None
+                self._work_available.wait()
+
+    def batch_done(self, count: int) -> None:
+        with self._lock:
+            self._active -= count
+            if self._active == 0 and not any(self._queued.values()):
+                self._idle.notify_all()
+
+    def drain(self) -> None:
+        with self._idle:
+            while self._active or any(self._queued.values()):
+                self._idle.wait()
+
+    def stop(self) -> None:
+        """Refuse new work; the worker drains what is queued, then exits."""
+        with self._work_available:
+            self._stopped = True
+            self._work_available.notify()
+
+    @property
+    def stopped(self) -> bool:
+        with self._lock:
+            return self._stopped
+
+    def queued_count(self) -> int:
+        with self._lock:
+            return sum(self._queued.values())
+
+    def queue_length(self) -> int:
+        with self._lock:
+            return sum(self._queued.values()) + self._active
+
+    def lane_depths(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._queued)
 
 
 class ImplementationObject(MarshalByRefObject):
@@ -77,6 +205,12 @@ class ImplementationObject(MarshalByRefObject):
     * ``drain()`` — block until the mailbox is empty;
     * ``dispose()`` — drain and stop the worker;
     * ``stats()`` — counters for the object manager.
+
+    Flow-control knobs (all off by default, threaded from
+    ``ParcConfig``): *mailbox_depth* bounds each priority lane;
+    *priority* maps method names (optionally ``Class.method``) to lanes
+    ``high``/``normal``/``low``; *shed_policy* picks what happens to
+    excess work (see :class:`repro.flow.ShedPolicy`).
     """
 
     def __init__(
@@ -85,19 +219,23 @@ class ImplementationObject(MarshalByRefObject):
         class_name: str,
         on_execution: Callable[[str, float], None] | None = None,
         node: Any = None,
+        mailbox_depth: int = 0,
+        priority: Mapping[str, str] | None = None,
+        shed_policy: "str | ShedPolicy | None" = None,
     ) -> None:
         self.instance = instance
         self.class_name = class_name
         self.node = node
         self._on_execution = on_execution
-        self._lock = threading.Lock()
-        self._work_available = threading.Condition(self._lock)
-        self._idle = threading.Condition(self._lock)
-        self._queue: deque[_Task] = deque()
-        self._active = 0  # tasks dequeued but still executing
-        self._stopped = False
+        self._shed_policy = ShedPolicy.parse(shed_policy)
+        self._mailbox = _IOMailbox(
+            depth=mailbox_depth,
+            lane_of=self._method_lanes(class_name, priority),
+        )
+        self._stats_lock = threading.Lock()
         self._processed = 0
         self._busy_s = 0.0
+        self._shed = {"overflow": 0, "deadline": 0}
         self._async_failures: list[tuple[str, str]] = []
         self._worker = threading.Thread(
             target=self._run,
@@ -106,16 +244,43 @@ class ImplementationObject(MarshalByRefObject):
         )
         self._worker.start()
 
+    @staticmethod
+    def _method_lanes(
+        class_name: str, priority: Mapping[str, str] | None
+    ) -> dict[str, str]:
+        """Normalize a priority mapping to plain method names.
+
+        Accepts bare method names and ``Class.method`` keys (matched
+        against the short or fully qualified class name); entries scoped
+        to other classes are ignored, so one cluster-wide mapping works.
+        """
+        if not priority:
+            return {}
+        short = class_name.rsplit(".", 1)[-1]
+        lanes: dict[str, str] = {}
+        for key, lane in priority.items():
+            if "." in key:
+                cls_part, _, method = key.rpartition(".")
+                if cls_part in (short, class_name):
+                    lanes[method] = lane
+            else:
+                lanes[key] = lane
+        return lanes
+
     # -- remote surface ----------------------------------------------------
 
     def enqueue(self, method: str, args: tuple = (), kwargs: dict | None = None) -> None:
         self._post(
-            _Task(
-                method=method,
-                args=tuple(args),
-                kwargs=dict(kwargs or {}),
-                trace=current_context.get(),
-            )
+            method,
+            [
+                _Task(
+                    method=method,
+                    args=tuple(args),
+                    kwargs=dict(kwargs or {}),
+                    trace=current_context.get(),
+                    posted_at=time.monotonic(),
+                )
+            ],
         )
 
     def enqueue_batch(self, method: str, batch: list) -> None:
@@ -126,19 +291,19 @@ class ImplementationObject(MarshalByRefObject):
         loop over the parameter array.
         """
         trace = current_context.get()
+        posted_at = time.monotonic()
         tasks = [
             _Task(
                 method=method,
                 args=tuple(args),
                 kwargs=dict(kwargs),
                 trace=trace,
+                posted_at=posted_at,
             )
             for args, kwargs in batch
         ]
-        with self._work_available:
-            self._ensure_running()
-            self._queue.extend(tasks)
-            self._work_available.notify()
+        if tasks:
+            self._post(method, tasks)
 
     def enqueue_columns(
         self, method: str, count: int, columns: list = ()
@@ -159,69 +324,114 @@ class ImplementationObject(MarshalByRefObject):
             kwargs=dict(kwargs or {}),
             done=threading.Event(),
             trace=current_context.get(),
+            posted_at=time.monotonic(),
         )
-        self._post(task)
+        self._post(method, [task])
         task.done.wait()
         if task.error is not None:
             raise task.error
         return task.result
 
     def drain(self) -> None:
-        with self._idle:
-            while self._queue or self._active:
-                self._idle.wait()
+        self._mailbox.drain()
 
     def dispose(self) -> None:
-        with self._work_available:
-            self._stopped = True
-            self._work_available.notify()
+        self._mailbox.stop()
         self._worker.join(timeout=30.0)
 
     def stats(self) -> dict:
-        with self._lock:
-            return {
-                "class_name": self.class_name,
-                "queued": len(self._queue),
-                "processed": self._processed,
-                "busy_s": self._busy_s,
-                "async_failures": len(self._async_failures),
-            }
+        with self._stats_lock:
+            shed = dict(self._shed)
+            processed = self._processed
+            busy_s = self._busy_s
+            failures = len(self._async_failures)
+        return {
+            "class_name": self.class_name,
+            "queued": self._mailbox.queued_count(),
+            "lanes": self._mailbox.lane_depths(),
+            "processed": processed,
+            "busy_s": busy_s,
+            "shed": shed["overflow"] + shed["deadline"],
+            "shed_overflow": shed["overflow"],
+            "shed_deadline": shed["deadline"],
+            "async_failures": failures,
+        }
 
     def async_failures(self) -> list:
         """(method, error text) pairs from failed asynchronous calls."""
-        with self._lock:
+        with self._stats_lock:
             return list(self._async_failures)
 
     # -- worker --------------------------------------------------------------
 
-    def _ensure_running(self) -> None:
-        if self._stopped:
+    def _post(self, method: str, tasks: list[_Task]) -> None:
+        try:
+            self._mailbox.put(method, tasks)
+        except OverloadError:
+            self._note_shed("overflow", len(tasks), method)
+            raise
+        except ScooppError:
             raise ScooppError(
                 f"implementation object for {self.class_name} is disposed"
+            ) from None
+
+    def _note_shed(self, reason: str, count: int, method: str) -> None:
+        with self._stats_lock:
+            self._shed[reason] += count
+        telemetry = getattr(self.node, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            telemetry.metrics.counter(
+                "flow.shed", "calls shed by mailbox admission control"
+            ).inc(count)
+            telemetry.metrics.counter(
+                f"flow.shed.{reason}", f"calls shed ({reason})"
+            ).inc(count)
+            telemetry.tracer.instant(
+                "flow",
+                f"flow.shed.{reason}",
+                class_name=self.class_name,
+                method=method,
+                count=count,
             )
 
-    def _post(self, task: _Task) -> None:
-        with self._work_available:
-            self._ensure_running()
-            self._queue.append(task)
-            self._work_available.notify()
+    def _past_deadline(self, task: _Task) -> bool:
+        policy = self._shed_policy
+        return (
+            policy.kind == DEADLINE
+            and policy.budget_s is not None
+            and time.monotonic() - task.posted_at > policy.budget_s
+        )
+
+    def _shed_task(self, task: _Task) -> None:
+        """Drop a queued task whose caller has already given up on it."""
+        age = time.monotonic() - task.posted_at
+        task.error = OverloadError(
+            f"call to {task.method!r} shed after {age:.3f}s in the "
+            f"mailbox (deadline budget {self._shed_policy.budget_s:.3g}s)"
+        )
+        self._note_shed("deadline", 1, task.method)
+        if task.done is None:
+            with self._stats_lock:
+                self._async_failures.append((task.method, repr(task.error)))
+                del self._async_failures[:-32]
+        else:
+            task.done.set()
 
     def _run(self) -> None:
         while True:
-            with self._work_available:
-                while not self._queue and not self._stopped:
-                    self._work_available.wait()
-                if not self._queue and self._stopped:
-                    self._idle.notify_all()
-                    return
-                task = self._queue.popleft()
-                self._active += 1
-            self._execute(task)
-            with self._lock:
-                self._active -= 1
-                self._processed += 1
-                if not self._queue and not self._active:
-                    self._idle.notify_all()
+            batch = self._mailbox.pop()
+            if batch is None:
+                return
+            try:
+                for task in batch:
+                    if self._past_deadline(task):
+                        self._shed_task(task)
+                    else:
+                        self._execute(task)
+                    with self._stats_lock:
+                        self._processed += 1
+            finally:
+                self._mailbox.batch_done(len(batch))
 
     def _execute(self, task: _Task) -> None:
         # Node-bound tracer when the cluster enabled telemetry (spans land
@@ -261,7 +471,7 @@ class ImplementationObject(MarshalByRefObject):
                 except BaseException as exc:  # noqa: BLE001 - active-object boundary
                     task.error = exc
                     if task.done is None:
-                        with self._lock:
+                        with self._stats_lock:
                             self._async_failures.append(
                                 (task.method, repr(exc))
                             )
@@ -279,7 +489,7 @@ class ImplementationObject(MarshalByRefObject):
                     f"parc.method.seconds.{span_name}",
                     help_text="method execution latency",
                 ).observe(elapsed)
-            with self._lock:
+            with self._stats_lock:
                 self._busy_s += elapsed
             if self._on_execution is not None:
                 try:
@@ -291,5 +501,4 @@ class ImplementationObject(MarshalByRefObject):
 
     @property
     def queue_length(self) -> int:
-        with self._lock:
-            return len(self._queue) + self._active
+        return self._mailbox.queue_length()

@@ -35,6 +35,7 @@ from repro.errors import (
     ChannelError,
     GrainError,
     NodeLostError,
+    OverloadError,
     RemoteInvocationError,
     RemotingError,
     ScooppError,
@@ -120,6 +121,9 @@ class RemoteGrain:
         self.batches = 0
         self.singles = 0
         self.calls_posted = 0
+        # Calls refused with OverloadError (shed remotely or stalled out
+        # at the credit gate) — never retried, never treated as a crash.
+        self.sheds = 0
         # Columnar aggregates: enabled by the runtime when the wire fast
         # path is on.  *impl_class* (the user class, set by the runtime)
         # supplies method signatures for column planning.
@@ -306,6 +310,12 @@ class RemoteGrain:
             return attempt()
         except NodeLostError:
             raise
+        except OverloadError:
+            # Shedding means the node is alive but saturated — the exact
+            # opposite of a crash.  Probing/respawning here would add
+            # load to an overloaded cluster, so surface it untouched.
+            self.sheds += 1
+            raise
         except (ScooppError, *_TRANSPORT_ERRORS) as exc:
             if not self._try_recover(exc):
                 raise
@@ -340,6 +350,11 @@ class RemoteGrain:
             raise GrainError("proxy object has been released")
         if self._sender_error is not None:
             error, self._sender_error = self._sender_error, None
+            if isinstance(error, OverloadError):
+                # Keep the typed fail-fast signal: callers (and retry
+                # policies) must see shedding as shedding, not as a
+                # generic wrapped send failure.
+                raise error
             raise ScooppError(
                 f"asynchronous send failed: {error}"
             ) from error
@@ -411,6 +426,8 @@ class RemoteGrain:
                         calls = len(payload)
             except BaseException as exc:  # noqa: BLE001 - surfaced on next use
                 with self._outbox_cv:
+                    if isinstance(exc, OverloadError):
+                        self.sheds += 1
                     self._sender_error = exc
                     self._outbox.clear()
                     self._outbox_cv.notify_all()

@@ -415,6 +415,11 @@ class ParcRuntime:
             "value": sum(g.singles for g in grains),
             "help": "single-call messages shipped by live POs",
         }
+        merged["po.sheds"] = {
+            "type": "counter",
+            "value": sum(getattr(g, "sheds", 0) for g in grains),
+            "help": "PO calls refused with OverloadError (flow control)",
+        }
         return {"nodes": nodes, "cluster": merged}
 
     # -- lifecycle -------------------------------------------------------
@@ -526,6 +531,10 @@ def init(
             telemetry=config.telemetry,
             wire_fastpath=config.wire_fastpath,
             same_node_transport=config.same_node_transport,
+            mailbox_depth=config.mailbox_depth,
+            priority=config.priority,
+            shed_policy=config.shed_policy,
+            elastic=config.elastic,
         )
         _runtime = ParcRuntime(cluster)
         return _runtime

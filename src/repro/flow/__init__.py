@@ -1,0 +1,49 @@
+"""End-to-end flow control: credits, admission control, elasticity.
+
+Under the ROADMAP's millions-of-users framing an overloaded node must
+not simply grow its queues until memory or latency collapses.  This
+package supplies the three mechanisms that bound work between a caller's
+PO and the serving IO, plus the controller that adds capacity when
+bounding is not enough:
+
+* :class:`CreditGate` / :class:`CreditGrantor` — credit-based
+  backpressure on the wire.  Servers advertise how many requests a peer
+  may keep in flight (a u32 piggybacked on response frames, see
+  :mod:`repro.channels.framing`); clients stall sends against the gate
+  instead of flooding a saturated peer, and fail fast with
+  :class:`~repro.errors.OverloadError` when no credit arrives within the
+  stall budget.
+* :class:`ShedPolicy` — admission control at the IO mailbox: fail-fast
+  rejection when a bounded lane is full, and a deadline-aware variant
+  that drops queued requests already past their latency budget (work a
+  caller has long since timed out on is pure waste).
+* :class:`ElasticController` — scale-out/scale-in decisions from
+  queue-depth and ``parc.method.seconds`` histogram signals; the
+  :class:`~repro.cluster.cluster.Cluster` applies them by spawning or
+  retiring worker processes.
+
+Every decision is observable through ``flow.*`` and ``cluster.elastic.*``
+metrics and trace instants.
+"""
+
+from repro.flow.credit import (
+    DEFAULT_STALL_TIMEOUT_S,
+    DEFAULT_WINDOW,
+    MIN_GRANT,
+    CreditGate,
+    CreditGrantor,
+)
+from repro.flow.elastic import ElasticController, ElasticPolicy, estimate_p99
+from repro.flow.policy import ShedPolicy
+
+__all__ = [
+    "CreditGate",
+    "CreditGrantor",
+    "DEFAULT_STALL_TIMEOUT_S",
+    "DEFAULT_WINDOW",
+    "MIN_GRANT",
+    "ElasticController",
+    "ElasticPolicy",
+    "ShedPolicy",
+    "estimate_p99",
+]

@@ -1,0 +1,63 @@
+"""Shed policies: what a bounded mailbox does when it cannot admit work.
+
+Configured through ``ParcConfig(shed_policy=...)`` as a compact string:
+
+* ``"fail_fast"`` — a full lane rejects new calls immediately with
+  :class:`~repro.errors.OverloadError` (the default once
+  ``mailbox_depth`` bounds the mailbox).
+* ``"deadline:<seconds>"`` — additionally, queued requests older than
+  the given budget are shed *at dequeue time*: a request the caller has
+  already timed out on is pure wasted work, and executing it only
+  pushes every younger request further past its own deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FAIL_FAST = "fail_fast"
+DEADLINE = "deadline"
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Parsed admission-control policy for one mailbox."""
+
+    kind: str = FAIL_FAST
+    #: Queue-age budget (seconds) for the deadline variant; tasks older
+    #: than this are dropped instead of executed.  ``None`` = no budget.
+    budget_s: float | None = None
+
+    @classmethod
+    def parse(cls, spec: "str | ShedPolicy | None") -> "ShedPolicy":
+        """Parse a ``ParcConfig.shed_policy`` string.
+
+        Accepts ``"fail_fast"``, ``"deadline:<seconds>"`` and ``None``
+        (meaning the default fail-fast policy).
+        """
+        if spec is None:
+            return cls()
+        if isinstance(spec, ShedPolicy):
+            return spec
+        text = spec.strip().lower()
+        if text == FAIL_FAST:
+            return cls()
+        if text.startswith(DEADLINE):
+            _, _, budget_text = text.partition(":")
+            if not budget_text:
+                raise ValueError(
+                    "deadline shed policy needs a budget: 'deadline:<seconds>'"
+                )
+            try:
+                budget_s = float(budget_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad deadline budget {budget_text!r} in shed_policy"
+                ) from exc
+            if budget_s <= 0:
+                raise ValueError("deadline shed budget must be positive")
+            return cls(kind=DEADLINE, budget_s=budget_s)
+        raise ValueError(
+            f"unknown shed_policy {spec!r}; expected 'fail_fast' or "
+            f"'deadline:<seconds>'"
+        )

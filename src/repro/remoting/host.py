@@ -37,6 +37,7 @@ from repro.errors import (
     RemotingError,
     UnknownObjectError,
 )
+from repro.flow import CreditGrantor
 from repro.perfmodel.clock import Clock, WallClock
 from repro.remoting.lifetime import DEFAULT_TTL_SECONDS, LeaseManager
 from repro.remoting.messages import CallMessage, RemoteErrorInfo, ReturnMessage
@@ -136,6 +137,12 @@ class RemotingHost:
             max_workers=dispatch_pool_size,
             thread_name_prefix=f"parc-dispatch-{self.host_id}",
         )
+        self._dispatch_pool_size = dispatch_pool_size
+        # Window grants advertised to credit-aware peers (repro.flow).
+        # The dispatch backlog is the host-level pressure signal; the
+        # owning cluster node adds a mailbox-fill source on top.
+        self.credit_grantor = CreditGrantor()
+        self.credit_grantor.add_source(self._dispatch_pressure)
         self._closed = False
         self._activated_types: dict[str, type] = {}
         # Schemes bound with advertise=False: served, but kept out of
@@ -174,6 +181,10 @@ class RemotingHost:
             def handler(path: str, body: bytes, headers: Mapping[str, str]) -> bytes:
                 return self._handle_request(formatter, path, body, headers)
 
+            # Bindings that understand credit-based backpressure pick the
+            # grantor off the handler; plain handlers (tests, pingpong
+            # servers) simply have none and responses stay uncredited.
+            handler.credit_grantor = self.credit_grantor
             binding = channel.listen(authority, handler)
             self._bindings[channel.scheme] = binding
             self._channels[channel.scheme] = channel
@@ -448,6 +459,16 @@ class RemotingHost:
             if trace_token is not None:
                 current_context.reset(trace_token)
             current_host.reset(token)
+
+    def _dispatch_pressure(self) -> float:
+        """Dispatch backlog as a 0..1 pressure fraction.
+
+        The one-way pool's queue is unbounded; a backlog of a few times
+        the pool size means dispatch threads cannot keep up and peers
+        should be throttled toward the minimum grant.
+        """
+        backlog = self._pool._work_queue.qsize()
+        return backlog / float(4 * self._dispatch_pool_size)
 
     def _run_call(self, message: CallMessage) -> ReturnMessage:
         telemetry = self.telemetry

@@ -27,7 +27,12 @@ import threading
 from typing import Any, Mapping
 
 from repro.channels.services import ChannelServices, default_services, parse_uri
-from repro.errors import ChannelError, RemoteInvocationError, RemotingError
+from repro.errors import (
+    ChannelError,
+    OverloadError,
+    RemoteInvocationError,
+    RemotingError,
+)
 from repro.remoting.messages import CallMessage, ReturnMessage
 from repro.remoting.objref import ObjRef, current_host
 from repro.telemetry.context import TRACE_HEADER, current_context, to_header
@@ -126,6 +131,16 @@ class RemoteProxy:
             )
         if result.is_error:
             error = result.error
+            if error.type_name == "OverloadError":
+                # Server-side shedding (a full mailbox lane, a blown
+                # deadline budget) surfaces as the same typed error a
+                # local credit stall raises: counted by circuit breakers,
+                # never retried, and distinguishable from application
+                # failures — the call never ran.
+                raise OverloadError(
+                    f"remote call {method} shed by {authority}: "
+                    f"{error.message}"
+                )
             raise RemoteInvocationError(
                 f"remote call {method} failed with {error.type_name}: "
                 f"{error.message}",

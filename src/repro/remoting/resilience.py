@@ -9,6 +9,14 @@ Only transport-level errors are retried by default.  Application errors
 (:class:`~repro.errors.RemoteInvocationError`) are never retried: the
 remote method ran and failed, and re-running it is a semantic decision
 only the caller can make.
+
+Overload signals are never retried either, even though they are
+:class:`~repro.errors.ChannelError`\\ s: :class:`~repro.errors.OverloadError`
+(the peer or the send path shed the call) and
+:class:`~repro.errors.CircuitOpenError` (the breaker quarantined the
+peer) both mean "back off" — retrying amplifies exactly the load that
+caused them.  :attr:`RetryPolicy.no_retry_on` carries that veto and is
+consulted before every retry, whatever ``retry_on`` matches.
 """
 
 from __future__ import annotations
@@ -19,7 +27,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
-from repro.errors import AddressError, ChannelError
+from repro.errors import (
+    AddressError,
+    ChannelError,
+    CircuitOpenError,
+    OverloadError,
+)
 
 T = TypeVar("T")
 
@@ -41,6 +54,13 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     jitter: float = 0.2
     retry_on: tuple[type[BaseException], ...] = (ChannelError,)
+    #: Types never retried even when ``retry_on`` matches them.  The
+    #: defaults are the typed overload signals: re-sending a shed call
+    #: feeds the very overload that shed it.
+    no_retry_on: tuple[type[BaseException], ...] = (
+        OverloadError,
+        CircuitOpenError,
+    )
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
@@ -77,6 +97,8 @@ def call_with_retry(
         try:
             return fn(*args, **kwargs)
         except active.retry_on as exc:  # type: ignore[misc]
+            if isinstance(exc, active.no_retry_on):
+                raise
             last = exc
             if attempt + 1 < active.attempts and delay > 0:
                 time.sleep(active.sleep_for(delay))

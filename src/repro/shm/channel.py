@@ -57,10 +57,13 @@ from typing import Callable, Mapping
 from repro.channels.base import Channel, RequestHandler, ServerBinding
 from repro.channels.buffers import BufferPool
 from repro.channels.framing import (
+    FLAG_CREDIT,
     HEADER_SIZE,
     MAX_FRAME,
+    pack_credit,
     pack_header_into,
     parse_header_from,
+    split_credit,
 )
 from repro.channels.request import (
     STATUS_ERROR,
@@ -76,6 +79,7 @@ from repro.errors import (
     ShmSetupError,
     WireFormatError,
 )
+from repro.flow import CreditGate
 from repro.serialization import BinaryFormatter, FastBinaryFormatter
 from repro.shm.doorbell import Doorbell
 from repro.shm.ring import (
@@ -628,6 +632,9 @@ class _ShmBinding(ServerBinding):
             authority = f"shm-{os.getpid()}-{next(_auto_authorities)}"
         self._authority = authority
         self._handler = handler
+        # Attached by RemotingHost.listen; plain handlers have none and
+        # their responses carry no credit grants.
+        self._grantor = getattr(handler, "credit_grantor", None)
         self._spin = spin
         self._counters = counters
         self._closed = threading.Event()
@@ -752,9 +759,10 @@ class _ShmBinding(ServerBinding):
         it past its return; the ring bytes are consumed (and the client
         thereby unblocked) only after the response has been written.
         """
+        grantor = self._grantor
         while not self._closed.is_set():
             try:
-                _flags, view, pending = conn.read_frame(bounce)
+                flags, view, pending = conn.read_frame(bounce)
             except (ChannelError, WireFormatError, OSError):
                 return  # peer hung up or sent garbage
             body = response = None
@@ -767,8 +775,20 @@ class _ShmBinding(ServerBinding):
                 except Exception as exc:  # noqa: BLE001 - wire boundary
                     response = f"{type(exc).__name__}: {exc}".encode("utf-8")
                     status = STATUS_ERROR
+                # Grants only go to peers that set FLAG_CREDIT on the
+                # request — an old client must never see extra bytes.
+                if grantor is not None and flags & FLAG_CREDIT:
+                    parts = [
+                        pack_credit(grantor.grant()),
+                        bytes((status,)),
+                        response,
+                    ]
+                    response_flags = FLAG_CREDIT
+                else:
+                    parts = [bytes((status,)), response]
+                    response_flags = 0
                 try:
-                    conn.send_frame_parts([bytes((status,)), response])
+                    conn.send_frame_parts(parts, response_flags)
                 except (ChannelError, OSError):
                     ok = False
             finally:
@@ -882,6 +902,11 @@ class ShmChannel(Channel):
     — plus ring-resident response payloads: the decode views alias the
     shared segment itself, so a 64 KiB ``bytes`` reply is copied exactly
     once, straight from the ring into the result object.
+
+    ``credits=True`` (the default) opts into credit-based backpressure
+    (:mod:`repro.flow`), identical to the socket channels: requests carry
+    :data:`~repro.channels.framing.FLAG_CREDIT` and server grants resize
+    a per-authority in-flight window shared by every pooled connection.
     """
 
     scheme = "shm"
@@ -894,6 +919,7 @@ class ShmChannel(Channel):
         spin: int = DEFAULT_SPIN,
         fastpath: bool = True,
         max_idle_per_authority: int = DEFAULT_MAX_IDLE_PER_AUTHORITY,
+        credits: bool = True,
         metrics=None,  # type: ignore[no-untyped-def]
     ) -> None:
         if formatter is None:
@@ -907,6 +933,29 @@ class ShmChannel(Channel):
         self._counters = _ShmCounters(metrics)
         self._pool = _ShmPool(self._open_connection, max_idle_per_authority)
         self._buffers = BufferPool()
+        # Credit-based backpressure (repro.flow): one gate per authority
+        # bounds in-flight calls across all pooled connections to the
+        # server's most recent window grant.
+        self._credits = credits
+        self._metrics = metrics
+        self._gates: dict[str, CreditGate] = {}
+        self._gates_lock = threading.Lock()
+
+    def _gate_for(self, authority: str) -> CreditGate | None:
+        if not self._credits:
+            return None
+        # Unlocked read on the hot path: dict lookups are atomic and
+        # gates, once created, are never replaced.
+        gate = self._gates.get(authority)
+        if gate is not None:
+            return gate
+        with self._gates_lock:
+            gate = self._gates.get(authority)
+            if gate is None:
+                gate = self._gates[authority] = CreditGate(
+                    metrics=self._metrics
+                )
+            return gate
 
     def _open_connection(self, authority: str) -> _ShmConnection:
         return _connect(
@@ -944,24 +993,37 @@ class ShmChannel(Channel):
         # zero-copy passive-object path for raw payloads.
         meta = bytearray()
         encode_request_meta(meta, path, dict(headers or {}))
-        conn = self._pool.checkout(authority)
+        gate = self._gate_for(authority)
+        if gate is not None:
+            gate.acquire()
         bounce = self._buffers.acquire()
-        view = body_view = None
+        view = payload_view = body_view = None
         pending = 0
+        conn = None
         conn_ok = False
         try:
+            conn = self._pool.checkout(authority)
             try:
-                conn.send_frame_parts([meta, body])
-                _flags, view, pending = conn.read_frame(bounce)
+                conn.send_frame_parts(
+                    [meta, body], FLAG_CREDIT if gate is not None else 0
+                )
+                flags, view, pending = conn.read_frame(bounce)
             except (OSError, ChannelError) as exc:
                 self._handle_call_error(conn, authority, path, exc)
                 raise
             conn_ok = True
-            body_view = decode_response_view(view)
+            payload_view = view
+            if gate is not None:
+                credit, payload_view = split_credit(flags, view)
+                if credit is not None:
+                    gate.observe_grant(credit)
+            body_view = decode_response_view(payload_view)
             payload = bytes(body_view)
         finally:
             if body_view is not None:
                 body_view.release()
+            if payload_view is not None and payload_view is not view:
+                payload_view.release()
             if view is not None:
                 view.release()
             if conn_ok:
@@ -969,6 +1031,8 @@ class ShmChannel(Channel):
                     conn.consume(pending)
                 self._pool.checkin(authority, conn)
             self._buffers.release(bounce)
+            if gate is not None:
+                gate.release()
         return payload
 
     def round_trip(
@@ -988,9 +1052,12 @@ class ShmChannel(Channel):
         """
         if not self._fastpath:
             return super().round_trip(authority, path, message, headers)
+        gate = self._gate_for(authority)
+        if gate is not None:
+            gate.acquire()
         send_buf = self._buffers.acquire()
         bounce = self._buffers.acquire()
-        view = body = None
+        view = payload = body = None
         pending = 0
         conn = None
         conn_ok = False
@@ -1000,20 +1067,32 @@ class ShmChannel(Channel):
             body_start = len(send_buf)
             self.formatter.dumps_into(send_buf, message)
             self.last_request_bytes = len(send_buf) - body_start
-            pack_header_into(send_buf, 0, 0, len(send_buf) - HEADER_SIZE)
+            pack_header_into(
+                send_buf,
+                0,
+                FLAG_CREDIT if gate is not None else 0,
+                len(send_buf) - HEADER_SIZE,
+            )
             conn = self._pool.checkout(authority)
             try:
                 conn.send_frame(send_buf)
-                _flags, view, pending = conn.read_frame(bounce)
+                flags, view, pending = conn.read_frame(bounce)
             except (OSError, ChannelError) as exc:
                 self._handle_call_error(conn, authority, path, exc)
                 raise
             conn_ok = True
-            body = decode_response_view(view)
+            payload = view
+            if gate is not None:
+                credit, payload = split_credit(flags, view)
+                if credit is not None:
+                    gate.observe_grant(credit)
+            body = decode_response_view(payload)
             return self.formatter.loads(body)
         finally:
             if body is not None:
                 body.release()
+            if payload is not None and payload is not view:
+                payload.release()
             if view is not None:
                 view.release()
             if conn_ok:
@@ -1022,6 +1101,8 @@ class ShmChannel(Channel):
                 self._pool.checkin(authority, conn)
             self._buffers.release(bounce)
             self._buffers.release(send_buf)
+            if gate is not None:
+                gate.release()
 
     def close(self) -> None:
         self._pool.close()

@@ -1,0 +1,158 @@
+"""Wire-interop tests for credit-based backpressure.
+
+The credit exchange is asymmetric and optional on both ends: a client
+requests credits with a flag bit, a server grants them only when asked
+and only when it has a grantor.  Every mixed pairing must degrade to the
+plain (uncredited) protocol — these tests pin that matrix across the
+tcp, aio and shm transports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aio import AioTcpChannel
+from repro.channels.tcp import TcpChannel
+from repro.flow import DEFAULT_WINDOW, CreditGate, CreditGrantor
+from repro.shm import ShmChannel
+
+
+def echo_handler(path, body, headers):
+    return f"{path}:".encode() + bytes(body)
+
+
+def granting_handler(window=10, pressure=0.0):
+    """An echo handler advertising credits, as RemotingHost.listen does."""
+
+    def handler(path, body, headers):
+        return f"{path}:".encode() + bytes(body)
+
+    grantor = CreditGrantor(window=window)
+    grantor.add_source(lambda: pressure)
+    handler.credit_grantor = grantor
+    return handler
+
+
+@pytest.fixture(params=["tcp", "aio", "shm"])
+def transport(request):
+    return request.param
+
+
+def make_channel(kind, credits):
+    if kind == "tcp":
+        return TcpChannel(credits=credits)
+    if kind == "aio":
+        return AioTcpChannel(credits=credits)
+    return ShmChannel(credits=credits)
+
+
+def authority_for(kind):
+    return "auto" if kind == "shm" else "127.0.0.1:0"
+
+
+class TestCreditInterop:
+    def test_credited_client_plain_server(self, transport):
+        """A server with no grantor answers uncredited; calls still work."""
+        channel = make_channel(transport, credits=True)
+        binding = channel.listen(authority_for(transport), echo_handler)
+        try:
+            for index in range(5):
+                payload = str(index).encode()
+                assert (
+                    channel.call(binding.authority, "p", payload)
+                    == b"p:" + payload
+                )
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_uncredited_client_granting_server(self, transport):
+        """An old client never sees a grant it did not ask for."""
+        channel = make_channel(transport, credits=False)
+        binding = channel.listen(
+            authority_for(transport), granting_handler(window=4)
+        )
+        try:
+            for index in range(5):
+                payload = str(index).encode()
+                assert (
+                    channel.call(binding.authority, "p", payload)
+                    == b"p:" + payload
+                )
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_credited_exchange(self, transport):
+        """Both sides credit-aware: calls flow and grants are adopted."""
+        channel = make_channel(transport, credits=True)
+        binding = channel.listen(
+            authority_for(transport), granting_handler(window=10, pressure=0.5)
+        )
+        try:
+            for index in range(5):
+                payload = str(index).encode()
+                assert (
+                    channel.call(binding.authority, "p", payload)
+                    == b"p:" + payload
+                )
+            if transport in ("tcp", "shm"):
+                gate = channel._gate_for(binding.authority)
+                assert gate is not None
+                # window=10 at pressure 0.5 advertises 5.
+                assert gate.window == 5
+        finally:
+            binding.close()
+            channel.close()
+
+
+class TestCreditGateWiring:
+    def test_tcp_gate_starts_at_default_window(self):
+        channel = TcpChannel(credits=True)
+        binding = channel.listen("127.0.0.1:0", echo_handler)
+        try:
+            channel.call(binding.authority, "p", b"x")
+            gate = channel._gate_for(binding.authority)
+            # Plain server: no grant ever arrives, the window never moves.
+            assert gate.window == DEFAULT_WINDOW
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_credits_off_means_no_gate(self):
+        channel = TcpChannel(credits=False)
+        try:
+            assert channel._gate_for("anywhere:1") is None
+        finally:
+            channel.close()
+
+    def test_saturated_server_grants_probe_window(self):
+        """Full pressure shrinks the advertised window to the floor."""
+        channel = TcpChannel(credits=True)
+        binding = channel.listen(
+            "127.0.0.1:0", granting_handler(window=64, pressure=1.0)
+        )
+        try:
+            channel.call(binding.authority, "p", b"x")
+            assert channel._gate_for(binding.authority).window == 1
+            # The shrunken window still serves sequential traffic.
+            assert channel.call(binding.authority, "q", b"y") == b"q:y"
+        finally:
+            binding.close()
+            channel.close()
+
+    def test_gate_is_per_authority(self):
+        channel = TcpChannel(credits=True)
+        a = channel.listen("127.0.0.1:0", granting_handler(window=8))
+        b = channel.listen(
+            "127.0.0.1:0", granting_handler(window=64, pressure=0.75)
+        )
+        try:
+            channel.call(a.authority, "p", b"")
+            channel.call(b.authority, "p", b"")
+            assert channel._gate_for(a.authority).window == 8
+            assert channel._gate_for(b.authority).window == 16
+        finally:
+            a.close()
+            b.close()
+            channel.close()
