@@ -20,6 +20,13 @@ The ``overload`` suite writes ``BENCH_overload.json`` instead: the
 credits-on/off ping-pong rates (the flow-control overhead guardrail),
 admitted/shed latency percentiles for a saturated bounded mailbox, and
 the elastic scale-out/in cycle's call accounting.
+
+The ``sched`` suite writes ``BENCH_sched.json``: makespans for the
+Zipf-skewed placement bench under static round-robin, the
+perfect-knowledge LPT oracle, and the adaptive work-stealing scheduler,
+plus the migration accounting (grains moved, calls carried, losses) and
+the two guarded ratios (adaptive within 1.5x of oracle, at least 1.3x
+over round-robin).
 """
 
 from __future__ import annotations
@@ -173,10 +180,52 @@ def collect_overload() -> dict:
     }
 
 
+def collect_sched() -> dict:
+    from test_scheduler import (
+        AGG_CALLS,
+        CALLS_TOTAL,
+        GRAINS,
+        NODES,
+        WORK_S,
+        ZIPF_S,
+        run_all,
+    )
+
+    results = run_all()
+    adaptive = results["adaptive"]
+    return {
+        "benchmark": "sched",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "workload": {
+            "nodes": NODES,
+            "grains": GRAINS,
+            "zipf_s": ZIPF_S,
+            "calls_total": CALLS_TOTAL,
+            "work_s": WORK_S,
+            "agg_calls": AGG_CALLS,
+        },
+        "scenarios": results,
+        "guarded_ratios": {
+            "adaptive_vs_oracle": (
+                adaptive["makespan_s"] / results["oracle"]["makespan_s"]
+            ),
+            "round_robin_vs_adaptive": (
+                results["round_robin"]["makespan_s"]
+                / adaptive["makespan_s"]
+            ),
+        },
+    }
+
+
 def main(argv: list[str]) -> int:
     if argv and argv[0] == "overload":
         out_path = argv[1] if len(argv) > 1 else "BENCH_overload.json"
         document = collect_overload()
+    elif argv and argv[0] == "sched":
+        out_path = argv[1] if len(argv) > 1 else "BENCH_sched.json"
+        document = collect_sched()
     else:
         out_path = argv[0] if argv else "BENCH_wire.json"
         document = collect()

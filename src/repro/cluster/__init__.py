@@ -15,22 +15,32 @@ Two execution modes share all code above the channel:
 
 from repro.cluster.placement import (
     LeastLoadedPlacement,
+    LegacyPolicyAdapter,
+    LocalityAwarePlacement,
     PlacementPolicy,
     RandomPlacement,
     RoundRobinPlacement,
+    coerce_policy,
     make_placement,
 )
 from repro.cluster.node import Node, NodeFactory, ObjectManager
 from repro.cluster.cluster import Cluster
+from repro.sched import ClusterView, NodeView, SchedulerConfig
 
 __all__ = [
     "Cluster",
+    "ClusterView",
     "LeastLoadedPlacement",
+    "LegacyPolicyAdapter",
+    "LocalityAwarePlacement",
     "Node",
     "NodeFactory",
+    "NodeView",
     "ObjectManager",
     "PlacementPolicy",
     "RandomPlacement",
     "RoundRobinPlacement",
+    "SchedulerConfig",
+    "coerce_policy",
     "make_placement",
 ]

@@ -8,7 +8,9 @@ directory so they can exchange loads and statistics.
 from __future__ import annotations
 
 import threading
+import time
 import uuid
+from dataclasses import replace as dc_replace
 from typing import TYPE_CHECKING, Any, Literal
 
 from repro.channels.base import Channel
@@ -17,8 +19,9 @@ from repro.channels.factory import available_kinds, create as create_channel
 from repro.channels.services import ChannelServices
 from repro.core.grain import AdaptiveGrainController, GrainPolicy
 from repro.cluster.node import Node
-from repro.cluster.placement import PlacementPolicy, make_placement
+from repro.cluster.placement import PlacementPolicy, coerce_policy
 from repro.errors import ScooppError
+from repro.sched import PlannedMove, RebalancePlanner, SchedulerConfig
 from repro.telemetry import (
     MetricsRegistry,
     TelemetryConfig,
@@ -87,6 +90,7 @@ class Cluster:
         shed_policy: str | None = None,
         elastic: tuple | None = None,
         elastic_interval_s: float = 1.0,
+        scheduler: SchedulerConfig | None = None,
     ) -> None:
         """*worker_processes* additional nodes run as separate OS
         processes over TCP (see :mod:`repro.cluster.proc`); they import
@@ -115,6 +119,16 @@ class Cluster:
         seconds and spawns or retires worker processes within those
         bounds (requires ``worker_processes >= 1``); the initial worker
         count is clamped into the bounds.
+
+        *scheduler* is a :class:`~repro.sched.SchedulerConfig` bundling
+        the grain policy, placement policy and the adaptive-rebalancing
+        knobs (work stealing, live migration).  It subsumes the flat
+        *grain*/*placement* arguments: passing a conflicting value both
+        ways is an error, while a flat value with no scheduler
+        counterpart is folded in.  When ``scheduler.work_stealing`` is
+        on, a daemon loop samples every node's load report each
+        ``rebalance_interval_s`` seconds and live-migrates queued grains
+        off overloaded nodes.
         """
         if num_nodes < 1:
             raise ScooppError(f"cluster needs >= 1 node, got {num_nodes}")
@@ -178,10 +192,43 @@ class Cluster:
         self.telemetry = (
             telemetry if telemetry is not None else TelemetryConfig()
         )
-        self.grain = grain if grain is not None else GrainPolicy()
-        if isinstance(placement, str):
-            placement = make_placement(placement)
-        self.placement = placement
+        # Scheduling knobs: one SchedulerConfig is the source of truth.
+        # The flat grain/placement arguments remain the short spelling
+        # and fold into it; naming both with different values is a
+        # conflict, not a silent override.
+        if scheduler is None:
+            scheduler = SchedulerConfig(grain=grain, placement=placement)
+        else:
+            if (
+                grain is not None
+                and scheduler.grain is not None
+                and grain is not scheduler.grain
+            ):
+                raise ScooppError(
+                    "grain given both directly and via SchedulerConfig"
+                )
+            flat_placement_set = placement != "round_robin"
+            sched_placement_set = scheduler.placement != "round_robin"
+            if (
+                flat_placement_set
+                and sched_placement_set
+                and placement != scheduler.placement
+            ):
+                raise ScooppError(
+                    "placement given both directly and via SchedulerConfig"
+                )
+            updates: dict[str, Any] = {}
+            if scheduler.grain is None and grain is not None:
+                updates["grain"] = grain
+            if flat_placement_set and not sched_placement_set:
+                updates["placement"] = placement
+            if updates:
+                scheduler = dc_replace(scheduler, **updates)
+        self.sched_config = scheduler
+        self.grain = (
+            scheduler.grain if scheduler.grain is not None else GrainPolicy()
+        )
+        self.placement = coerce_policy(scheduler.placement)
         self.services = ChannelServices()
         # The shared client channel every proxy dials through, built from
         # the scheme registry.  Stacking order matters: the breaker sits
@@ -322,6 +369,28 @@ class Cluster:
                 target=self._elastic_loop, name="parc-elastic", daemon=True
             )
             self._elastic_thread.start()
+        # Adaptive rebalancing: a daemon loop gathers per-node scheduler
+        # reports, asks the planner for moves, and executes each as a
+        # live grain migration (see repro.sched).
+        self._sched_lock = threading.Lock()
+        self._sched_stop = threading.Event()
+        self._sched_thread: threading.Thread | None = None
+        self._sched_counters = {
+            "cycles": 0,
+            "steals": 0,
+            "migrations": 0,
+            "migration_failures": 0,
+            "calls_moved": 0,
+            "lost_calls": 0,
+        }
+        self._migration_callbacks: list[Any] = []
+        self._inflight_migrations: set[str] = set()
+        self._planner = RebalancePlanner(self.sched_config)
+        if self.sched_config.work_stealing:
+            self._sched_thread = threading.Thread(
+                target=self._sched_loop, name="parc-sched", daemon=True
+            )
+            self._sched_thread.start()
         self._closed = False
 
     @property
@@ -512,6 +581,203 @@ class Cluster:
         except Exception:  # noqa: BLE001 - tracing is best-effort
             pass
 
+    # -- adaptive scheduler ------------------------------------------------
+
+    def on_migration(self, callback: Any) -> None:
+        """Register *callback(result)* to fire after every migration.
+
+        *result* is the dict :meth:`NodeScheduler.migrate_out` returns
+        (old/new ObjRef URIs, moved-call counts).  Runtimes use this to
+        repoint live proxy objects at the grain's new home; callbacks
+        must not block — they run on the migration thread.
+        """
+        self._migration_callbacks.append(callback)
+
+    def migrate_grain(self, grain_uri: str, target_base_uri: str) -> dict:
+        """Explicitly move the grain published at *grain_uri*.
+
+        *grain_uri* is any of the grain's published URIs (as found in
+        an ObjRef or a placement report); *target_base_uri* is the
+        destination node's base URI.  Blocks until the move commits and
+        returns the migration result dict.  Raises
+        :class:`~repro.errors.MigrationError` — with the grain still
+        serving in place — if the move cannot be carried out.
+        """
+        scheme, _, rest = grain_uri.partition("://")
+        authority, _, path = rest.partition("/")
+        if not rest or not path:
+            raise ScooppError(f"not a published grain URI: {grain_uri!r}")
+        victim = f"{scheme}://{authority}"
+        return self._execute_migration(victim, path, target_base_uri, "manual")
+
+    def placement_report(self) -> dict:
+        """Snapshot of where grains live and what the scheduler did.
+
+        Returns the active policy name, per-node rows (grain counts,
+        stealable backlog, load, per-node migration counters), the
+        cluster-level steal/migration counters, and the most recent
+        placement decisions merged from every object manager's log.
+        """
+        node_rows = []
+        for report in self._scheduler_reports():
+            node_rows.append(
+                {
+                    "base_uri": report.get("base_uri"),
+                    "index": report.get("index"),
+                    "grains": report.get("ios", 0),
+                    "queued": report.get("queued", 0),
+                    "load": report.get("load", 0.0),
+                    "migrations_out": report.get("migrations_out", 0),
+                    "migrations_in": report.get("migrations_in", 0),
+                    "steals": report.get("steals", 0),
+                }
+            )
+        decisions: list[dict] = []
+        for node in self.nodes:
+            try:
+                decisions.extend(node.om.recent_decisions())
+            except Exception:  # noqa: BLE001 - reporting is best-effort
+                pass
+        decisions.sort(key=lambda d: d.get("ts", 0.0))
+        with self._sched_lock:
+            counters = dict(self._sched_counters)
+        return {
+            "policy": getattr(
+                self.placement, "name", type(self.placement).__name__
+            ),
+            "work_stealing": self.sched_config.work_stealing,
+            "migration": self.sched_config.migration,
+            "nodes": node_rows,
+            "last_decisions": decisions[-32:],
+            **counters,
+        }
+
+    def _scheduler_reports(self) -> list[dict]:
+        """One load report per reachable node, in-process and worker."""
+        reports: list[dict] = []
+        for node in self.nodes:
+            try:
+                reports.append(node.sched.report())
+            except Exception:  # noqa: BLE001 - a node mid-teardown
+                pass
+        with self._elastic_lock:
+            handles = list(self.worker_handles)
+        for handle in handles:
+            try:
+                proxy = self.home_node.make_proxy(f"{handle.base_uri}/sched")
+                reports.append(dict(proxy.report()))
+            except Exception:  # noqa: BLE001 - a dead worker just skips
+                pass
+        return reports
+
+    def _sched_loop(self) -> None:
+        """Rebalance thread: reports in, migrations out.
+
+        Mirrors the elastic loop's survival rule — a failed tick (a
+        worker dying mid-report, a migration racing teardown) skips the
+        cycle, never kills the loop.
+        """
+        interval = self.sched_config.rebalance_interval_s
+        while not self._sched_stop.wait(interval):
+            try:
+                self._sched_tick()
+            except Exception:  # noqa: BLE001 - the loop must survive
+                pass
+
+    def _sched_tick(self) -> None:
+        """One rebalance cycle: gather, plan, fire migrations.
+
+        Planned moves have distinct victims and targets, so each runs
+        on its own thread.  The tick never joins them: a migration's
+        pause time (waiting out the victim grain's executing batch)
+        can dwarf the rebalance interval under load, and blocking the
+        loop on it would starve the planner of fresh reports exactly
+        when the cluster is most imbalanced.  In-flight grains are
+        tracked so a path is never migrated twice concurrently, and
+        ``max_migrations_per_cycle`` caps the total in flight.
+        """
+        reports = self._scheduler_reports()
+        moves = self._planner.plan(reports, time.monotonic())
+        with self._sched_lock:
+            self._sched_counters["cycles"] += 1
+            budget = (
+                self.sched_config.max_migrations_per_cycle
+                - len(self._inflight_migrations)
+            )
+            runnable = []
+            for move in moves:
+                if budget <= 0:
+                    break
+                if move.path in self._inflight_migrations:
+                    continue
+                self._inflight_migrations.add(move.path)
+                runnable.append(move)
+                budget -= 1
+        for move in runnable:
+            threading.Thread(
+                target=self._execute_move,
+                args=(move,),
+                name="parc-migrate",
+                daemon=True,
+            ).start()
+
+    def _execute_move(self, move: PlannedMove) -> None:
+        try:
+            self._execute_migration(
+                move.victim_uri, move.path, move.target_uri, move.kind
+            )
+        except Exception:  # noqa: BLE001 - counted in _execute_migration
+            pass
+        finally:
+            with self._sched_lock:
+                self._inflight_migrations.discard(move.path)
+
+    def _execute_migration(
+        self, victim_uri: str, path: str, target_uri: str, kind: str
+    ) -> dict:
+        node = self.node_by_uri(victim_uri)
+        try:
+            if node is not None:
+                result = node.sched.migrate_out(path, target_uri, kind)
+            else:
+                proxy = self.home_node.make_proxy(f"{victim_uri}/sched")
+                result = dict(proxy.migrate_out(path, target_uri, kind))
+        except Exception:
+            with self._sched_lock:
+                self._sched_counters["migration_failures"] += 1
+            self.metrics.counter(
+                "cluster.sched.migration_failures",
+                "grain migrations that aborted",
+            ).inc()
+            raise
+        with self._sched_lock:
+            self._sched_counters["migrations"] += 1
+            self._sched_counters["calls_moved"] += result.get("moved_calls", 0)
+            self._sched_counters["lost_calls"] += result.get("lost_calls", 0)
+            if kind == "steal":
+                self._sched_counters["steals"] += 1
+        self.metrics.counter(
+            "cluster.sched.migrations", "grain migrations executed"
+        ).inc()
+        if kind == "steal":
+            self.metrics.counter(
+                "cluster.sched.steals", "idle-node work steals"
+            ).inc()
+        self._elastic_instant(
+            "cluster.sched.migration",
+            kind=kind,
+            victim=victim_uri,
+            target=target_uri,
+            path=path,
+            moved_calls=result.get("moved_calls", 0),
+        )
+        for callback in list(self._migration_callbacks):
+            try:
+                callback(result)
+            except Exception:  # noqa: BLE001 - listeners must not break moves
+                pass
+        return result
+
     def close(self) -> None:
         """Shut the cluster down without hanging on in-flight calls.
 
@@ -526,16 +792,22 @@ class Cluster:
         if getattr(self, "_closed", False):
             return
         self._closed = True
-        # The elastic loop first: it spawns and retires the very workers
-        # the rest of teardown is about to shut down.
-        stop = getattr(self, "_elastic_stop", None)
-        if stop is not None:
-            stop.set()
-        thread = getattr(self, "_elastic_thread", None)
-        if thread is not None:
-            # A tick blocked on a dying worker's stats() can hold the
-            # thread; it is a daemon, so a bounded join is enough.
-            thread.join(timeout=10.0)
+        # The control loops first: the elastic loop spawns and retires
+        # the very workers the rest of teardown is about to shut down,
+        # and a migration mid-flight would race node teardown.
+        for stop_attr, thread_attr in (
+            ("_sched_stop", "_sched_thread"),
+            ("_elastic_stop", "_elastic_thread"),
+        ):
+            stop = getattr(self, stop_attr, None)
+            if stop is not None:
+                stop.set()
+            thread = getattr(self, thread_attr, None)
+            if thread is not None:
+                # A tick blocked on a dying worker's stats() can hold
+                # the thread; it is a daemon, so a bounded join is
+                # enough.
+                thread.join(timeout=10.0)
         if getattr(self, "_installed_tracer", None) is not None:
             # Only undo our own installs: a nested cluster created after
             # us may have re-pointed the globals, and its close() will

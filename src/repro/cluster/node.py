@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Any, Sequence
 
 from repro.channels.base import Channel
@@ -18,11 +19,13 @@ from repro.channels.services import ChannelServices
 from repro.core.grain import AdaptiveGrainController, GrainDecision, GrainPolicy
 from repro.core.impl import ImplementationObject
 from repro.core.model import parallel_class_table
-from repro.cluster.placement import PlacementPolicy
-from repro.errors import PlacementError, ScooppError
+from repro.cluster.placement import PlacementPolicy, coerce_policy
+from repro.errors import PlacementError, RemoteInvocationError, ScooppError
 from repro.flow import estimate_p99
 from repro.remoting import MarshalByRefObject, RemotingHost
 from repro.remoting.proxy import RemoteProxy
+from repro.sched.engine import NodeScheduler
+from repro.sched.view import ClusterView, NodeView
 from repro.telemetry import MetricsRegistry, TelemetryConfig
 from repro.telemetry.node import NodeTelemetry
 from repro.telemetry.tracer import Tracer, current_tracer_var
@@ -35,6 +38,9 @@ LOAD_CACHE_TTL_S = 0.05
 
 #: Refresh peer execution statistics every this many grain decisions.
 STATS_REFRESH_PERIOD = 32
+
+#: Placement decisions kept for ``placement_report()`` introspection.
+DECISION_LOG_SIZE = 32
 
 
 class ObjectManager(MarshalByRefObject):
@@ -55,14 +61,18 @@ class ObjectManager(MarshalByRefObject):
     ) -> None:
         self.node = node
         self.grain = grain
-        self.placement = placement
+        # Old-style Sequence[float] policies arrive wrapped in the
+        # back-compat adapter (with its DeprecationWarning) right here,
+        # so everything downstream speaks the ClusterView API.
+        self.placement = coerce_policy(placement)
         self.metrics = metrics
         self._lock = threading.Lock()
         self._directory: list[str] = []  # node base URIs, cluster order
         self._peer_oms: dict[str, RemoteProxy] = {}
-        self._loads_cache: list[float] | None = None
+        self._reports_cache: list[dict | None] | None = None
         self._loads_stamp = 0.0
         self._decisions = 0
+        self._recent_decisions: deque[dict] = deque(maxlen=DECISION_LOG_SIZE)
         # Placements made since the last load refresh: the cache alone
         # would send every creation in a burst to the same node.
         self._placed_since_refresh: dict[int, int] = {}
@@ -81,6 +91,24 @@ class ObjectManager(MarshalByRefObject):
     def load(self) -> float:
         """This node's load: live IOs plus queued work (remote-callable)."""
         return self.node.current_load()
+
+    def load_report(self) -> dict:
+        """Structured load report: the ClusterView row peers build.
+
+        Richer than :meth:`load` (which is kept for wire compatibility
+        with older peers): mailbox queue depth joins the scalar load so
+        placement can see backlog, not just population.
+        """
+        return {
+            "load": self.node.current_load(),
+            "ios": self.node.io_count(),
+            "queued": self.node.queued_count(),
+        }
+
+    def recent_decisions(self) -> list:
+        """The last placement decisions this manager made (newest last)."""
+        with self._lock:
+            return [dict(d) for d in self._recent_decisions]
 
     def class_stats(self, class_name: str) -> tuple:
         """(avg exec seconds, samples) for *class_name* on this node."""
@@ -113,7 +141,7 @@ class ObjectManager(MarshalByRefObject):
         with self._lock:
             self._directory = list(directory)
             self._peer_oms.clear()
-            self._loads_cache = None
+            self._reports_cache = None
 
     def directory(self) -> list[str]:
         """The cluster directory (node base URIs) as last set."""
@@ -138,42 +166,74 @@ class ObjectManager(MarshalByRefObject):
             )
         if decision.agglomerate:
             return decision, None
-        directory = self._directory_snapshot()
-        loads = self._current_loads()
-        with self._lock:
-            dead = set(self._dead)
-            adjusted = [
-                load + self._placed_since_refresh.get(index, 0)
-                for index, load in enumerate(loads)
-            ]
-        # Exclude nodes observed dead: the policy chooses among the
-        # living, preserving original indices for accounting.
-        live_indices = [
-            index
-            for index, base_uri in enumerate(directory)
-            if base_uri not in dead and adjusted[index] != float("inf")
-        ]
-        if not live_indices:
+        view = self.cluster_view(class_name)
+        if not view.live():
             raise PlacementError(
                 "no live nodes available for placement "
-                f"(directory of {len(directory)}, all unreachable)"
+                f"(directory of {len(view.nodes)}, all unreachable)"
             )
-        live_loads = [adjusted[index] for index in live_indices]
-        home_index = self._home_index()
-        live_home = (
-            live_indices.index(home_index) if home_index in live_indices else 0
-        )
-        chosen = self.placement.choose(live_loads, live_home)
-        if not 0 <= chosen < len(live_loads):
+        chosen = self.placement.choose(view, self._home_index())
+        if not 0 <= chosen < len(view.nodes) or not view.nodes[chosen].alive:
             raise PlacementError(
                 f"policy {self.placement.name} chose invalid index {chosen}"
             )
-        index = live_indices[chosen]
+        target = view.nodes[chosen].base_uri
         with self._lock:
-            self._placed_since_refresh[index] = (
-                self._placed_since_refresh.get(index, 0) + 1
+            self._placed_since_refresh[chosen] = (
+                self._placed_since_refresh.get(chosen, 0) + 1
             )
-        return decision, f"{directory[index]}/factory"
+            self._recent_decisions.append(
+                {
+                    "class_name": class_name,
+                    "chosen": chosen,
+                    "base_uri": target,
+                    "policy": self.placement.name,
+                    "home": self.node.base_uri,
+                    "ts": time.time(),
+                }
+            )
+        return decision, f"{target}/factory"
+
+    def cluster_view(self, class_name: str | None = None) -> ClusterView:
+        """Snapshot the cluster as a :class:`ClusterView`.
+
+        One row per directory entry: cached peer load reports (dead
+        peers flagged rather than dropped, so policies see directory
+        indices), the adaptive controller's learned bytes-per-call for
+        *class_name*, and same-node reachability (co-located peers ride
+        the shm backplane at ~1/3 the wire cost).
+        """
+        directory = self._directory_snapshot()
+        reports = self._current_reports()
+        bytes_per_call = 0.0
+        if class_name is not None and isinstance(
+            self.grain, AdaptiveGrainController
+        ):
+            bytes_per_call = self.grain.call_bytes_for(class_name)[0]
+        with self._lock:
+            dead = set(self._dead)
+            placed = dict(self._placed_since_refresh)
+        nodes = []
+        for index, base_uri in enumerate(directory):
+            report = reports[index] if index < len(reports) else None
+            alive = base_uri not in dead and report is not None
+            nodes.append(
+                NodeView(
+                    index=index,
+                    base_uri=base_uri,
+                    alive=alive,
+                    load=(
+                        report["load"] + placed.get(index, 0)
+                        if alive
+                        else 0.0
+                    ),
+                    queue_depth=int(report["queued"]) if alive else 0,
+                    ios=int(report["ios"]) if alive else 0,
+                    same_node=self._same_host(base_uri),
+                    bytes_per_call=bytes_per_call,
+                )
+            )
+        return ClusterView(nodes=tuple(nodes), class_name=class_name)
 
     def note_dead(self, base_uri: str) -> None:
         """Record *base_uri* as unreachable (excluded from placement).
@@ -186,7 +246,7 @@ class ObjectManager(MarshalByRefObject):
         with self._lock:
             transition = base_uri not in self._dead
             self._dead.add(base_uri)
-            self._loads_cache = None
+            self._reports_cache = None
         if transition:
             self._emit_liveness_event(base_uri, alive=False)
 
@@ -194,7 +254,7 @@ class ObjectManager(MarshalByRefObject):
         with self._lock:
             transition = base_uri in self._dead
             self._dead.discard(base_uri)
-            self._loads_cache = None
+            self._reports_cache = None
         if transition:
             self._emit_liveness_event(base_uri, alive=True)
 
@@ -375,30 +435,59 @@ class ObjectManager(MarshalByRefObject):
                 self._peer_oms[base_uri] = proxy
             return proxy
 
-    def _current_loads(self) -> list[float]:
+    def _current_reports(self) -> list[dict | None]:
+        """Per-directory-slot load reports (None = peer unreachable).
+
+        Cached briefly like the historical loads vector; the richer
+        ``load_report`` RPC degrades to the plain ``load()`` probe for
+        peers running an older surface, so mixed clusters keep placing.
+        """
         now = time.monotonic()
         with self._lock:
             if (
-                self._loads_cache is not None
+                self._reports_cache is not None
                 and now - self._loads_stamp < LOAD_CACHE_TTL_S
             ):
-                return self._loads_cache
+                return self._reports_cache
         directory = self._directory_snapshot()
-        loads: list[float] = []
+        reports: list[dict | None] = []
         for base_uri in directory:
             if base_uri == self.node.base_uri:
-                loads.append(self.node.current_load())
+                reports.append(self.load_report())
                 continue
             try:
-                loads.append(float(self._peer_om(base_uri).load()))
+                reports.append(dict(self._peer_om(base_uri).load_report()))
+            except RemoteInvocationError:
+                try:
+                    load = float(self._peer_om(base_uri).load())
+                    reports.append({"load": load, "ios": 0, "queued": 0})
+                except Exception:  # noqa: BLE001 - dead peer must not block
+                    reports.append(None)
+                    self.note_dead(base_uri)
             except Exception:  # noqa: BLE001 - a dead peer must not block
-                loads.append(float("inf"))
+                reports.append(None)
                 self.note_dead(base_uri)
         with self._lock:
-            self._loads_cache = loads
+            self._reports_cache = reports
             self._loads_stamp = now
             self._placed_since_refresh.clear()
-        return loads
+        return reports
+
+    def _same_host(self, base_uri: str) -> bool:
+        """Whether *base_uri* is co-located with this node.
+
+        Loopback authorities live in this very process; socket
+        authorities compare host parts (workers spawned by this cluster
+        all bind the same interface, which is exactly the population the
+        shm backplane can reach).
+        """
+        if base_uri == self.node.base_uri:
+            return True
+        scheme, _, rest = base_uri.partition("://")
+        if scheme == "loopback":
+            return True
+        own = self.node.base_uri.partition("://")[2]
+        return rest.rsplit(":", 1)[0] == own.rsplit(":", 1)[0]
 
     def _merge_peer_stats(self, class_name: str) -> None:
         if not isinstance(self.grain, AdaptiveGrainController):
@@ -472,9 +561,11 @@ class Node:
         self.host.telemetry = self.telemetry
         self.om = ObjectManager(self, grain, placement, metrics=metrics)
         self.factory = NodeFactory(self)
+        self.sched = NodeScheduler(self)
         self.host.publish(self.om, "om")
         self.host.publish(self.factory, "factory")
         self.host.publish(self.telemetry, "telemetry")
+        self.host.publish(self.sched, "sched")
         self._lock = threading.Lock()
         self._impls: list[ImplementationObject] = []
         self._created_total = 0
@@ -487,7 +578,20 @@ class Node:
     ) -> ImplementationObject:
         info = parallel_class_table.by_name(class_name)
         instance = info.cls(*args, **kwargs)
-        impl = ImplementationObject(
+        impl = self.build_impl(instance, class_name)
+        with self._lock:
+            if self._closed:
+                impl.dispose()
+                raise ScooppError(f"node {self.index} is closed")
+            self._impls.append(impl)
+            self._created_total += 1
+        return impl
+
+    def build_impl(
+        self, instance: Any, class_name: str
+    ) -> ImplementationObject:
+        """Wrap an existing instance with this node's flow-control knobs."""
+        return ImplementationObject(
             instance,
             class_name,
             on_execution=self._on_execution,
@@ -496,13 +600,6 @@ class Node:
             priority=self.priority,
             shed_policy=self.shed_policy,
         )
-        with self._lock:
-            if self._closed:
-                impl.dispose()
-                raise ScooppError(f"node {self.index} is closed")
-            self._impls.append(impl)
-            self._created_total += 1
-        return impl
 
     def _on_execution(self, class_name: str, elapsed_s: float) -> None:
         if isinstance(self.om.grain, AdaptiveGrainController):
@@ -523,6 +620,37 @@ class Node:
     def io_count(self) -> int:
         with self._lock:
             return len(self._impls)
+
+    def impl_snapshot(self) -> list[ImplementationObject]:
+        with self._lock:
+            return list(self._impls)
+
+    def impl_by_path(self, path: str) -> ImplementationObject | None:
+        """The hosted IO published at *path*, if any.
+
+        Every factory-created grain is implicitly published when its
+        reference crosses the wire, so the path doubles as the grain's
+        stable migration address.
+        """
+        with self._lock:
+            for impl in self._impls:
+                if getattr(impl, "_parc_path", None) == path:
+                    return impl
+        return None
+
+    def remove_impl(self, impl: ImplementationObject) -> None:
+        """Unlist a migrated-away IO (it stays published as a forwarder)."""
+        with self._lock:
+            try:
+                self._impls.remove(impl)
+            except ValueError:
+                pass
+
+    def queued_count(self) -> int:
+        """Queued (not yet executing) calls across hosted mailboxes."""
+        with self._lock:
+            impls = list(self._impls)
+        return sum(sum(impl.stealable_backlog()) for impl in impls)
 
     def current_load(self) -> float:
         """Live IOs plus their queued tasks (the OM's load metric)."""

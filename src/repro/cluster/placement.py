@@ -2,8 +2,26 @@
 
 §3.2: "the OM selects a processing node to create a new IO (according to
 the current load distribution policy)".  The paper leaves the policy
-abstract; we provide the three classic ones and make the choice pluggable
-(an extension ablated in the benchmarks).
+abstract; we provide the classic three plus a locality-aware policy and
+make the choice pluggable.
+
+Redesigned API: policies now receive a :class:`repro.sched.ClusterView`
+— per-node load, mailbox queue depth, liveness, learned bytes-per-call
+and same-node reachability — instead of a bare ``Sequence[float]`` of
+loads, and return an index into ``view.nodes`` (directory order, dead
+nodes included).  Old-style policies written against the loads list are
+still usable two ways:
+
+* objects with a ``choose(loads, home_index)`` method that do not
+  subclass the new :class:`PlacementPolicy` are wrapped by
+  :func:`coerce_policy` in a :class:`LegacyPolicyAdapter` (with a
+  ``DeprecationWarning``), which rebuilds the historical contract: the
+  legacy policy sees only live nodes' loads and its pick is mapped back
+  to a directory index;
+* the built-in policies accept a plain loads sequence where a view is
+  expected (``inf`` marks a dead node), again with a
+  ``DeprecationWarning`` — and ``ClusterView`` itself duck-types as the
+  loads sequence, so most old policy *bodies* keep working unmodified.
 """
 
 from __future__ import annotations
@@ -11,31 +29,58 @@ from __future__ import annotations
 import abc
 import random
 import threading
+import warnings
 from typing import Sequence
 
 from repro.errors import PlacementError
+from repro.sched.view import ClusterView, NodeView
+
+
+def as_view(view: "ClusterView | Sequence[float]") -> ClusterView:
+    """Accept a :class:`ClusterView` or a legacy loads vector.
+
+    Lifting a bare loads sequence is deprecated: callers should build a
+    view (``inf`` entries become dead nodes).
+    """
+    if isinstance(view, ClusterView):
+        return view
+    warnings.warn(
+        "passing a bare loads sequence to PlacementPolicy.choose() is "
+        "deprecated; pass a repro.sched.ClusterView",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ClusterView.from_loads(view)
 
 
 class PlacementPolicy(abc.ABC):
-    """Chooses a node index given the cluster's current loads."""
+    """Chooses a node index given a cluster snapshot.
+
+    ``choose`` returns an index into ``view.nodes`` (directory order);
+    the chosen node must be alive.  ``home_index`` is the creating
+    node's directory index (policies may prefer or avoid it).
+    """
 
     name: str
 
     @abc.abstractmethod
-    def choose(self, loads: Sequence[float], home_index: int) -> int:
-        """Index into *loads* for the new IO.
+    def choose(self, view: ClusterView, home_index: int) -> int:
+        """Directory index of the node that should host the new IO."""
 
-        *home_index* is the creating node (policies may avoid or prefer
-        it).  *loads* always has at least one entry.
-        """
+    def _live(self, view: ClusterView) -> list[NodeView]:
+        live = view.live()
+        if not live:
+            raise PlacementError("placement asked with no live nodes")
+        return live
 
     def _check(self, loads: Sequence[float]) -> None:
-        if not loads:
+        # Retained for old policy bodies that called the legacy helper.
+        if not len(loads):
             raise PlacementError("placement asked with no nodes")
 
 
 class RoundRobinPlacement(PlacementPolicy):
-    """Cycle through nodes; ignores load.  The paper-era default."""
+    """Cycle through live nodes; ignores load.  The paper-era default."""
 
     name = "round_robin"
 
@@ -43,31 +88,30 @@ class RoundRobinPlacement(PlacementPolicy):
         self._lock = threading.Lock()
         self._next = 0
 
-    def choose(self, loads: Sequence[float], home_index: int) -> int:
-        self._check(loads)
+    def choose(self, view: ClusterView, home_index: int) -> int:
+        live = self._live(as_view(view))
         with self._lock:
-            index = self._next % len(loads)
+            node = live[self._next % len(live)]
             self._next += 1
-            return index
+            return node.index
 
 
 class LeastLoadedPlacement(PlacementPolicy):
-    """Pick the node with the lowest reported load (ties: lowest index)."""
+    """Pick the live node with the lowest load (ties: lowest index)."""
 
     name = "least_loaded"
 
-    def choose(self, loads: Sequence[float], home_index: int) -> int:
-        self._check(loads)
-        best_index = 0
-        best_load = loads[0]
-        for index, load in enumerate(loads):
-            if load < best_load:
-                best_index, best_load = index, load
-        return best_index
+    def choose(self, view: ClusterView, home_index: int) -> int:
+        live = self._live(as_view(view))
+        best = live[0]
+        for node in live[1:]:
+            if node.load < best.load:
+                best = node
+        return best.index
 
 
 class RandomPlacement(PlacementPolicy):
-    """Uniform random choice; seedable for reproducible runs."""
+    """Uniform random choice among live nodes; seedable."""
 
     name = "random"
 
@@ -75,21 +119,138 @@ class RandomPlacement(PlacementPolicy):
         self._random = random.Random(seed)
         self._lock = threading.Lock()
 
-    def choose(self, loads: Sequence[float], home_index: int) -> int:
-        self._check(loads)
+    def choose(self, view: ClusterView, home_index: int) -> int:
+        live = self._live(as_view(view))
         with self._lock:
-            return self._random.randrange(len(loads))
+            return live[self._random.randrange(len(live))].index
+
+
+class LocalityAwarePlacement(PlacementPolicy):
+    """Load plus transfer cost, priced with learned bytes-per-call.
+
+    Each live node is scored ``load + transfer``, where ``transfer``
+    charges the class's learned average serialized request size
+    (``AdaptiveGrainController.observe_call_bytes`` feeds it) scaled by
+    the transport: wire peers pay ``wire_cost_factor`` x what a
+    same-node peer pays, matching the measured ~3x shm-vs-tcp asymmetry
+    of the shared-memory backplane.  With no byte observations yet the
+    policy degenerates to least-loaded; as evidence accumulates,
+    heavy-argument classes gravitate to co-located nodes unless the
+    load gap outweighs the wire penalty.
+
+    ``bytes_scale`` converts bytes-per-call into load units: one
+    ``bytes_scale``-byte call costs one load point when shipped over
+    the wire at factor 1.
+    """
+
+    name = "locality"
+
+    def __init__(
+        self,
+        wire_cost_factor: float = 3.0,
+        same_node_cost_factor: float = 1.0,
+        bytes_scale: float = 64 * 1024.0,
+    ) -> None:
+        if wire_cost_factor <= 0 or same_node_cost_factor <= 0:
+            raise PlacementError("cost factors must be positive")
+        if bytes_scale <= 0:
+            raise PlacementError("bytes_scale must be positive")
+        self.wire_cost_factor = wire_cost_factor
+        self.same_node_cost_factor = same_node_cost_factor
+        self.bytes_scale = bytes_scale
+
+    def _score(self, node: NodeView) -> float:
+        factor = (
+            self.same_node_cost_factor
+            if node.same_node
+            else self.wire_cost_factor
+        )
+        return node.load + (node.bytes_per_call / self.bytes_scale) * factor
+
+    def choose(self, view: ClusterView, home_index: int) -> int:
+        live = self._live(as_view(view))
+        best = live[0]
+        best_score = self._score(best)
+        for node in live[1:]:
+            score = self._score(node)
+            # Strict < keeps ties on the lowest index; among equal
+            # scores a same-node peer wins (cheaper to reach even when
+            # the learned size is still zero).
+            if score < best_score or (
+                score == best_score and node.same_node and not best.same_node
+            ):
+                best, best_score = node, score
+        return best.index
+
+
+class LegacyPolicyAdapter(PlacementPolicy):
+    """Wraps an old-style ``choose(loads, home_index)`` policy.
+
+    Reconstructs the historical contract the ObjectManager used to
+    provide: the wrapped policy sees a loads list covering only live
+    nodes (so it never has to reason about ``inf`` entries or liveness)
+    with ``home_index`` remapped into that list, and its pick is mapped
+    back to a directory index.
+    """
+
+    def __init__(self, legacy: object) -> None:
+        if not callable(getattr(legacy, "choose", None)):
+            raise PlacementError(
+                f"{type(legacy).__qualname__} has no choose() method"
+            )
+        warnings.warn(
+            f"placement policy {type(legacy).__qualname__} uses the "
+            "legacy choose(loads, home_index) signature; migrate to "
+            "choose(view: repro.sched.ClusterView, home_index)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        self._legacy = legacy
+        self.name = getattr(legacy, "name", type(legacy).__qualname__)
+
+    def choose(self, view: ClusterView, home_index: int) -> int:
+        live = self._live(as_view(view))
+        loads = [node.load for node in live]
+        live_home = 0
+        for position, node in enumerate(live):
+            if node.index == home_index:
+                live_home = position
+                break
+        chosen = self._legacy.choose(loads, live_home)  # type: ignore[attr-defined]
+        if not isinstance(chosen, int) or not 0 <= chosen < len(live):
+            raise PlacementError(
+                f"legacy policy {self.name!r} chose {chosen!r} "
+                f"outside the {len(live)} live nodes"
+            )
+        return live[chosen].index
+
+
+def coerce_policy(policy: object) -> PlacementPolicy:
+    """Return *policy* as a new-style :class:`PlacementPolicy`.
+
+    Instances of the redesigned ABC pass through; anything else with a
+    ``choose`` method is wrapped in :class:`LegacyPolicyAdapter` (which
+    emits the ``DeprecationWarning``); strings go through
+    :func:`make_placement`.
+    """
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    if isinstance(policy, str):
+        return make_placement(policy)
+    return LegacyPolicyAdapter(policy)
 
 
 _POLICIES = {
     "round_robin": RoundRobinPlacement,
     "least_loaded": LeastLoadedPlacement,
     "random": RandomPlacement,
+    "locality": LocalityAwarePlacement,
 }
 
 
 def make_placement(name: str, **kwargs: object) -> PlacementPolicy:
-    """Build a policy by name (``round_robin``, ``least_loaded``, ``random``)."""
+    """Build a policy by name (``round_robin``, ``least_loaded``,
+    ``random``, ``locality``)."""
     try:
         factory = _POLICIES[name]
     except KeyError:

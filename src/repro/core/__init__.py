@@ -30,6 +30,7 @@ and :func:`make_parallel_class`.
 """
 
 from repro.core.config import ParcConfig
+from repro.sched import SchedulerConfig
 from repro.telemetry import TelemetryConfig
 from repro.core.model import (
     MethodKind,
@@ -65,6 +66,7 @@ __all__ = [
     "ParcConfig",
     "ParcRuntime",
     "ProxyObject",
+    "SchedulerConfig",
     "TelemetryConfig",
     "bind",
     "current_runtime",

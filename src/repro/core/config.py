@@ -30,7 +30,14 @@ from typing import Any
 
 from repro.core.grain import AdaptiveGrainController, GrainPolicy
 from repro.errors import ScooppError
+from repro.sched import SchedulerConfig
 from repro.telemetry import TelemetryConfig
+
+#: The flat scheduling fields are deprecated spellings of
+#: ``scheduler=SchedulerConfig(...)``; warn once per process, not once
+#: per Cluster, so test suites that boot hundreds of runtimes stay
+#: readable.
+_warned_flat_scheduling = False
 
 
 @dataclass
@@ -49,8 +56,10 @@ class ParcConfig:
     #: (``"loopback"``, ``"tcp"``, ``"aio"``, or a ``"chaos+*"`` variant).
     channel: str = "loopback"
     #: Grain policy: static knobs or the adaptive controller.
+    #: Deprecated spelling of ``scheduler=SchedulerConfig(grain=...)``.
     grain: GrainPolicy | AdaptiveGrainController | None = None
     #: Placement policy name (``"round_robin"``, ``"least_loaded"``, ...).
+    #: Deprecated spelling of ``scheduler=SchedulerConfig(placement=...)``.
     placement: str = "round_robin"
     #: Threads per node serving one-way dispatches.
     dispatch_pool_size: int = 16
@@ -96,6 +105,13 @@ class ParcConfig:
     #: (the initial count, clamped into the bounds); retirement announces
     #: the node down so restartable grains respawn on survivors.
     elastic: tuple | None = None
+    #: All scheduling knobs in one place: grain policy, placement policy
+    #: (name or :class:`~repro.cluster.placement.PlacementPolicy`
+    #: instance), work stealing, live migration and the rebalance-loop
+    #: tuning (see :class:`~repro.sched.SchedulerConfig`).  Subsumes the
+    #: flat ``grain``/``placement`` fields above: setting a flat field
+    #: *and* its scheduler counterpart to different values is an error.
+    scheduler: SchedulerConfig | None = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -152,6 +168,65 @@ class ParcConfig:
                     "elastic scaling needs worker_processes >= 1 "
                     "(the initial worker count)"
                 )
+        if self.scheduler is not None and not isinstance(
+            self.scheduler, SchedulerConfig
+        ):
+            raise ScooppError(
+                "scheduler must be a SchedulerConfig, got "
+                f"{type(self.scheduler).__qualname__}"
+            )
+        flat_used = self.grain is not None or self.placement != "round_robin"
+        if self.scheduler is not None:
+            if (
+                self.grain is not None
+                and self.scheduler.grain is not None
+                and self.grain is not self.scheduler.grain
+            ):
+                raise ScooppError(
+                    "grain given both flat and via scheduler=SchedulerConfig"
+                )
+            if (
+                self.placement != "round_robin"
+                and self.scheduler.placement != "round_robin"
+                and self.placement != self.scheduler.placement
+            ):
+                raise ScooppError(
+                    "placement given both flat and via "
+                    "scheduler=SchedulerConfig"
+                )
+        elif flat_used:
+            global _warned_flat_scheduling
+            if not _warned_flat_scheduling:
+                _warned_flat_scheduling = True
+                warnings.warn(
+                    "flat grain=/placement= runtime options are deprecated; "
+                    "pass scheduler=SchedulerConfig(grain=..., "
+                    "placement=...) instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+
+    def effective_scheduler(self) -> SchedulerConfig:
+        """The scheduler config with any flat fields folded in.
+
+        This is what actually reaches the cluster: ``scheduler`` as
+        given, with a flat ``grain``/``placement`` filling a counterpart
+        the scheduler left at its default (conflicts were already
+        rejected by ``__post_init__``).
+        """
+        from dataclasses import replace
+
+        if self.scheduler is None:
+            return SchedulerConfig(grain=self.grain, placement=self.placement)
+        updates: dict[str, Any] = {}
+        if self.scheduler.grain is None and self.grain is not None:
+            updates["grain"] = self.grain
+        if (
+            self.scheduler.placement == "round_robin"
+            and self.placement != "round_robin"
+        ):
+            updates["placement"] = self.placement
+        return replace(self.scheduler, **updates) if updates else self.scheduler
 
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "ParcConfig":

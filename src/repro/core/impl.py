@@ -55,6 +55,15 @@ executing_impl: contextvars.ContextVar[Any] = contextvars.ContextVar(
 LANES = ("high", "normal", "low")
 
 
+class MailboxMigratedError(ScooppError):
+    """Internal signal: this mailbox's grain moved to another node.
+
+    Raised by :meth:`_IOMailbox.put` after a completed migration;
+    :class:`ImplementationObject` catches it and forwards the work to
+    the grain's new home, so callers never see it.
+    """
+
+
 @dataclass
 class _Task:
     """One queued invocation."""
@@ -107,6 +116,8 @@ class _IOMailbox:
         self._queued: dict[str, int] = {lane: 0 for lane in LANES}
         self._active = 0  # tasks dequeued but not yet finished
         self._stopped = False
+        self._migrating = False  # paused for state extraction
+        self._migrated = False  # grain lives elsewhere now
 
     def lane_for(self, method: str) -> str:
         lane = self._lane_of.get(method, "normal")
@@ -120,6 +131,13 @@ class _IOMailbox:
         """
         lane = self.lane_for(method)
         with self._work_available:
+            # A migration in progress parks admitters until the grain's
+            # fate is known: resumed here (abort) or forwarded to its
+            # new home (complete).
+            while self._migrating:
+                self._work_available.wait()
+            if self._migrated:
+                raise MailboxMigratedError("mailbox migrated away")
             if self._stopped:
                 raise ScooppError("mailbox is disposed")
             if self.depth and self._queued[lane] + len(tasks) > self.depth:
@@ -141,27 +159,34 @@ class _IOMailbox:
         """
         with self._work_available:
             while True:
-                for lane in LANES:
-                    entries = self._lanes[lane]
-                    if entries:
-                        batch = entries.popleft()
-                        self._queued[lane] -= len(batch)
-                        self._active += len(batch)
-                        return batch
-                if self._stopped:
-                    self._idle.notify_all()
-                    return None
+                if not self._migrating:
+                    for lane in LANES:
+                        entries = self._lanes[lane]
+                        if entries:
+                            batch = entries.popleft()
+                            self._queued[lane] -= len(batch)
+                            self._active += len(batch)
+                            return batch
+                    if self._stopped:
+                        self._idle.notify_all()
+                        return None
                 self._work_available.wait()
 
     def batch_done(self, count: int) -> None:
         with self._lock:
             self._active -= count
-            if self._active == 0 and not any(self._queued.values()):
+            if self._active == 0 and (
+                self._migrating or not any(self._queued.values())
+            ):
                 self._idle.notify_all()
 
     def drain(self) -> None:
         with self._idle:
-            while self._active or any(self._queued.values()):
+            while (
+                self._active
+                or any(self._queued.values())
+                or self._migrating
+            ):
                 self._idle.wait()
 
     def stop(self) -> None:
@@ -169,6 +194,69 @@ class _IOMailbox:
         with self._work_available:
             self._stopped = True
             self._work_available.notify()
+
+    # -- live migration ----------------------------------------------------
+
+    def begin_migration(self) -> list[list[_Task]]:
+        """Pause the mailbox and extract every queued entry.
+
+        Blocks new admissions, waits out the batch executing right now
+        (it always finishes on this node — executing work is never
+        stolen), then removes all queued entries in drain order
+        (high → normal → low, FIFO within a lane) and returns them.
+        Once this returns, the worker is idle and the hosted instance's
+        state is stable, so it is safe to serialize.
+
+        The caller must finish with :meth:`complete_migration` or
+        :meth:`abort_migration`.
+        """
+        with self._work_available:
+            if self._stopped or self._migrated:
+                raise ScooppError("mailbox is disposed")
+            if self._migrating:
+                raise ScooppError("migration already in progress")
+            self._migrating = True
+            while self._active:
+                self._idle.wait()
+            entries: list[list[_Task]] = []
+            for lane in LANES:
+                while self._lanes[lane]:
+                    batch = self._lanes[lane].popleft()
+                    self._queued[lane] -= len(batch)
+                    entries.append(batch)
+            return entries
+
+    def abort_migration(self, entries: list[list[_Task]]) -> None:
+        """Requeue the extracted entries and resume normal service."""
+        with self._work_available:
+            for batch in entries:
+                if not batch:
+                    continue
+                lane = self.lane_for(batch[0].method)
+                self._lanes[lane].append(batch)
+                self._queued[lane] += len(batch)
+            self._migrating = False
+            self._work_available.notify_all()
+            self._idle.notify_all()
+
+    def complete_migration(self) -> None:
+        """The grain lives elsewhere now: unblock everyone.
+
+        Parked admitters raise :class:`MailboxMigratedError` (the
+        implementation object forwards their work), the worker thread
+        exits, and drain waiters fall through to the forward path.
+        """
+        with self._work_available:
+            self._migrated = True
+            self._migrating = False
+            self._stopped = True
+            self._work_available.notify_all()
+            self._idle.notify_all()
+
+    @property
+    def migrated(self) -> bool:
+        with self._lock:
+            return self._migrated
 
     @property
     def stopped(self) -> bool:
@@ -226,6 +314,9 @@ class ImplementationObject(MarshalByRefObject):
         self.instance = instance
         self.class_name = class_name
         self.node = node
+        # Proxy to the grain's new home after a migrate-out; while set,
+        # this object is a forwarding shell for straggler callers.
+        self._forward: Any = None
         self._on_execution = on_execution
         self._shed_policy = ShedPolicy.parse(shed_policy)
         self._mailbox = _IOMailbox(
@@ -334,6 +425,9 @@ class ImplementationObject(MarshalByRefObject):
 
     def drain(self) -> None:
         self._mailbox.drain()
+        forward = self._forward
+        if forward is not None:
+            forward.drain()
 
     def dispose(self) -> None:
         self._mailbox.stop()
@@ -355,12 +449,46 @@ class ImplementationObject(MarshalByRefObject):
             "shed_overflow": shed["overflow"],
             "shed_deadline": shed["deadline"],
             "async_failures": failures,
+            "migrated": self._mailbox.migrated,
         }
 
     def async_failures(self) -> list:
         """(method, error text) pairs from failed asynchronous calls."""
         with self._stats_lock:
             return list(self._async_failures)
+
+    # -- live migration ----------------------------------------------------
+
+    def begin_migration(self) -> list[list[_Task]]:
+        """Pause the mailbox; see :meth:`_IOMailbox.begin_migration`."""
+        return self._mailbox.begin_migration()
+
+    def abort_migration(self, entries: list[list[_Task]]) -> None:
+        self._mailbox.abort_migration(entries)
+
+    def complete_migration(self, forward: Any) -> None:
+        """Turn this object into a forwarding shell for *forward*.
+
+        *forward* is a proxy (or local reference) to the adopted
+        implementation object on the grain's new node.  It must be in
+        place before the mailbox flips, so admitters released by
+        ``complete_migration`` always find somewhere to forward to.
+        """
+        self._forward = forward
+        self._mailbox.complete_migration()
+
+    @property
+    def migrated(self) -> bool:
+        return self._mailbox.migrated
+
+    def stealable_backlog(self) -> tuple[int, int]:
+        """(queued normal+low tasks, queued high tasks).
+
+        The first figure is what the rebalancer may move; a nonzero
+        second pins the grain (high-priority work is never stolen).
+        """
+        lanes = self._mailbox.lane_depths()
+        return lanes["normal"] + lanes["low"], lanes["high"]
 
     # -- worker --------------------------------------------------------------
 
@@ -370,10 +498,38 @@ class ImplementationObject(MarshalByRefObject):
         except OverloadError:
             self._note_shed("overflow", len(tasks), method)
             raise
+        except MailboxMigratedError:
+            self._forward_tasks(method, tasks)
         except ScooppError:
             raise ScooppError(
                 f"implementation object for {self.class_name} is disposed"
             ) from None
+
+    def _forward_tasks(self, method: str, tasks: list[_Task]) -> None:
+        """Relay work that raced a completed migration to the new home."""
+        forward = self._forward
+        if forward is None:
+            raise ScooppError(
+                f"implementation object for {self.class_name} migrated "
+                "away with no forwarding address"
+            )
+        if all(task.done is None for task in tasks):
+            forward.enqueue_batch(
+                method, [(task.args, task.kwargs) for task in tasks]
+            )
+            return
+        for task in tasks:
+            if task.done is None:
+                forward.enqueue(method, task.args, task.kwargs)
+                continue
+            # Synchronous stragglers complete inline: the caller's wait
+            # event is local, so the result is relayed rather than the
+            # task object itself.
+            try:
+                task.result = forward.invoke(method, task.args, task.kwargs)
+            except BaseException as exc:  # noqa: BLE001 - relay verbatim
+                task.error = exc
+            task.done.set()
 
     def _note_shed(self, reason: str, count: int, method: str) -> None:
         with self._stats_lock:

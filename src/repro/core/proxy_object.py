@@ -290,6 +290,22 @@ class RemoteGrain:
             self._outbox.clear()
             self._outbox_cv.notify_all()
 
+    def repoint(self, new_impl) -> None:  # type: ignore[no-untyped-def]
+        """Follow a live migration: swap the IO without losing work.
+
+        Unlike :meth:`rebind` (crash respawn — calls shipped to the dead
+        node are gone), a migrated IO carries the grain's state and its
+        queued backlog, so the buffered outbox is kept and simply
+        flushes to the new home.  The victim's forwarding shell keeps
+        serving stragglers, which makes repointing an optimization —
+        a grain already marked lost stays lost.
+        """
+        with self._outbox_cv:
+            if self._lost is not None:
+                return
+            self.impl = new_impl
+            self._outbox_cv.notify_all()
+
     def mark_lost(self, error: NodeLostError) -> None:
         """Poison the grain: every subsequent use raises *error*.
 

@@ -74,6 +74,12 @@ class ParcRuntime:
         self._respawn_lock = threading.Lock()
         for node in getattr(cluster, "nodes", []):
             node.om.on_node_down(self._handle_node_down)
+        # Live migration: when the scheduler moves a grain, repoint the
+        # tracking POs at its new home so follow-up calls skip the
+        # victim's forwarding shell.
+        on_migration = getattr(cluster, "on_migration", None)
+        if on_migration is not None:
+            on_migration(self._handle_migration)
 
     # -- grain creation ----------------------------------------------------
 
@@ -263,6 +269,36 @@ class ParcRuntime:
             self._count("cluster.grain_respawned")
             return True
 
+    def _handle_migration(self, result: dict) -> None:
+        """The scheduler moved a grain: repoint its tracking PO(s).
+
+        Matching is by the victim's published URIs.  Best-effort on
+        purpose — the forwarding shell left on the victim keeps
+        un-repointed proxies working, so a failure here costs one extra
+        hop, never a lost call.
+        """
+        old_uris = set(result.get("old_uris") or ())
+        new_uris = tuple(result.get("new_uris") or ())
+        if not old_uris or not new_uris:
+            return
+        new_ref = ObjRef(
+            uris=new_uris,
+            type_hint=result.get("class_name", ""),
+            host_id=result.get("host_id") or "",
+        )
+        target: Any = None
+        for grain in list(self._grains):
+            ref = getattr(grain.impl, "_parc_objref", None)
+            if ref is None or not old_uris.intersection(ref.uris):
+                continue
+            if target is None:
+                host = self.cluster.home_node.host
+                target = host.resolve_local(new_ref)
+                if target is None:
+                    target = host.make_proxy(new_ref)
+            grain.repoint(target)
+            self._count("cluster.grain_repointed")
+
     def _place_remote_impl(
         self, info: ParallelClassInfo, args: tuple, kwargs: dict
     ) -> Any:
@@ -422,6 +458,22 @@ class ParcRuntime:
         }
         return {"nodes": nodes, "cluster": merged}
 
+    def placement_report(self) -> dict:
+        """Where grains live and what the adaptive scheduler did.
+
+        Delegates to :meth:`repro.cluster.cluster.Cluster.placement_report`:
+        the active policy, per-node grain counts and backlogs, the
+        steal/migration counters, and the most recent placement
+        decisions.
+        """
+        self._ensure_open()
+        return self.cluster.placement_report()
+
+    def migrate_grain(self, grain_uri: str, target_base_uri: str) -> dict:
+        """Explicitly live-migrate a published grain (see Cluster)."""
+        self._ensure_open()
+        return self.cluster.migrate_grain(grain_uri, target_base_uri)
+
     # -- lifecycle -------------------------------------------------------
 
     def _ensure_open(self) -> None:
@@ -519,8 +571,7 @@ def init(
         cluster = Cluster(
             num_nodes=config.nodes,
             channel_kind=config.channel,  # type: ignore[arg-type]
-            grain=config.grain,
-            placement=config.placement,
+            scheduler=config.effective_scheduler(),
             dispatch_pool_size=config.dispatch_pool_size,
             worker_processes=config.worker_processes,
             worker_modules=config.worker_modules,

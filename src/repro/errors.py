@@ -178,6 +178,16 @@ class GrainError(ScooppError):
     """Grain-size adaptation misuse (e.g. flushing a released proxy)."""
 
 
+class MigrationError(ScooppError):
+    """A live grain migration could not be carried out.
+
+    Raised by the node scheduler when the named grain cannot be found,
+    the target refuses the adoption, or the state transfer fails; the
+    grain keeps serving on its original node (the move aborts cleanly
+    before anything has executed elsewhere).
+    """
+
+
 class NodeLostError(ScooppError):
     """The node hosting a grain died and the grain is not restartable.
 

@@ -1,0 +1,30 @@
+"""repro.sched — the adaptive scheduler.
+
+Per-node load accounting, idle-node work stealing, live grain
+migration, and the :class:`ClusterView` snapshot the redesigned
+placement API is built on.  The pure pieces (views, config, planner)
+live here with no heavy imports; the migration engine
+(:class:`repro.sched.engine.NodeScheduler`) is re-exported lazily to
+keep import order clean for :mod:`repro.cluster.placement`.
+"""
+
+from repro.sched.config import SchedulerConfig
+from repro.sched.planner import PlannedMove, RebalancePlanner
+from repro.sched.view import ClusterView, NodeView
+
+__all__ = [
+    "ClusterView",
+    "NodeView",
+    "SchedulerConfig",
+    "PlannedMove",
+    "RebalancePlanner",
+    "NodeScheduler",
+]
+
+
+def __getattr__(name: str):  # type: ignore[no-untyped-def]
+    if name == "NodeScheduler":
+        from repro.sched.engine import NodeScheduler
+
+        return NodeScheduler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,105 @@
+"""Cluster views: the structured load snapshot placement policies see.
+
+The historical placement API handed policies a bare ``Sequence[float]``
+of per-node loads — enough for round-robin, blind to everything the
+runtime has since learned: queue depths (flow control), liveness (the
+failure detector), learned bytes-per-call (the adaptive grain
+controller) and transport cost asymmetry (the shm backplane makes
+same-node peers ~3x cheaper than wire peers).  :class:`ClusterView`
+carries all of it, one :class:`NodeView` per directory entry.
+
+Back-compat: a ``ClusterView`` also *is* a read-only sequence of floats
+(``len``/``[]``/iteration yield per-node effective loads, ``inf`` for
+dead nodes), so old-style policy bodies written against the loads list
+keep working when handed a view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """One node's row in the cluster snapshot.
+
+    ``load`` is the classic OM metric (live IOs plus queued tasks,
+    adjusted for placements made since the last refresh);
+    ``queue_depth`` is the mailbox backlog alone (tasks queued across
+    all hosted IOs' lanes); ``bytes_per_call`` is the adaptive grain
+    controller's learned average serialized request size for the class
+    being placed (0.0 when unknown); ``same_node`` marks peers
+    co-located with the choosing node, i.e. reachable over the
+    shared-memory backplane rather than the wire.
+    """
+
+    index: int
+    base_uri: str
+    alive: bool = True
+    load: float = 0.0
+    queue_depth: int = 0
+    ios: int = 0
+    same_node: bool = False
+    bytes_per_call: float = 0.0
+
+    @property
+    def effective_load(self) -> float:
+        """The legacy scalar: the load, or ``inf`` for a dead node."""
+        return self.load if self.alive else _INF
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """Immutable snapshot of the cluster handed to placement policies.
+
+    ``nodes`` is in directory order, one entry per directory slot (dead
+    nodes included, flagged ``alive=False``); ``class_name`` is the wire
+    name of the class being placed, when known.
+    """
+
+    nodes: tuple[NodeView, ...] = field(default_factory=tuple)
+    class_name: str | None = None
+
+    @classmethod
+    def from_loads(
+        cls,
+        loads: Sequence[float],
+        class_name: str | None = None,
+    ) -> "ClusterView":
+        """Lift a legacy loads vector into a view (``inf`` = dead)."""
+        return cls(
+            nodes=tuple(
+                NodeView(
+                    index=i,
+                    base_uri=f"node://{i}",
+                    alive=load != _INF,
+                    load=float(load) if load != _INF else 0.0,
+                )
+                for i, load in enumerate(loads)
+            ),
+            class_name=class_name,
+        )
+
+    def live(self) -> list[NodeView]:
+        """Nodes the failure detector considers reachable."""
+        return [node for node in self.nodes if node.alive]
+
+    def loads(self) -> list[float]:
+        """The legacy per-node loads vector (``inf`` for dead nodes)."""
+        return [node.effective_load for node in self.nodes]
+
+    # -- Sequence[float] duck typing (legacy policy bodies) ---------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, index):  # type: ignore[no-untyped-def]
+        if isinstance(index, slice):
+            return self.loads()[index]
+        return self.nodes[index].effective_load
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.loads())

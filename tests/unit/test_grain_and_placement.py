@@ -124,42 +124,50 @@ class TestAdaptiveController:
             AdaptiveGrainController(max_calls_cap=0)
 
 
+def view_of(loads):
+    """Shorthand: lift a plain loads vector into a ClusterView."""
+    from repro.sched import ClusterView
+
+    return ClusterView.from_loads(loads)
+
+
 class TestPlacement:
     def test_round_robin_cycles(self):
         policy = RoundRobinPlacement()
-        loads = [0.0, 0.0, 0.0]
-        chosen = [policy.choose(loads, 0) for _ in range(7)]
+        view = view_of([0.0, 0.0, 0.0])
+        chosen = [policy.choose(view, 0) for _ in range(7)]
         assert chosen == [0, 1, 2, 0, 1, 2, 0]
 
     def test_round_robin_survives_resize(self):
         policy = RoundRobinPlacement()
-        policy.choose([0.0] * 5, 0)
-        assert policy.choose([0.0, 0.0], 0) in (0, 1)
+        policy.choose(view_of([0.0] * 5), 0)
+        assert policy.choose(view_of([0.0, 0.0]), 0) in (0, 1)
 
     def test_least_loaded_picks_minimum(self):
         policy = LeastLoadedPlacement()
-        assert policy.choose([3.0, 1.0, 2.0], 0) == 1
+        assert policy.choose(view_of([3.0, 1.0, 2.0]), 0) == 1
 
     def test_least_loaded_tie_lowest_index(self):
         policy = LeastLoadedPlacement()
-        assert policy.choose([1.0, 1.0, 2.0], 0) == 0
+        assert policy.choose(view_of([1.0, 1.0, 2.0]), 0) == 0
 
     def test_least_loaded_avoids_dead_nodes(self):
         policy = LeastLoadedPlacement()
-        assert policy.choose([float("inf"), 5.0], 0) == 1
+        assert policy.choose(view_of([float("inf"), 5.0]), 0) == 1
 
     def test_random_seeded_reproducible(self):
         first = RandomPlacement(seed=42)
         second = RandomPlacement(seed=42)
-        loads = [0.0] * 4
-        assert [first.choose(loads, 0) for _ in range(10)] == [
-            second.choose(loads, 0) for _ in range(10)
+        view = view_of([0.0] * 4)
+        assert [first.choose(view, 0) for _ in range(10)] == [
+            second.choose(view, 0) for _ in range(10)
         ]
 
     def test_random_in_range(self):
         policy = RandomPlacement(seed=1)
+        view = view_of([0.0] * 3)
         for _ in range(50):
-            assert 0 <= policy.choose([0.0] * 3, 0) < 3
+            assert 0 <= policy.choose(view, 0) < 3
 
     def test_empty_loads_rejected(self):
         for policy in (
@@ -168,7 +176,12 @@ class TestPlacement:
             RandomPlacement(),
         ):
             with pytest.raises(PlacementError):
-                policy.choose([], 0)
+                policy.choose(view_of([]), 0)
+
+    def test_bare_loads_still_work_with_warning(self):
+        policy = LeastLoadedPlacement()
+        with pytest.warns(DeprecationWarning, match="bare loads"):
+            assert policy.choose([3.0, 1.0, 2.0], 0) == 1
 
     def test_factory(self):
         assert isinstance(make_placement("round_robin"), RoundRobinPlacement)
