@@ -1,32 +1,46 @@
-"""Record wire + backplane + latency-table numbers to a JSON artifact.
+"""Record the benchmark families' numbers to per-suite JSON artifacts.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py [output.json]
-    PYTHONPATH=src python benchmarks/record.py overload [output.json]
+    PYTHONPATH=src python benchmarks/record.py [suite] [output.json]
+    PYTHONPATH=src python benchmarks/record.py all
+    PYTHONPATH=src python benchmarks/record.py compare COMMITTED FRESH
 
-Writes ``BENCH_wire.json`` (or the given path): ping-pong round trips per
-second for fast/legacy over tcp and aio at several payload sizes, the
-same payloads over the shm backplane, the columnar-versus-row aggregate
-encoding sizes, the TAB-LAT latency table (modeled one-way latencies and
-live localhost round trips per stack), and the derived ratios the test
-suite guards.  Absolute rates are this machine's; the ratios are the
-comparable shape.  ``cpus`` is recorded because the shm-vs-tcp ratio is
-scheduling-bound: with one CPU the spin path never runs and every round
-trip costs the same two context switches tcp pays, so only multi-core
-hosts can show the spin-path speedup the CI guardrail asserts.
+Suites (each maps to one ``benchmarks/test_*`` family and one committed
+artifact): ``wire`` (the default) -> ``BENCH_wire.json``, ``overload``
+-> ``BENCH_overload.json``, ``sched`` -> ``BENCH_sched.json``,
+``autotune`` -> ``BENCH_autotune.json``.  ``all`` records every suite to
+its default path.  Absolute rates are this machine's; the
+``guarded_ratios`` block in each document is the comparable shape.
+``cpus`` is recorded because several ratios are scheduling-bound: with
+one CPU a spin path never runs, every round trip costs two context
+switches, and fast/legacy collapse toward parity — only multi-core
+hosts can show those speedups.
 
-The ``overload`` suite writes ``BENCH_overload.json`` instead: the
-credits-on/off ping-pong rates (the flow-control overhead guardrail),
-admitted/shed latency percentiles for a saturated bounded mailbox, and
-the elastic scale-out/in cycle's call accounting.
+* ``wire``: ping-pong round trips per second for fast/legacy over tcp
+  and aio at several payload sizes, the same payloads over the shm
+  backplane, the columnar-versus-row aggregate encoding sizes, and the
+  TAB-LAT latency table (modeled one-way latencies and live localhost
+  round trips per stack).
+* ``overload``: the credits-on/off ping-pong rates (the flow-control
+  overhead guardrail), admitted/shed latency percentiles for a
+  saturated bounded mailbox, and the elastic scale-out/in cycle's call
+  accounting.
+* ``sched``: makespans for the Zipf-skewed placement bench under static
+  round-robin, the perfect-knowledge LPT oracle, and the adaptive
+  work-stealing scheduler, plus the migration accounting and the 10k
+  grain scale run's call accounting.
+* ``autotune``: returnN reply bytes versus per-call replies, call_many
+  versus per-call round-trip throughput over live tcp, the telemetry-fed
+  autotuner's converged ``max_calls`` against the static sweep's knee,
+  and the mixed old/new-peer farm's call accounting.
 
-The ``sched`` suite writes ``BENCH_sched.json``: makespans for the
-Zipf-skewed placement bench under static round-robin, the
-perfect-knowledge LPT oracle, and the adaptive work-stealing scheduler,
-plus the migration accounting (grains moved, calls carried, losses) and
-the two guarded ratios (adaptive within 1.5x of oracle, at least 1.3x
-over round-robin).
+``compare`` reads two recordings of the same suite — the committed
+artifact and a fresh one — and fails (exit 1) when a guarded ratio
+regressed by more than ``TOLERANCE``.  Timing-derived ratios are
+hardware-bound, so when the two documents disagree on ``cpus`` those
+only warn; byte-size and call-accounting ratios hold on any machine and
+always gate.
 """
 
 from __future__ import annotations
@@ -186,13 +200,17 @@ def collect_sched() -> dict:
         CALLS_TOTAL,
         GRAINS,
         NODES,
+        SCALE_CALLS_TOTAL,
+        SCALE_GRAINS,
         WORK_S,
         ZIPF_S,
         run_all,
+        run_scale,
     )
 
     results = run_all()
     adaptive = results["adaptive"]
+    scale = run_scale()
     return {
         "benchmark": "sched",
         "python": platform.python_version(),
@@ -207,6 +225,11 @@ def collect_sched() -> dict:
             "agg_calls": AGG_CALLS,
         },
         "scenarios": results,
+        "scale_10k": {
+            "grains": SCALE_GRAINS,
+            "calls_target": SCALE_CALLS_TOTAL,
+            **scale,
+        },
         "guarded_ratios": {
             "adaptive_vs_oracle": (
                 adaptive["makespan_s"] / results["oracle"]["makespan_s"]
@@ -215,28 +238,176 @@ def collect_sched() -> dict:
                 results["round_robin"]["makespan_s"]
                 / adaptive["makespan_s"]
             ),
+            "scale_10k_executed_vs_posted": (
+                scale["executed"] / scale["posted"]
+            ),
         },
     }
 
 
-def main(argv: list[str]) -> int:
-    if argv and argv[0] == "overload":
-        out_path = argv[1] if len(argv) > 1 else "BENCH_overload.json"
-        document = collect_overload()
-    elif argv and argv[0] == "sched":
-        out_path = argv[1] if len(argv) > 1 else "BENCH_sched.json"
-        document = collect_sched()
-    else:
-        out_path = argv[0] if argv else "BENCH_wire.json"
-        document = collect()
+def collect_autotune() -> dict:
+    from test_autotune import (
+        CALLS,
+        SWEEP_CALLS,
+        WORK_S,
+        convergence_run,
+        mixed_farm_accounting,
+        reply_sizes,
+        roundtrip_rates,
+    )
+
+    per_call_bytes, batched_bytes = reply_sizes()
+    rates = roundtrip_rates()
+    convergence = convergence_run()
+    farm = mixed_farm_accounting()
+    return {
+        "benchmark": "autotune",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "reply_bytes": {
+            "calls": CALLS,
+            "per_call_bytes": per_call_bytes,
+            "returnn_bytes": batched_bytes,
+        },
+        "roundtrip_rates": rates,
+        "convergence": {
+            "work_s": WORK_S,
+            "sweep_calls": SWEEP_CALLS,
+            **convergence,
+        },
+        "mixed_farm": farm,
+        "guarded_ratios": {
+            "returnn_reply_bytes_64_calls": per_call_bytes / batched_bytes,
+            "callmany_vs_percall_tcp": (
+                rates["call_many"] / rates["per_call"]
+            ),
+            "autotune_vs_best_static": convergence["ratio"],
+            "mixed_farm_executed_vs_posted": farm["executed"] / farm["posted"],
+        },
+    }
+
+
+SUITES = {
+    "wire": (collect, "BENCH_wire.json"),
+    "overload": (collect_overload, "BENCH_overload.json"),
+    "sched": (collect_sched, "BENCH_sched.json"),
+    "autotune": (collect_autotune, "BENCH_autotune.json"),
+}
+
+#: Maximum relative regression a guarded ratio may show against the
+#: committed recording before ``compare`` fails the build.
+TOLERANCE = 0.15
+
+#: Ratios where smaller is better (everything else: bigger is better).
+LOWER_IS_BETTER = {"adaptive_vs_oracle"}
+
+#: Ratios guarded as "inside a window", not "at least the old value":
+#: the autotuner's converged/best-static quotient is correct anywhere
+#: within 2x either way, so drift inside the window is not regression.
+BOUNDED = {"autotune_vs_best_static": (0.5, 2.0)}
+
+#: Ratios derived from encoded byte sizes or call accounting.  They are
+#: identical on any hardware, so they gate even when the committed and
+#: fresh recordings come from machines with different ``cpus`` — unlike
+#: timing ratios, which only warn across hardware.
+HARDWARE_INDEPENDENT = {
+    "columnar_size_64_calls",
+    "returnn_reply_bytes_64_calls",
+    "elastic_tested_vs_posted",
+    "mixed_farm_executed_vs_posted",
+    "scale_10k_executed_vs_posted",
+}
+
+
+def compare(committed_path: str, fresh_path: str) -> int:
+    """Fail when *fresh_path*'s guarded ratios regressed vs the artifact."""
+    with open(committed_path, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    with open(fresh_path, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    if committed.get("benchmark") != fresh.get("benchmark"):
+        print(
+            f"cannot compare suites: {committed.get('benchmark')!r} "
+            f"({committed_path}) vs {fresh.get('benchmark')!r} ({fresh_path})"
+        )
+        return 1
+    same_hardware = committed.get("cpus") == fresh.get("cpus")
+    failures = 0
+    print(
+        f"compare {committed.get('benchmark')}: {committed_path} "
+        f"(cpus={committed.get('cpus')}) vs {fresh_path} "
+        f"(cpus={fresh.get('cpus')})"
+    )
+    for name, old in sorted(committed.get("guarded_ratios", {}).items()):
+        new = fresh.get("guarded_ratios", {}).get(name)
+        if new is None:
+            print(f"  FAIL {name}: missing from {fresh_path}")
+            failures += 1
+            continue
+        if name in BOUNDED:
+            low, high = BOUNDED[name]
+            if low <= new <= high:
+                print(f"  ok   {name}: {new:.2f} within [{low}, {high}]")
+            else:
+                print(
+                    f"  FAIL {name}: {new:.2f} outside [{low}, {high}] "
+                    f"(was {old:.2f})"
+                )
+                failures += 1
+            continue
+        if name in LOWER_IS_BETTER:
+            regressed = new > old * (1.0 + TOLERANCE)
+        else:
+            regressed = new < old * (1.0 - TOLERANCE)
+        if not regressed:
+            print(f"  ok   {name}: {new:.2f} (was {old:.2f})")
+        elif name in HARDWARE_INDEPENDENT or same_hardware:
+            print(
+                f"  FAIL {name}: {new:.2f} regressed more than "
+                f"{TOLERANCE:.0%} from {old:.2f}"
+            )
+            failures += 1
+        else:
+            print(
+                f"  warn {name}: {new:.2f} vs {old:.2f}, but the "
+                f"recordings disagree on cpus — timing ratio not gated"
+            )
+    if failures:
+        print(f"{failures} guarded ratio(s) regressed")
+        return 1
+    print("no guarded ratio regressed")
+    return 0
+
+
+def record(suite: str, out_path: str | None = None) -> int:
+    collector, default_path = SUITES[suite]
+    out_path = out_path or default_path
+    document = collector()
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    ratios = document["guarded_ratios"]
     print(f"wrote {out_path}")
-    for name, value in sorted(ratios.items()):
+    for name, value in sorted(document["guarded_ratios"].items()):
         print(f"  {name}: {value:.2f}")
     return 0
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "compare":
+        if len(argv) != 3:
+            print("usage: record.py compare COMMITTED.json FRESH.json")
+            return 2
+        return compare(argv[1], argv[2])
+    if argv and argv[0] == "all":
+        status = 0
+        for suite in SUITES:
+            status = max(status, record(suite))
+        return status
+    if argv and argv[0] in SUITES:
+        return record(argv[0], argv[1] if len(argv) > 1 else None)
+    # Back-compat: a bare output path records the wire suite.
+    return record("wire", argv[0] if argv else None)
 
 
 if __name__ == "__main__":

@@ -84,6 +84,7 @@ class Cluster:
         chaos_controller: "ChaosController | None" = None,
         telemetry: TelemetryConfig | None = None,
         wire_fastpath: bool = True,
+        sync_fastpath: bool = True,
         same_node_transport: str | None = None,
         mailbox_depth: int = 0,
         priority: dict | None = None,
@@ -181,6 +182,9 @@ class Cluster:
         # Zero-copy wire fast path; every bundled transport that has a
         # codec path takes the knob (http keeps its legacy framing).
         self.wire_fastpath = wire_fastpath
+        # Inline execution of sync calls against idle mailboxes (see
+        # ParcConfig.sync_fastpath); threaded into every node's IOs.
+        self.sync_fastpath = sync_fastpath
         fastpath_opts = (
             {"fastpath": wire_fastpath}
             if base_kind in _FASTPATH_KINDS
@@ -287,6 +291,7 @@ class Cluster:
                     mailbox_depth=mailbox_depth,
                     priority=priority,
                     shed_policy=shed_policy,
+                    sync_fastpath=sync_fastpath,
                 )
                 self.nodes.append(node)
                 if same_node_transport == "shm":
@@ -327,6 +332,7 @@ class Cluster:
                     mailbox_depth=mailbox_depth,
                     priority=priority,
                     shed_policy=shed_policy,
+                    sync_fastpath=sync_fastpath,
                 )
             except Exception:
                 self.close()
@@ -504,6 +510,7 @@ class Cluster:
             mailbox_depth=self.mailbox_depth,
             priority=self.priority,
             shed_policy=self.shed_policy,
+            sync_fastpath=self.sync_fastpath,
         )
         with self._elastic_lock:
             self.worker_handles.extend(handles)

@@ -26,7 +26,11 @@ from repro.remoting import MarshalByRefObject, RemotingHost
 from repro.remoting.proxy import RemoteProxy
 from repro.sched.engine import NodeScheduler
 from repro.sched.view import ClusterView, NodeView
-from repro.telemetry import MetricsRegistry, TelemetryConfig
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryConfig,
+    summarize_method_histograms,
+)
 from repro.telemetry.node import NodeTelemetry
 from repro.telemetry.tracer import Tracer, current_tracer_var
 
@@ -97,13 +101,40 @@ class ObjectManager(MarshalByRefObject):
 
         Richer than :meth:`load` (which is kept for wire compatibility
         with older peers): mailbox queue depth joins the scalar load so
-        placement can see backlog, not just population.
+        placement can see backlog, not just population; with telemetry
+        on, the node's ``parc.method.seconds.*`` histogram summaries
+        ride along — ``avg_service_s``/``p99_s`` price the backlog in
+        measured seconds, and the per-method ``methods`` map feeds peer
+        grain autotuners.  Peers running older surfaces simply never
+        read the extra keys (and this side tolerates their absence via
+        ``.get``), so mixed clusters keep placing.
         """
-        return {
+        report = {
             "load": self.node.current_load(),
             "ios": self.node.io_count(),
             "queued": self.node.queued_count(),
+            "avg_service_s": 0.0,
+            "p99_s": 0.0,
         }
+        summaries = self.node.method_summaries()
+        if summaries:
+            total = sum(s["count"] for s in summaries.values())
+            if total > 0:
+                report["avg_service_s"] = (
+                    sum(
+                        s["avg_s"] * s["count"]
+                        for s in summaries.values()
+                    )
+                    / total
+                )
+                report["p99_s"] = max(
+                    s["p99_s"] for s in summaries.values()
+                )
+            report["methods"] = {
+                span: [s["avg_s"], int(s["count"])]
+                for span, s in summaries.items()
+            }
+        return report
 
     def recent_decisions(self) -> list:
         """The last placement decisions this manager made (newest last)."""
@@ -231,6 +262,14 @@ class ObjectManager(MarshalByRefObject):
                     ios=int(report["ios"]) if alive else 0,
                     same_node=self._same_host(base_uri),
                     bytes_per_call=bytes_per_call,
+                    avg_service_s=(
+                        float(report.get("avg_service_s", 0.0))
+                        if alive
+                        else 0.0
+                    ),
+                    p99_s=(
+                        float(report.get("p99_s", 0.0)) if alive else 0.0
+                    ),
                 )
             )
         return ClusterView(nodes=tuple(nodes), class_name=class_name)
@@ -500,6 +539,44 @@ class ObjectManager(MarshalByRefObject):
             except Exception:  # noqa: BLE001 - best-effort exchange
                 continue
             self.grain.merge_remote_stats(class_name, avg, samples)
+        self._merge_peer_method_summaries()
+
+    def _merge_peer_method_summaries(self) -> None:
+        """Fold peers' histogram summaries into the grain autotuner.
+
+        Load reports carry each node's ``parc.method.seconds.*``
+        summaries keyed by span name (``Short.method``); translated back
+        to wire class names through the parallel-class table they become
+        per-(class, method) evidence for :meth:`decide_method`, so a
+        node tunes a method it has never executed locally.  Reports from
+        old peers (no ``methods`` key) contribute nothing.
+        """
+        reports = self._current_reports()
+        directory = self._directory_snapshot()
+        short_to_wire = {
+            name.rsplit(".", 1)[-1]: name
+            for name in parallel_class_table.names()
+        }
+        for index, report in enumerate(reports):
+            if report is None or index >= len(directory):
+                continue
+            if directory[index] == self.node.base_uri:
+                continue  # local executions are observed directly
+            methods = report.get("methods")
+            if not methods:
+                continue
+            for span, summary in methods.items():
+                short, _, method = str(span).rpartition(".")
+                wire_name = short_to_wire.get(short)
+                if wire_name is None or not method:
+                    continue
+                try:
+                    avg_s, count = float(summary[0]), int(summary[1])
+                except (TypeError, ValueError, IndexError):
+                    continue
+                self.grain.merge_remote_method_stats(
+                    wire_name, method, avg_s, count
+                )
 
 
 class NodeFactory(MarshalByRefObject):
@@ -539,12 +616,14 @@ class Node:
         mailbox_depth: int = 0,
         priority: dict | None = None,
         shed_policy: str | None = None,
+        sync_fastpath: bool = True,
     ) -> None:
         self.index = index
         self.services = services
         self.mailbox_depth = mailbox_depth
         self.priority = priority
         self.shed_policy = shed_policy
+        self.sync_fastpath = sync_fastpath
         self.host = RemotingHost(
             name=f"parc-node-{index}",
             services=services,
@@ -599,11 +678,16 @@ class Node:
             mailbox_depth=self.mailbox_depth,
             priority=self.priority,
             shed_policy=self.shed_policy,
+            sync_fastpath=self.sync_fastpath,
         )
 
-    def _on_execution(self, class_name: str, elapsed_s: float) -> None:
+    def _on_execution(
+        self, class_name: str, elapsed_s: float, method: str | None = None
+    ) -> None:
         if isinstance(self.om.grain, AdaptiveGrainController):
-            self.om.grain.observe_execution(class_name, elapsed_s)
+            self.om.grain.observe_execution(
+                class_name, elapsed_s, method=method
+            )
 
     def adopt_impl(self, impl: ImplementationObject) -> None:
         """Take ownership of an externally built IO (grain promotion)."""
@@ -696,6 +780,15 @@ class Node:
             "shed": sum(s["shed"] for s in impl_stats),
             "p99_s": self.method_p99(),
         }
+
+    def method_summaries(self) -> dict:
+        """Per-method service-time summaries from this node's histograms.
+
+        ``{"<Short>.<method>": {"count", "avg_s", "p99_s"}}`` via
+        :func:`repro.telemetry.summarize_method_histograms`; empty with
+        telemetry off (the histograms are never recorded then).
+        """
+        return summarize_method_histograms(self.telemetry.metrics.export())
 
     def method_p99(self) -> float | None:
         """Worst per-method p99 on this node, or None with no samples.

@@ -141,6 +141,16 @@ class LocalityAwarePlacement(PlacementPolicy):
     ``bytes_scale`` converts bytes-per-call into load units: one
     ``bytes_scale``-byte call costs one load point when shipped over
     the wire at factor 1.
+
+    When the view carries telemetry histogram summaries
+    (``NodeView.avg_service_s`` > 0) the score adds a service-time term:
+    ``queue_depth * avg_service_s / service_scale_s``, i.e. the node's
+    backlog priced in *measured seconds of work* rather than task
+    counts — ten queued 100 µs calls are cheaper than one queued 50 ms
+    call.  ``service_scale_s`` converts backlog-seconds into load units
+    (one point per 10 ms of queued work by default); nodes without
+    summaries (telemetry off, old peers) contribute 0 and keep the
+    historical score exactly.
     """
 
     name = "locality"
@@ -150,14 +160,18 @@ class LocalityAwarePlacement(PlacementPolicy):
         wire_cost_factor: float = 3.0,
         same_node_cost_factor: float = 1.0,
         bytes_scale: float = 64 * 1024.0,
+        service_scale_s: float = 0.01,
     ) -> None:
         if wire_cost_factor <= 0 or same_node_cost_factor <= 0:
             raise PlacementError("cost factors must be positive")
         if bytes_scale <= 0:
             raise PlacementError("bytes_scale must be positive")
+        if service_scale_s <= 0:
+            raise PlacementError("service_scale_s must be positive")
         self.wire_cost_factor = wire_cost_factor
         self.same_node_cost_factor = same_node_cost_factor
         self.bytes_scale = bytes_scale
+        self.service_scale_s = service_scale_s
 
     def _score(self, node: NodeView) -> float:
         factor = (
@@ -165,7 +179,13 @@ class LocalityAwarePlacement(PlacementPolicy):
             if node.same_node
             else self.wire_cost_factor
         )
-        return node.load + (node.bytes_per_call / self.bytes_scale) * factor
+        score = node.load + (node.bytes_per_call / self.bytes_scale) * factor
+        avg_service_s = getattr(node, "avg_service_s", 0.0)
+        if avg_service_s > 0.0 and node.queue_depth > 0:
+            score += (
+                node.queue_depth * avg_service_s / self.service_scale_s
+            )
+        return score
 
     def choose(self, view: ClusterView, home_index: int) -> int:
         live = self._live(as_view(view))

@@ -87,6 +87,8 @@ class WorkerConfig:
     mailbox_depth: int = 0
     priority: dict | None = None
     shed_policy: str | None = None
+    #: Inline execution of sync calls against idle mailboxes.
+    sync_fastpath: bool = True
 
 
 def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore[no-untyped-def]
@@ -122,6 +124,7 @@ def _worker_main(config: WorkerConfig, ready, commands) -> None:  # type: ignore
             mailbox_depth=config.mailbox_depth,
             priority=config.priority,
             shed_policy=config.shed_policy,
+            sync_fastpath=config.sync_fastpath,
         )
         if config.same_node_transport == "shm":
             # Hidden backplane (see Cluster.__init__): serve the same
@@ -256,6 +259,7 @@ def spawn_workers(
     mailbox_depth: int = 0,
     priority: dict | None = None,
     shed_policy: str | None = None,
+    sync_fastpath: bool = True,
 ) -> list[ProcessNodeHandle]:
     """Spawn *count* worker nodes; returns their handles (booted)."""
     context = multiprocessing.get_context("spawn")
@@ -276,6 +280,7 @@ def spawn_workers(
                 mailbox_depth=mailbox_depth,
                 priority=priority,
                 shed_policy=shed_policy,
+                sync_fastpath=sync_fastpath,
             )
             handles.append(ProcessNodeHandle(config, context))
     except Exception:

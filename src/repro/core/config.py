@@ -81,6 +81,13 @@ class ParcConfig:
     #: selects the legacy copy-per-stage path (same wire format — the two
     #: interoperate, so mixed clusters are fine).
     wire_fastpath: bool = True
+    #: Synchronous-call fast path: a sync call (or sync ``call_many``
+    #: batch) whose target mailbox is idle executes inline on the
+    #: caller's thread, skipping the serialize→frame→mailbox round-trip.
+    #: FIFO semantics are preserved (the mailbox is claimed only when
+    #: empty and the worker parks while an inline call runs).  ``False``
+    #: restores the always-queue behaviour.
+    sync_fastpath: bool = True
     #: Same-node transport negotiation: ``"shm"`` routes calls between
     #: co-located processes through shared-memory ring buffers
     #: (:mod:`repro.shm`) while remote peers stay on the socket channel;

@@ -130,6 +130,13 @@ class AdaptiveGrainController:
     #: measured-bytes term in :meth:`decide`.
     wire_bandwidth_Bps: float | None = None
 
+    #: Clamp bounds for the autotuned ``flush_after_s``: a partial batch
+    #: may wait at most ``flush_cap_s`` and the timer never arms tighter
+    #: than ``flush_floor_s`` (sub-half-millisecond timers cost more in
+    #: wakeups than they save in latency).
+    flush_floor_s: float = 0.0005
+    flush_cap_s: float = 0.02
+
     def __post_init__(self) -> None:
         if self.overhead_s <= 0:
             raise GrainError("overhead_s must be positive")
@@ -137,14 +144,27 @@ class AdaptiveGrainController:
             raise GrainError("max_calls_cap must be >= 1")
         self._lock = threading.Lock()
         self._stats: dict[str, _ClassStats] = {}
+        self._method_stats: dict[tuple[str, str], _ClassStats] = {}
 
-    def observe_execution(self, class_name: str, exec_s: float) -> None:
-        """Feed one measured method execution time back to the controller."""
+    def observe_execution(
+        self, class_name: str, exec_s: float, method: str | None = None
+    ) -> None:
+        """Feed one measured method execution time back to the controller.
+
+        With *method* given (the IO worker passes it since the reply-path
+        rework) the sample additionally lands in a per-(class, method)
+        EWMA, the input of :meth:`decide_method`'s online retuning.
+        """
         if exec_s < 0:
             raise GrainError(f"negative execution time {exec_s}")
         with self._lock:
             stats = self._stats.setdefault(class_name, _ClassStats())
             stats.observe(exec_s, self.ewma_alpha)
+            if method:
+                per_method = self._method_stats.setdefault(
+                    (class_name, method), _ClassStats()
+                )
+                per_method.observe(exec_s, self.ewma_alpha)
 
     def observe_call_bytes(
         self, class_name: str, total_bytes: int, calls: int
@@ -195,13 +215,43 @@ class AdaptiveGrainController:
                 ) / total
                 stats.samples = total
 
-    def decide(self, class_name: str) -> GrainDecision:
-        avg_exec_s, samples = self.stats_for(class_name)
-        if samples < self.min_samples or avg_exec_s <= 0:
-            return GrainDecision(
-                agglomerate=False,
-                max_calls=min(self.bootstrap_max_calls, self.max_calls_cap),
+    def method_stats_for(
+        self, class_name: str, method: str
+    ) -> tuple[float, int]:
+        """(avg execution seconds, samples) for one (class, method)."""
+        with self._lock:
+            stats = self._method_stats.get((class_name, method))
+            if stats is None:
+                return 0.0, 0
+            return stats.avg_exec_s, stats.samples
+
+    def merge_remote_method_stats(
+        self, class_name: str, method: str, avg_exec_s: float, samples: int
+    ) -> None:
+        """Fold a peer's per-method summary in (histogram exchange).
+
+        Peers publish ``parc.method.seconds.*`` histogram summaries in
+        their load reports; the object manager feeds them here so the
+        autotuner prices a method from cluster-wide evidence, not just
+        local executions.
+        """
+        if samples <= 0 or avg_exec_s <= 0:
+            return
+        with self._lock:
+            stats = self._method_stats.setdefault(
+                (class_name, method), _ClassStats()
             )
+            if stats.samples == 0:
+                stats.avg_exec_s = avg_exec_s
+                stats.samples = samples
+            else:
+                total = stats.samples + samples
+                stats.avg_exec_s = (
+                    stats.avg_exec_s * stats.samples + avg_exec_s * samples
+                ) / total
+                stats.samples = total
+
+    def _per_call_s(self, class_name: str, avg_exec_s: float) -> float:
         # Per-call cost that amortizes the per-message overhead: execution
         # time plus (when measured and a bandwidth is configured) the time
         # the call's serialized bytes occupy the wire.
@@ -210,6 +260,16 @@ class AdaptiveGrainController:
             avg_bytes, byte_samples = self.call_bytes_for(class_name)
             if byte_samples > 0:
                 per_call_s += avg_bytes / self.wire_bandwidth_Bps
+        return per_call_s
+
+    def decide(self, class_name: str) -> GrainDecision:
+        avg_exec_s, samples = self.stats_for(class_name)
+        if samples < self.min_samples or avg_exec_s <= 0:
+            return GrainDecision(
+                agglomerate=False,
+                max_calls=min(self.bootstrap_max_calls, self.max_calls_cap),
+            )
+        per_call_s = self._per_call_s(class_name, avg_exec_s)
         max_calls = math.ceil(self.pack_factor * self.overhead_s / per_call_s)
         max_calls = max(1, min(max_calls, self.max_calls_cap))
         agglomerate = (
@@ -217,3 +277,30 @@ class AdaptiveGrainController:
             < self.agglomerate_factor * self.overhead_s
         )
         return GrainDecision(agglomerate=agglomerate, max_calls=max_calls)
+
+    def decide_method(
+        self, class_name: str, method: str
+    ) -> tuple[int, float] | None:
+        """Per-method online tuning: ``(max_calls, flush_after_s)``.
+
+        The telemetry-fed half of the feedback loop: executions recorded
+        with a method name (the ``parc.method.seconds.<Class>.<method>``
+        histogram's twin stream) drive a per-method packing decision with
+        the same amortization formula as :meth:`decide`, plus a flush
+        deadline sized to the batch itself — a batch worth of work is
+        exactly how long a partial buffer is allowed to wait, clamped to
+        ``[flush_floor_s, flush_cap_s]``.
+
+        Returns ``None`` until ``min_samples`` method executions exist,
+        so a fresh method keeps its class-level (or static) tuning.
+        """
+        avg_exec_s, samples = self.method_stats_for(class_name, method)
+        if samples < self.min_samples or avg_exec_s <= 0:
+            return None
+        per_call_s = self._per_call_s(class_name, avg_exec_s)
+        max_calls = math.ceil(self.pack_factor * self.overhead_s / per_call_s)
+        max_calls = max(1, min(max_calls, self.max_calls_cap))
+        flush_after_s = min(
+            max(max_calls * per_call_s, self.flush_floor_s), self.flush_cap_s
+        )
+        return max_calls, flush_after_s

@@ -27,6 +27,7 @@ import contextlib
 import contextvars
 import threading
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
@@ -34,7 +35,8 @@ from typing import Any, Callable, Mapping
 from repro.errors import OverloadError, ScooppError
 from repro.flow.policy import DEADLINE, ShedPolicy
 from repro.remoting import MarshalByRefObject
-from repro.serialization.codec import unpack_columns
+from repro.remoting.messages import ReturnBatch
+from repro.serialization.codec import pack_result_column, unpack_columns
 from repro.telemetry.context import current_context
 from repro.telemetry.tracer import current_tracer_var, get_global_tracer
 
@@ -115,6 +117,7 @@ class _IOMailbox:
         }
         self._queued: dict[str, int] = {lane: 0 for lane in LANES}
         self._active = 0  # tasks dequeued but not yet finished
+        self._inline_claims = 0  # sync fast-path calls executing inline
         self._stopped = False
         self._migrating = False  # paused for state extraction
         self._migrated = False  # grain lives elsewhere now
@@ -159,7 +162,11 @@ class _IOMailbox:
         """
         with self._work_available:
             while True:
-                if not self._migrating:
+                # The ``not self._inline_claims`` gate keeps the worker
+                # parked while a sync fast-path claim executes inline on
+                # the caller's thread — popping here would break the one-
+                # at-a-time execution guarantee of the active object.
+                if not self._migrating and not self._inline_claims:
                     for lane in LANES:
                         entries = self._lanes[lane]
                         if entries:
@@ -171,6 +178,42 @@ class _IOMailbox:
                         self._idle.notify_all()
                         return None
                 self._work_available.wait()
+
+    def try_claim_idle(self) -> bool:
+        """Claim the execution slot iff the mailbox is completely idle.
+
+        The sync fast path runs a call inline on the caller's thread;
+        that preserves FIFO order only when nothing is queued in any
+        lane *and* nothing is executing.  The claim has its own counter
+        (``_inline_claims``) rather than riding ``_active``: it parks
+        the worker in :meth:`pop` and stalls drain/migration exactly
+        like a dequeued batch, without changing pop's own contract
+        (consecutive pops need no intervening :meth:`batch_done`).
+        Balance with :meth:`release_claim`.
+        """
+        with self._lock:
+            if (
+                self._stopped
+                or self._migrating
+                or self._migrated
+                or self._active
+                or self._inline_claims
+                or any(self._queued.values())
+            ):
+                return False
+            self._inline_claims += 1
+            return True
+
+    def release_claim(self) -> None:
+        """Release a :meth:`try_claim_idle` slot and wake the worker."""
+        with self._work_available:
+            self._inline_claims -= 1
+            if self._inline_claims == 0:
+                # Work may have queued behind the inline call; the
+                # worker is parked on the _inline_claims gate in pop().
+                self._work_available.notify()
+                if self._migrating or not any(self._queued.values()):
+                    self._idle.notify_all()
 
     def batch_done(self, count: int) -> None:
         with self._lock:
@@ -184,6 +227,7 @@ class _IOMailbox:
         with self._idle:
             while (
                 self._active
+                or self._inline_claims
                 or any(self._queued.values())
                 or self._migrating
             ):
@@ -216,7 +260,7 @@ class _IOMailbox:
             if self._migrating:
                 raise ScooppError("migration already in progress")
             self._migrating = True
-            while self._active:
+            while self._active or self._inline_claims:
                 self._idle.wait()
             entries: list[list[_Task]] = []
             for lane in LANES:
@@ -269,7 +313,7 @@ class _IOMailbox:
 
     def queue_length(self) -> int:
         with self._lock:
-            return sum(self._queued.values()) + self._active
+            return sum(self._queued.values()) + self._active + self._inline_claims
 
     def lane_depths(self) -> dict[str, int]:
         with self._lock:
@@ -310,6 +354,7 @@ class ImplementationObject(MarshalByRefObject):
         mailbox_depth: int = 0,
         priority: Mapping[str, str] | None = None,
         shed_policy: "str | ShedPolicy | None" = None,
+        sync_fastpath: bool = True,
     ) -> None:
         self.instance = instance
         self.class_name = class_name
@@ -318,6 +363,11 @@ class ImplementationObject(MarshalByRefObject):
         # this object is a forwarding shell for straggler callers.
         self._forward: Any = None
         self._on_execution = on_execution
+        # Newer observers take (class_name, elapsed_s, method) so the
+        # autotuner can keep per-method statistics; older two-argument
+        # callbacks are detected on first TypeError and kept working.
+        self._on_execution_with_method = on_execution is not None
+        self._sync_fastpath = sync_fastpath
         self._shed_policy = ShedPolicy.parse(shed_policy)
         self._mailbox = _IOMailbox(
             depth=mailbox_depth,
@@ -325,6 +375,7 @@ class ImplementationObject(MarshalByRefObject):
         )
         self._stats_lock = threading.Lock()
         self._processed = 0
+        self._inline = 0  # sync calls served via the fast path
         self._busy_s = 0.0
         self._shed = {"overflow": 0, "deadline": 0}
         self._async_failures: list[tuple[str, str]] = []
@@ -417,11 +468,103 @@ class ImplementationObject(MarshalByRefObject):
             trace=current_context.get(),
             posted_at=time.monotonic(),
         )
-        self._post(method, [task])
-        task.done.wait()
+        if not self._run_inline([task]):
+            self._post(method, [task])
+            task.done.wait()
         if task.error is not None:
             raise task.error
         return task.result
+
+    def invoke_batch(self, method: str, batch: list) -> Any:
+        """Synchronous aggregate: N calls in, one ``returnN`` reply out.
+
+        The reply-side twin of :meth:`enqueue_batch`: *batch* is the
+        same ``[(args, kwargs), ...]`` list, posted as ONE mailbox entry
+        (back-to-back execution, FIFO with surrounding work) — but every
+        call is synchronous and the results travel back as a single
+        :class:`~repro.remoting.messages.ReturnBatch` instead of N
+        response frames.  Per-call failures land in the batch's error
+        slots; they never abort the remaining calls.
+
+        Old peers simply do not have this method, so a new client
+        calling an old server gets the standard "has no remote method"
+        error and falls back to per-call :meth:`invoke` — that is the
+        whole version negotiation.
+        """
+        trace = current_context.get()
+        posted_at = time.monotonic()
+        tasks = [
+            _Task(
+                method=method,
+                args=tuple(args),
+                kwargs=dict(kwargs),
+                done=threading.Event(),
+                trace=trace,
+                posted_at=posted_at,
+            )
+            for args, kwargs in batch
+        ]
+        if not tasks:
+            return ReturnBatch(count=0, results=[], errors=())
+        if not self._run_inline(tasks):
+            self._post(method, tasks)
+            # One wait suffices: the batch is a single mailbox entry and
+            # executes serially, so the last task finishes last — and
+            # every completion path (_execute, _shed_task, forwarding)
+            # sets each task's event in order.
+            tasks[-1].done.wait()
+        results: list = []
+        errors: list[tuple] = []
+        for index, task in enumerate(tasks):
+            if task.error is not None:
+                results.append(None)
+                errors.append(
+                    (
+                        index,
+                        type(task.error).__qualname__,
+                        str(task.error),
+                        "".join(
+                            traceback.format_exception(
+                                type(task.error),
+                                task.error,
+                                task.error.__traceback__,
+                            )
+                        ),
+                    )
+                )
+            else:
+                results.append(task.result)
+        return ReturnBatch(
+            count=len(tasks),
+            results=pack_result_column(results),
+            errors=tuple(errors),
+        )
+
+    def invoke_columns(self, method: str, count: int, columns: list = ()) -> Any:
+        """Columnar form of :meth:`invoke_batch` (processN in, returnN out)."""
+        return self.invoke_batch(method, unpack_columns(count, list(columns)))
+
+    def _run_inline(self, tasks: list[_Task]) -> bool:
+        """Sync fast path: execute *tasks* on the caller's thread.
+
+        Succeeds only when the mailbox is provably idle (nothing queued
+        in any lane, nothing executing), which makes inline execution
+        indistinguishable from the post→worker→wait round-trip except
+        for the latency: FIFO order holds trivially, and the claimed
+        inline slot parks the worker plus any drain/migration until
+        the inline call finishes.
+        """
+        if not self._sync_fastpath or not self._mailbox.try_claim_idle():
+            return False
+        try:
+            for task in tasks:
+                self._execute(task)
+                with self._stats_lock:
+                    self._processed += 1
+                    self._inline += 1
+        finally:
+            self._mailbox.release_claim()
+        return True
 
     def drain(self) -> None:
         self._mailbox.drain()
@@ -437,6 +580,7 @@ class ImplementationObject(MarshalByRefObject):
         with self._stats_lock:
             shed = dict(self._shed)
             processed = self._processed
+            inline = self._inline
             busy_s = self._busy_s
             failures = len(self._async_failures)
         return {
@@ -444,6 +588,7 @@ class ImplementationObject(MarshalByRefObject):
             "queued": self._mailbox.queued_count(),
             "lanes": self._mailbox.lane_depths(),
             "processed": processed,
+            "sync_inline": inline,
             "busy_s": busy_s,
             "shed": shed["overflow"] + shed["deadline"],
             "shed_overflow": shed["overflow"],
@@ -649,7 +794,18 @@ class ImplementationObject(MarshalByRefObject):
                 self._busy_s += elapsed
             if self._on_execution is not None:
                 try:
-                    self._on_execution(self.class_name, elapsed)
+                    if self._on_execution_with_method:
+                        try:
+                            self._on_execution(
+                                self.class_name, elapsed, task.method
+                            )
+                        except TypeError:
+                            # Legacy two-argument observer; remember and
+                            # retry without the method name.
+                            self._on_execution_with_method = False
+                            self._on_execution(self.class_name, elapsed)
+                    else:
+                        self._on_execution(self.class_name, elapsed)
                 except Exception:  # noqa: BLE001 - stats must never kill work
                     pass
             if task.done is not None:

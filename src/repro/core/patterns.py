@@ -189,16 +189,26 @@ class Pipeline:
         A single flow-order wait is not enough: a stage forwards items
         through its *own* PO reference to the successor, whose aggregation
         buffer and sender live inside that stage — invisible from here.
-        The barrier therefore iterates to a fixed point: wait every stage,
-        snapshot per-stage processed counts, and finish only when two
-        consecutive sweeps observe no movement.
+        The barrier therefore iterates to a fixed point: quiesce every
+        tracked PO outbox in the process (which includes the stages'
+        internal forwarding references), wait every stage, snapshot
+        per-stage processed counts, and finish only when two consecutive
+        sweeps observe no movement.
         """
         import time as _time
+
+        from repro.core import runtime as _runtime_module
 
         self._ensure_open()
         previous: tuple[int, ...] | None = None
         stable = 0
         while stable < 2:
+            runtime = _runtime_module._runtime
+            if runtime is not None:
+                # Without this, a forwarded item parked in a stage's
+                # sender thread for a few ms outlives the stability
+                # window and the barrier returns early.
+                runtime.quiesce_outboxes()
             for stage in self.stages:
                 stage.parc_wait()
             snapshot = tuple(

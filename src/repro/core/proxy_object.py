@@ -32,6 +32,7 @@ from typing import Any
 
 from repro.core.model import MethodKind, ParallelClassInfo, parallel_class_table
 from repro.errors import (
+    BatchCallError,
     ChannelError,
     GrainError,
     NodeLostError,
@@ -42,7 +43,11 @@ from repro.errors import (
 )
 from repro.remoting.objref import ObjRef
 from repro.remoting.proxy import RemoteProxy
-from repro.serialization.codec import method_column_plan, pack_columns
+from repro.serialization.codec import (
+    method_column_plan,
+    pack_columns,
+    unpack_result_column,
+)
 from repro.serialization.registry import Surrogate, default_registry
 from repro.telemetry.context import activate, current_context
 from repro.telemetry.tracer import active_tracer
@@ -76,6 +81,33 @@ class LocalGrain:
         self.direct_calls += 1
         return getattr(self.instance, method)(*args, **kwargs)
 
+    def call_many(self, method: str, batch: list) -> list:
+        """Synchronous aggregate on an agglomerated grain: run serially.
+
+        Same contract as :meth:`RemoteGrain.call_many`: one result per
+        ``(args, kwargs)`` pair; per-call failures collect into a
+        :class:`~repro.errors.BatchCallError` instead of aborting the
+        rest of the batch.
+        """
+        func = getattr(self.instance, method)
+        results: list = []
+        failures: dict[int, BaseException] = {}
+        for index, (args, kwargs) in enumerate(batch):
+            self.direct_calls += 1
+            try:
+                results.append(func(*args, **kwargs))
+            except Exception as exc:  # noqa: BLE001 - per-call error slot
+                results.append(None)
+                failures[index] = exc
+        if failures:
+            raise BatchCallError(
+                f"{len(failures)}/{len(results)} calls of {method!r} "
+                f"failed in a call_many batch",
+                results,
+                failures,
+            )
+        return results
+
     def flush(self) -> None:
         return None
 
@@ -99,6 +131,11 @@ class RemoteGrain:
 
     #: Default maximum age of a partial aggregation batch (seconds).
     FLUSH_AFTER_S = 0.005
+
+    #: Minimum interval between autotuner consultations (seconds) — the
+    #: controller's EWMAs move slowly, so re-deciding on every post would
+    #: only add lock traffic.
+    RETUNE_PERIOD_S = 0.02
 
     def __init__(
         self,
@@ -130,6 +167,22 @@ class RemoteGrain:
         self.columnar = False
         self.impl_class: type | None = None
         self._column_plans: dict[str, Any] = {}
+        # Batched replies (returnN): on until the peer proves too old —
+        # an IO without ``invoke_batch`` answers "has no remote method"
+        # and this grain silently drops to per-call invokes, exactly the
+        # columnar-fallback negotiation.  ``_sync_columnar`` gates only
+        # the columnar *request* form of the sync aggregate, so an old
+        # peer that still speaks ``enqueue_columns`` keeps its async
+        # columnar path.
+        self._sync_batched = True
+        self._sync_columnar = True
+        # Telemetry-fed autotuning: set by the runtime under an adaptive
+        # grain controller.  ``decide_method`` is consulted (rate-limited
+        # by RETUNE_PERIOD_S) when a new aggregation buffer opens, so
+        # max_calls/flush_after_s track the method actually being posted.
+        self.tuner = None
+        self.tuner_class: str | None = None
+        self._tuning_stamp = 0.0
         # Observer fed (serialized request bytes, calls carried) after
         # each successful send — the adaptive grain controller's
         # bytes-per-call input.
@@ -176,6 +229,8 @@ class RemoteGrain:
         with self._lock:
             self._ensure_usable()
             self.calls_posted += 1
+            if not self._buffer:
+                self._maybe_retune(method)
             if self.max_calls == 1:
                 self._enqueue_locked(
                     ("single", method, (tuple(args), dict(kwargs)), ctx)
@@ -220,6 +275,114 @@ class RemoteGrain:
             return self.impl.invoke(method, tuple(args), dict(kwargs))
         with tracer.span("po", f"po.{method}", grain=self.grain_id):
             return self.impl.invoke(method, tuple(args), dict(kwargs))
+
+    def call_many(self, method: str, batch: list) -> list:
+        """N synchronous calls, one wire round-trip (processN + returnN).
+
+        *batch* is ``[(args, kwargs), ...]``; returns one result per
+        pair, in order.  The aggregate ships as a single request (the
+        columnar form when the batch shape allows) and the IO answers
+        with one :class:`~repro.remoting.messages.ReturnBatch` instead
+        of N response frames.  Per-call failures come back in the
+        batch's error slots and are re-raised here as a
+        :class:`~repro.errors.BatchCallError` that still carries every
+        successful result.
+
+        Old peers without ``invoke_batch`` refuse the first attempt with
+        the standard missing-method error; the grain then falls back —
+        permanently, for its lifetime — to a loop of plain per-call
+        ``invoke`` round-trips that are byte-identical to hand-written
+        singles, so mixed-version clusters lose nothing but the speedup.
+        """
+        normalized = [
+            (tuple(args), dict(kwargs)) for args, kwargs in batch
+        ]
+        if not normalized:
+            return []
+        return self._with_recovery(
+            lambda: self._call_many_once(method, normalized)
+        )
+
+    def _call_many_once(self, method: str, batch: list) -> list:
+        with self._lock:
+            self._ensure_usable()
+            self._flush_locked()
+        self._wait_outbox_empty()
+        tracer = active_tracer()
+        if tracer is None:
+            return self._call_many_inner(method, batch)
+        with tracer.span(
+            "po", f"po.{method}xN", grain=self.grain_id, calls=len(batch)
+        ):
+            return self._call_many_inner(method, batch)
+
+    def _call_many_inner(self, method: str, batch: list) -> list:
+        if self._sync_batched:
+            try:
+                reply = self._invoke_batched(method, batch)
+            except RemoteInvocationError:
+                # Peer predates invoke_batch: negotiate down for good.
+                self._sync_batched = False
+            else:
+                return self._unpack_returnn(method, reply, len(batch))
+        results: list = []
+        failures: dict[int, BaseException] = {}
+        for index, (args, kwargs) in enumerate(batch):
+            try:
+                results.append(self.impl.invoke(method, args, kwargs))
+            except (OverloadError, RemoteInvocationError) as exc:
+                results.append(None)
+                failures[index] = exc
+        if failures:
+            raise BatchCallError(
+                f"{len(failures)}/{len(batch)} calls of {method!r} "
+                f"failed in a call_many batch",
+                results,
+                failures,
+            )
+        return results
+
+    def _invoke_batched(self, method: str, batch: list):  # type: ignore[no-untyped-def]
+        if self.columnar and self._sync_columnar:
+            columns = pack_columns(batch, self._plan_for(method))
+            if columns is not None:
+                try:
+                    return self.impl.invoke_columns(
+                        method, len(batch), list(columns)
+                    )
+                except RemoteInvocationError:
+                    # Only the sync columnar surface is missing; the
+                    # row-form invoke_batch below decides whether the
+                    # peer speaks returnN at all.
+                    self._sync_columnar = False
+        return self.impl.invoke_batch(method, batch)
+
+    def _unpack_returnn(self, method: str, reply, count: int) -> list:  # type: ignore[no-untyped-def]
+        if reply is None or getattr(reply, "count", None) != count:
+            raise ScooppError(
+                f"returnN reply for {method!r} carries "
+                f"{getattr(reply, 'count', None)} results, expected {count}"
+            )
+        results = unpack_result_column(reply.count, reply.results)
+        if not reply.errors:
+            return results
+        failures: dict[int, BaseException] = {}
+        for slot in reply.errors:
+            index, type_name, message = int(slot[0]), slot[1], slot[2]
+            trace_text = slot[3] if len(slot) > 3 else ""
+            if type_name == "OverloadError":
+                failures[index] = OverloadError(message)
+            else:
+                failures[index] = RemoteInvocationError(
+                    f"remote call failed: {type_name}: {message}",
+                    remote_traceback=trace_text,
+                )
+        raise BatchCallError(
+            f"{len(failures)}/{count} calls of {method!r} failed in a "
+            f"call_many batch",
+            results,
+            failures,
+        )
 
     # -- grain controls ----------------------------------------------------
 
@@ -491,6 +654,33 @@ class RemoteGrain:
             self._column_plans[method] = plan
             return plan
 
+    def _maybe_retune(self, method: str) -> None:
+        """Refresh max_calls/flush_after_s from the autotuner (locked).
+
+        Consulted when a new aggregation buffer opens so the applied
+        tuning matches the method about to be buffered; rate-limited so
+        a hot posting loop costs one controller lookup per
+        RETUNE_PERIOD_S, not per call.
+        """
+        tuner = self.tuner
+        if tuner is None:
+            return
+        now = _time.monotonic()
+        if now - self._tuning_stamp < self.RETUNE_PERIOD_S:
+            return
+        self._tuning_stamp = now
+        try:
+            tuning = tuner.decide_method(self.tuner_class or "", method)
+        except Exception:  # noqa: BLE001 - tuning must never break posts
+            return
+        if tuning is None:
+            return
+        max_calls, flush_after_s = tuning
+        if max_calls and int(max_calls) >= 1:
+            self.max_calls = int(max_calls)
+        if flush_after_s and flush_after_s > 0:
+            self.flush_after_s = float(flush_after_s)
+
 
 class ProxyObject:
     """Base class of generated PO classes.
@@ -548,6 +738,27 @@ class ProxyObject:
 
         call.__name__ = method_name
         return Delegate(call)
+
+    def parc_call_many(self, method_name: str, arg_tuples) -> list:  # type: ignore[no-untyped-def]
+        """Invoke a synchronous method once per argument tuple, batched.
+
+        ``po.parc_call_many("price", [(s, k) for s, k in work])`` ships
+        the whole batch as one aggregate request and receives one
+        aggregated ``returnN`` reply — N results for two wire frames
+        instead of 2N.  Returns the results in order; if any individual
+        call failed, raises :class:`~repro.errors.BatchCallError`
+        carrying the successes and a per-index failure map.  Against an
+        old peer the batch transparently degrades to per-call
+        round-trips with identical semantics.
+        """
+        info = type(self)._parc_info
+        if info is None or method_name not in info.method_kinds:
+            raise ScooppError(
+                f"{type(self).__name__} has no parallel method "
+                f"{method_name!r}"
+            )
+        batch = [(tuple(args), {}) for args in arg_tuples]
+        return self._parc_grain.call_many(method_name, batch)
 
     def parc_flush(self) -> None:
         self._parc_grain.flush()

@@ -203,6 +203,14 @@ class ParcRuntime:
                     controller.observe_call_bytes(class_name, nbytes, calls)
 
                 grain.wire_observer = _observe
+                # Online per-method retuning: the proxy consults the
+                # controller's decide_method() between flushes, fed by
+                # the parc.method.seconds.* histograms the nodes merge
+                # cluster-wide.  Gated by SchedulerConfig.autotune.
+                sched_cfg = getattr(self.cluster, "sched_config", None)
+                if getattr(sched_cfg, "autotune", True):
+                    grain.tuner = controller
+                    grain.tuner_class = class_name
         self._grains.add(grain)
 
     def recover_grain(self, grain: RemoteGrain, cause: BaseException) -> bool:
@@ -365,6 +373,26 @@ class ParcRuntime:
         self.adopt_grain(new_grain)
         po._parc_grain = new_grain
         return new_grain
+
+    def quiesce_outboxes(self) -> None:
+        """Deliver every tracked grain's buffered/posted calls.
+
+        Flushes each adopted grain's aggregation buffer and waits until
+        its sender thread has shipped everything (each call is in its
+        IO's mailbox).  This covers POs held *inside* grain instances —
+        decoded references are adopted too — so barriers like
+        :meth:`repro.core.patterns.Pipeline.drain` can close the window
+        where a forwarded call sits in an invisible outbox.  Best-effort:
+        a grain mid-teardown or already lost is skipped.
+        """
+        for grain in list(self._grains):
+            sync = getattr(grain, "sync_outbox", None)
+            if sync is None:
+                continue
+            try:
+                sync()
+            except Exception:  # noqa: BLE001 - barrier is best-effort
+                continue
 
     def objref_for_impl(self, impl: ImplementationObject) -> ObjRef:
         from repro.cluster.node import Node
@@ -581,6 +609,7 @@ def init(
             chaos_controller=config.chaos_controller,
             telemetry=config.telemetry,
             wire_fastpath=config.wire_fastpath,
+            sync_fastpath=config.sync_fastpath,
             same_node_transport=config.same_node_transport,
             mailbox_depth=config.mailbox_depth,
             priority=config.priority,

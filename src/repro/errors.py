@@ -178,6 +178,20 @@ class GrainError(ScooppError):
     """Grain-size adaptation misuse (e.g. flushing a released proxy)."""
 
 
+class BatchCallError(ScooppError):
+    """One or more calls inside a ``call_many`` aggregate failed.
+
+    Carries the full per-call picture so callers can keep the successes:
+    ``results`` holds one entry per call (``None`` at failed slots) and
+    ``failures`` maps call index → the re-raised exception for that slot.
+    """
+
+    def __init__(self, message: str, results: list, failures: dict):
+        super().__init__(message)
+        self.results = results
+        self.failures = failures
+
+
 class MigrationError(ScooppError):
     """A live grain migration could not be carried out.
 

@@ -76,9 +76,35 @@ class ReturnMessage:
         return self.error is not None
 
 
+@serializable(name="parc.remoting.ReturnN")
+@dataclass
+class ReturnBatch:
+    """Aggregated response to an ``invoke_batch``: N results in one frame.
+
+    The reply-side twin of the columnar ``processN`` aggregate: instead of
+    N status+payload response frames, the server ships one status frame
+    whose body is this message — ``count`` results packed either as a
+    contiguous ``array('d')`` column (all-float results, the common
+    numeric-kernel case; the fast formatter encodes arrays as a typecode +
+    one memcpy) or a plain list with ``None`` at error slots.  Per-call
+    failures ride in ``errors`` as ``(index, type_name, message,
+    traceback_text)`` tuples so one bad call does not poison its batch.
+
+    Travels inside the ordinary ``ReturnMessage.value`` over the existing
+    STATUS_OK path — old peers never see it (they lack ``invoke_batch``
+    and the client falls back to per-call invokes), so no new status byte
+    or header flag is needed on the wire.
+    """
+
+    count: int = 0
+    results: Any = None
+    errors: tuple = ()
+
+
 # The protocol messages dominate the wire hot path, so all three get
 # compiled codecs: encode skips the per-value type ladder, decode installs
 # fields directly.  Payloads stay byte-identical to the generic formatter.
 register_codec(CallMessage)
 register_codec(RemoteErrorInfo)
 register_codec(ReturnMessage)
+register_codec(ReturnBatch)

@@ -100,6 +100,15 @@ class NodeScheduler(MarshalByRefObject):
             ).set(float(depth_total))
         with self._lock:
             counters = self._counters_locked()
+        summaries = self.node.method_summaries()
+        avg_service_s = 0.0
+        if summaries:
+            count_total = sum(s["count"] for s in summaries.values())
+            if count_total > 0:
+                avg_service_s = (
+                    sum(s["avg_s"] * s["count"] for s in summaries.values())
+                    / count_total
+                )
         return {
             "base_uri": self.node.base_uri,
             "index": self.node.index,
@@ -108,6 +117,10 @@ class NodeScheduler(MarshalByRefObject):
             "ios": len(impls),
             "queued": stealable_total,
             "queued_total": depth_total,
+            # Measured mean service time across this node's method
+            # histograms (0.0 with telemetry off): lets the planner
+            # weigh backlog in seconds of work rather than task counts.
+            "avg_service_s": avg_service_s,
             "grains": grains[:REPORT_TOP_GRAINS],
             **counters,
         }

@@ -78,7 +78,27 @@ class RebalancePlanner:
             return []
         self._expire_cooldowns(now)
 
-        backlog = {r["base_uri"]: int(r.get("queued", 0)) for r in live}
+        # Service-time weighting: when EVERY live report carries a
+        # measured avg_service_s (telemetry on, no old peers), a node's
+        # backlog is priced in seconds of work normalized to the cluster
+        # mean — 100 queued 100 µs calls weigh less than 10 queued 50 ms
+        # calls.  One missing/zero figure disables weighting entirely:
+        # mixing measured and unmeasured depths would compare seconds
+        # against task counts.
+        service = {
+            r["base_uri"]: float(r.get("avg_service_s", 0.0)) for r in live
+        }
+        if all(v > 0.0 for v in service.values()):
+            mean_service = sum(service.values()) / len(live)
+            weight = {
+                uri: v / mean_service for uri, v in service.items()
+            }
+        else:
+            weight = {uri: 1.0 for uri in service}
+        backlog = {
+            r["base_uri"]: int(r.get("queued", 0)) * weight[r["base_uri"]]
+            for r in live
+        }
         mean = sum(backlog.values()) / len(live)
 
         victims = sorted(

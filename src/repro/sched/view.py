@@ -34,6 +34,13 @@ class NodeView:
     being placed (0.0 when unknown); ``same_node`` marks peers
     co-located with the choosing node, i.e. reachable over the
     shared-memory backplane rather than the wire.
+
+    ``avg_service_s``/``p99_s`` summarize the node's
+    ``parc.method.seconds.*`` latency histograms (mean and conservative
+    p99 across its hosted methods, 0.0 when telemetry is off or the peer
+    predates the reply-path rework) — the signal that lets placement
+    price *service time* rather than assume every queued task costs the
+    same.
     """
 
     index: int
@@ -44,6 +51,8 @@ class NodeView:
     ios: int = 0
     same_node: bool = False
     bytes_per_call: float = 0.0
+    avg_service_s: float = 0.0
+    p99_s: float = 0.0
 
     @property
     def effective_load(self) -> float:

@@ -942,3 +942,33 @@ def unpack_columns(count: int, columns: Sequence) -> list[tuple[tuple, dict]]:
             f"columns carry {len(batch)}"
         )
     return batch
+
+
+def pack_result_column(results: Sequence) -> Any:
+    """Pack an ``invoke_batch`` result list for the ``returnN`` reply.
+
+    Mirrors the request-side column trick: when every result is a float
+    the list collapses into an ``array('d')`` (one typecode byte + one
+    memcpy on the wire instead of a tagged double per value).  Any other
+    shape — mixed types, ``None`` error slots — travels as the list
+    itself.
+    """
+    if results and all(type(value) is float for value in results):
+        return array.array("d", results)
+    return list(results)
+
+
+def unpack_result_column(count: int, results: Any) -> list:
+    """Inverse of :func:`pack_result_column`; validates the count."""
+    if results is None:
+        values = [None] * count
+    elif isinstance(results, array.array):
+        values = results.tolist()
+    else:
+        values = list(results)
+    if len(values) != count:
+        raise SerializationError(
+            f"returnN batch length mismatch: header says {count} results, "
+            f"column carries {len(values)}"
+        )
+    return values

@@ -38,8 +38,10 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    estimate_quantile,
     merge_exports,
     render_prometheus,
+    summarize_method_histograms,
 )
 from repro.telemetry.tracer import (
     TraceEvent,
@@ -64,6 +66,7 @@ __all__ = [
     "active_tracer",
     "child_of",
     "current_context",
+    "estimate_quantile",
     "event_from_data",
     "from_header",
     "get_global_tracer",
@@ -72,6 +75,7 @@ __all__ = [
     "merge_exports",
     "render_prometheus",
     "set_global_tracer",
+    "summarize_method_histograms",
     "set_sample_rate",
     "to_header",
 ]

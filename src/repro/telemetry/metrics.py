@@ -266,6 +266,65 @@ def merge_exports(
     return dict(sorted(merged.items()))
 
 
+#: Prefix of the per-method execution-latency histograms the IO worker
+#: records (``parc.method.seconds.<Class>.<method>``).
+METHOD_HISTOGRAM_PREFIX = "parc.method.seconds."
+
+
+def estimate_quantile(
+    buckets: Sequence[Sequence[float]], count: int, q: float
+) -> float | None:
+    """Quantile estimate from exported ``[[bound, count], ...]`` buckets.
+
+    The exported form of :meth:`Histogram.quantile`: walks the per-bucket
+    counts cumulatively and returns the upper bound of the bucket holding
+    the q-th observation (a conservative over-estimate, like Prometheus's
+    ``histogram_quantile``).  Returns ``None`` with no observations.
+    """
+    if count <= 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    rank = q * count
+    cumulative = 0
+    for bound, bucket_count in buckets:
+        cumulative += bucket_count
+        if cumulative >= rank:
+            return float(bound)
+    return float(buckets[-1][0]) if buckets else None
+
+
+def summarize_method_histograms(
+    export: Mapping[str, Mapping[str, Any]],
+    prefix: str = METHOD_HISTOGRAM_PREFIX,
+) -> dict[str, dict[str, float]]:
+    """Service-time summaries of the per-method latency histograms.
+
+    Input is a :meth:`MetricsRegistry.export` document; output maps each
+    ``<Class>.<method>`` span name (the part after *prefix*) to::
+
+        {"count": N, "avg_s": mean, "p99_s": conservative p99}
+
+    This is the bridge between the telemetry layer and the adaptive
+    pieces that consume it — the grain autotuner and the service-aware
+    placement score — so they share one definition of "service time".
+    """
+    summaries: dict[str, dict[str, float]] = {}
+    for name, data in export.items():
+        if not name.startswith(prefix) or data.get("type") != "histogram":
+            continue
+        count = int(data.get("count", 0))
+        if count <= 0:
+            continue
+        p99 = estimate_quantile(data.get("buckets", ()), count, 0.99)
+        summaries[name[len(prefix):]] = {
+            "count": float(count),
+            "avg_s": float(data.get("sum", 0.0)) / count,
+            "p99_s": float(p99) if p99 is not None else 0.0,
+        }
+    return summaries
+
+
 _PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 
 

@@ -15,12 +15,14 @@ from hypothesis import strategies as st
 import pytest
 
 from repro.errors import SerializationError, UnknownTypeError
+from repro.remoting.messages import ReturnBatch
 from repro.serialization import (
     BinaryFormatter,
     CodecRegistry,
     FastBinaryFormatter,
     serializable,
 )
+from repro.serialization.codec import pack_result_column, unpack_result_column
 
 
 @serializable(name="test.codecprops.Record")
@@ -137,3 +139,72 @@ def test_unregistered_class_fallback_matches_generic():
         generic.dumps(NeverRegistered())
     with pytest.raises(UnknownTypeError):
         fast.dumps(NeverRegistered())
+
+
+# -- returnN reply aggregation ------------------------------------------------
+
+result_slots = st.lists(
+    st.one_of(
+        st.floats(allow_nan=False),
+        st.integers(),
+        st.text(max_size=20),
+        st.none(),
+    ),
+    max_size=16,
+)
+
+error_slots = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.sampled_from(["ValueError", "OverloadError", "KeyError"]),
+        st.text(max_size=30),
+        st.text(max_size=60),
+    ),
+    max_size=4,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(result_slots, error_slots)
+def test_returnn_batches_are_byte_identical_across_formatters(results, errors):
+    """A ReturnBatch travels the wire identically fast or legacy.
+
+    This is the reply-side interop guarantee: a new server's batched
+    reply decodes on any peer running either formatter, so the returnN
+    negotiation only needs to decide *whether* to batch, never how to
+    encode it.
+    """
+    batch = ReturnBatch(
+        count=len(results),
+        results=pack_result_column(results),
+        errors=tuple(errors),
+    )
+    fast_bytes = fast.dumps(batch)
+    assert fast_bytes == generic.dumps(batch)
+    for decoder in (fast, generic):
+        decoded = decoder.loads(fast_bytes)
+        assert decoded.count == batch.count
+        assert list(decoded.results) == list(batch.results)
+        assert tuple(decoded.errors) == batch.errors
+
+
+@settings(max_examples=150, deadline=None)
+@given(result_slots)
+def test_result_column_pack_unpack_is_the_identity(results):
+    packed = pack_result_column(results)
+    assert unpack_result_column(len(results), packed) == list(results)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=32))
+def test_all_float_results_pack_to_a_double_column(values):
+    import array
+
+    packed = pack_result_column(list(values))
+    assert isinstance(packed, array.array) and packed.typecode == "d"
+    assert unpack_result_column(len(values), packed) == list(values)
+
+
+def test_result_column_length_mismatch_is_a_serialization_error():
+    with pytest.raises(SerializationError):
+        unpack_result_column(3, [1.0, 2.0])
